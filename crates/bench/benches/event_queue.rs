@@ -1,0 +1,74 @@
+//! Microbenchmark: the discrete-event kernel.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use diablo_sim::{DetRng, EventQueue, Scheduler, SimDuration, SimTime, Simulation, World};
+
+fn queue_throughput(c: &mut Criterion) {
+    c.bench_function("sim/queue_schedule_pop_100k", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = DetRng::new(1);
+                let times: Vec<SimTime> = (0..100_000)
+                    .map(|_| SimTime::from_micros(rng.next_below(1_000_000)))
+                    .collect();
+                times
+            },
+            |times| {
+                let mut q = EventQueue::with_capacity(times.len());
+                for (i, t) in times.iter().enumerate() {
+                    q.schedule(*t, i as u32);
+                }
+                let mut acc = 0u64;
+                while let Some((_, e)) = q.pop() {
+                    acc += e as u64;
+                }
+                black_box(acc)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+/// A world that reschedules itself `n` times (pure engine overhead).
+struct Chained {
+    remaining: u64,
+}
+
+impl World for Chained {
+    type Event = ();
+
+    fn handle(&mut self, _now: SimTime, (): (), sched: &mut Scheduler<()>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            sched.after(SimDuration::from_micros(1), ());
+        }
+    }
+}
+
+fn engine_overhead(c: &mut Criterion) {
+    c.bench_function("sim/engine_chain_100k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(Chained { remaining: 100_000 });
+            sim.schedule(SimTime::ZERO, ());
+            black_box(sim.run_to_completion())
+        })
+    });
+}
+
+fn rng_throughput(c: &mut Criterion) {
+    c.bench_function("sim/rng_1m_draws", |b| {
+        b.iter(|| {
+            let mut rng = DetRng::new(7);
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, queue_throughput, engine_overhead, rng_throughput);
+criterion_main!(benches);

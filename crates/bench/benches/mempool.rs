@@ -1,0 +1,92 @@
+//! Microbenchmark: mempool admission and block assembly.
+//!
+//! The pool is on the hot path of every simulated transaction; the
+//! take-batch scan is also the mechanism behind Quorum's overload
+//! collapse, so its cost profile matters.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use diablo_chains::{Mempool, MempoolPolicy, Payload, TxMeta};
+use diablo_sim::SimTime;
+
+fn tx(id: u32, sender: u32) -> TxMeta {
+    TxMeta {
+        id,
+        sender,
+        payload: Payload::Transfer,
+        submitted: SimTime::from_micros(id as u64),
+        available: SimTime::from_micros(id as u64),
+        wire_bytes: 150,
+        fee_cap_millis: 2_000,
+    }
+}
+
+fn filled(policy: MempoolPolicy, n: u32) -> Mempool {
+    let mut pool = Mempool::new(policy);
+    for i in 0..n {
+        let _ = pool.admit(tx(i, i % 2_000));
+    }
+    pool
+}
+
+fn admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mempool/admit_10k");
+    for (name, policy) in [
+        ("unbounded", MempoolPolicy::UNBOUNDED),
+        ("bounded", MempoolPolicy::bounded(5_000)),
+        (
+            "per_sender",
+            MempoolPolicy {
+                capacity: Some(50_000),
+                per_sender: Some(100),
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || Mempool::new(policy),
+                |mut pool| {
+                    for i in 0..10_000u32 {
+                        let _ = pool.admit(tx(i, i % 130));
+                    }
+                    black_box(pool.len())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn take_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mempool/take_batch_1500");
+    for backlog in [2_000u32, 20_000, 200_000] {
+        group.bench_function(format!("backlog_{backlog}"), |b| {
+            b.iter_batched(
+                || filled(MempoolPolicy::UNBOUNDED, backlog),
+                |mut pool| black_box(pool.take_batch(1_500, u64::MAX, |_| true).len()),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn eviction(c: &mut Criterion) {
+    c.bench_function("mempool/evict_expired_50k", |b| {
+        b.iter_batched(
+            || filled(MempoolPolicy::bounded(100_000), 50_000),
+            |mut pool| {
+                black_box(
+                    pool.evict_where(|t| t.submitted < SimTime::from_micros(25_000))
+                        .len(),
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, admission, take_batch, eviction);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Microbenchmark: the analytic quorum-latency model.
+//!
+//! IBFT commit latency over 200 geo-distributed nodes involves two
+//! all-to-all order-statistic rounds; this is computed once per block,
+//! so its cost bounds the block rate the simulator can sustain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use diablo_net::{DeploymentConfig, DeploymentKind, NetworkModel, QuorumModel};
+
+fn model_for(kind: DeploymentKind) -> QuorumModel {
+    let cfg = DeploymentConfig::standard(kind);
+    QuorumModel::new(&cfg, &NetworkModel::deterministic())
+}
+
+fn construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quorum/construct");
+    for kind in [DeploymentKind::Devnet, DeploymentKind::Consortium] {
+        group.bench_function(kind.name(), |b| b.iter(|| black_box(model_for(kind))));
+    }
+    group.finish();
+}
+
+fn phases(c: &mut Criterion) {
+    let devnet = model_for(DeploymentKind::Devnet);
+    let consortium = model_for(DeploymentKind::Consortium);
+    let mut group = c.benchmark_group("quorum/phase");
+    group.bench_function("ibft_commit_10_nodes", |b| {
+        b.iter(|| black_box(devnet.ibft_commit(3, 250_000)))
+    });
+    group.bench_function("ibft_commit_200_nodes", |b| {
+        b.iter(|| black_box(consortium.ibft_commit(42, 250_000)))
+    });
+    group.bench_function("hotstuff_commit_200_nodes", |b| {
+        b.iter(|| black_box(consortium.hotstuff_commit(42, 250_000)))
+    });
+    group.bench_function("gossip_200_nodes", |b| {
+        b.iter(|| black_box(consortium.gossip_all(42, 8, 250_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, construction, phases);
+criterion_main!(benches);

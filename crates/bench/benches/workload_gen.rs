@@ -1,0 +1,37 @@
+//! Microbenchmark: workload-trace generation and expansion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use diablo_workloads::traces;
+
+fn generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads/generate");
+    group.bench_function("gafam", |b| b.iter(|| black_box(traces::gafam())));
+    group.bench_function("fifa", |b| b.iter(|| black_box(traces::fifa())));
+    group.bench_function("youtube", |b| b.iter(|| black_box(traces::youtube())));
+    group.finish();
+}
+
+fn expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads/expand_ticks");
+    let dota = traces::dota();
+    group.bench_function("dota_100ms", |b| {
+        b.iter(|| black_box(dota.ticks(100).iter().sum::<u64>()))
+    });
+    let youtube = traces::youtube();
+    group.bench_function("youtube_100ms", |b| {
+        b.iter(|| black_box(youtube.ticks(100).iter().sum::<u64>()))
+    });
+    group.finish();
+}
+
+fn splitting(c: &mut Criterion) {
+    let gafam = traces::gafam();
+    c.bench_function("workloads/split_200_secondaries", |b| {
+        b.iter(|| black_box(gafam.split(200).len()))
+    });
+}
+
+criterion_group!(benches, generation, expansion, splitting);
+criterion_main!(benches);

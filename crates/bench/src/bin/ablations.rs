@@ -1,0 +1,177 @@
+//! Ablation studies for the design choices §6.6 calls out.
+//!
+//! The paper's discussion attributes each chain's behaviour to a
+//! specific mechanism; these ablations flip one mechanism at a time and
+//! re-run the experiment that exposed it:
+//!
+//! 1. **Quorum with a bounded mempool** — §6.5/§6.6 conjecture a
+//!    robustness/availability trade-off: IBFT's never-drop queue commits
+//!    every burst but collapses under sustained overload. Bounding the
+//!    pool should invert both results.
+//! 2. **Solana at 1 confirmation** — the marketing claim of sub-second
+//!    finality (§2) versus the 30-confirmation reality (§5.2).
+//! 3. **Diem without the 100-transaction per-sender cap** — §5.2's
+//!    mempool admission rule under the Apple burst.
+//! 4. **Avalanche without the block-period throttle** — §6.2 conjectures
+//!    Avalanche "throttles its throughput"; remove the floor.
+
+use diablo_chains::{Chain, ChainParams, ConsensusKind, Experiment, MempoolPolicy, RunResult};
+use diablo_contracts::DApp;
+use diablo_net::{DeploymentConfig, DeploymentKind};
+use diablo_sim::SimDuration;
+use diablo_workloads::traces;
+
+fn params(chain: Chain, kind: DeploymentKind) -> ChainParams {
+    ChainParams::standard(chain, &DeploymentConfig::standard(kind))
+}
+
+fn show(label: &str, r: &RunResult) {
+    println!(
+        "  {label:<26} tput {:>7.1} TPS  lat {:>6.1}s  commit {:>5.1}%",
+        r.avg_throughput(),
+        r.avg_latency_secs(),
+        r.commit_ratio() * 100.0
+    );
+}
+
+fn quorum_bounded_pool() {
+    println!("== Ablation 1: Quorum with a bounded (geth-default-sized) mempool ==");
+    let mut bounded = params(Chain::Quorum, DeploymentKind::Testnet);
+    bounded.mempool = MempoolPolicy::bounded(7_000);
+
+    println!("sustained 10,000 TPS (the §6.3 robustness probe):");
+    let baseline = Experiment::new(
+        Chain::Quorum,
+        DeploymentKind::Testnet,
+        traces::constant(10_000.0, 120),
+    )
+    .run();
+    show("never-drop (paper)", &baseline);
+    let ablated = Experiment::new(
+        Chain::Quorum,
+        DeploymentKind::Testnet,
+        traces::constant(10_000.0, 120),
+    )
+    .with_params(bounded.clone())
+    .run();
+    show("bounded pool", &ablated);
+
+    let mut bounded_consortium = params(Chain::Quorum, DeploymentKind::Consortium);
+    bounded_consortium.mempool = MempoolPolicy::bounded(7_000);
+    println!("Apple burst on consortium (the §6.5 availability probe):");
+    let baseline = Experiment::new(Chain::Quorum, DeploymentKind::Consortium, traces::apple())
+        .with_dapp(DApp::Exchange)
+        .run();
+    show("never-drop (paper)", &baseline);
+    let ablated = Experiment::new(Chain::Quorum, DeploymentKind::Consortium, traces::apple())
+        .with_dapp(DApp::Exchange)
+        .with_params(bounded_consortium)
+        .run();
+    show("bounded pool", &ablated);
+    println!(
+        "  -> bounding the pool rescues robustness but forfeits the 100% burst\n\
+         \x20    commits: the trade-off of §6.6.\n"
+    );
+}
+
+fn solana_one_confirmation() {
+    println!("== Ablation 2: Solana at 1 confirmation instead of 30 ==");
+    let mut fast = params(Chain::Solana, DeploymentKind::Testnet);
+    fast.confirmations = 1;
+    let baseline = Experiment::new(
+        Chain::Solana,
+        DeploymentKind::Testnet,
+        traces::constant(1_000.0, 120),
+    )
+    .run();
+    show("30 confirmations (paper)", &baseline);
+    let ablated = Experiment::new(
+        Chain::Solana,
+        DeploymentKind::Testnet,
+        traces::constant(1_000.0, 120),
+    )
+    .with_params(fast)
+    .run();
+    show("1 confirmation", &ablated);
+    println!(
+        "  -> the headline sub-second-ish latency exists, but only by accepting\n\
+         \x20    fork risk; the recommended 30 confirmations cost ~12 s (§5.2).\n"
+    );
+}
+
+fn diem_without_sender_cap() {
+    println!("== Ablation 3: Diem's 100-transaction per-sender cap with few signers ==");
+    // §5.2: Diem "nodes only accept a maximum of 100 transactions from
+    // the same signer", which is exactly why the paper's workloads sign
+    // from 2,000 accounts. Replaying a 20-signer workload shows what
+    // that setup works around.
+    let mut capped = params(Chain::Diem, DeploymentKind::Consortium);
+    capped.accounts = 20;
+    let mut uncapped = capped.clone();
+    uncapped.mempool = MempoolPolicy {
+        capacity: uncapped.mempool.capacity,
+        per_sender: None,
+    };
+    let workload = || traces::constant(1_000.0, 120);
+    let baseline = Experiment::new(Chain::Diem, DeploymentKind::Consortium, workload())
+        .with_params(capped)
+        .run();
+    show("per-sender cap (paper)", &baseline);
+    println!(
+        "  {:<26} {} transactions refused at admission (per-sender limit)",
+        "",
+        baseline.count_status(diablo_chains::TxStatus::DroppedPerSender)
+    );
+    let ablated = Experiment::new(Chain::Diem, DeploymentKind::Consortium, workload())
+        .with_params(uncapped)
+        .run();
+    show("no per-sender cap", &ablated);
+    println!(
+        "  {:<26} {} transactions refused at admission (per-sender limit)",
+        "",
+        ablated.count_status(diablo_chains::TxStatus::DroppedPerSender)
+    );
+    println!(
+        "  -> with few signers the cap refuses most of the load at admission —\n\
+         \x20    the reason the paper's workloads submit from 2,000 accounts (§5.2).\n"
+    );
+}
+
+fn avalanche_unthrottled() {
+    println!("== Ablation 4: Avalanche without the block-period throttle ==");
+    let mut unthrottled = params(Chain::Avalanche, DeploymentKind::Community);
+    if let ConsensusKind::AvalancheSnow { sample_rounds, .. } = unthrottled.consensus {
+        unthrottled.consensus = ConsensusKind::AvalancheSnow {
+            sample_rounds,
+            period_loaded: SimDuration::from_millis(400),
+            period_idle: SimDuration::from_millis(400),
+        };
+    }
+    let baseline = Experiment::new(
+        Chain::Avalanche,
+        DeploymentKind::Community,
+        traces::constant(1_000.0, 120),
+    )
+    .run();
+    show(">=1.18s period (paper)", &baseline);
+    let ablated = Experiment::new(
+        Chain::Avalanche,
+        DeploymentKind::Community,
+        traces::constant(1_000.0, 120),
+    )
+    .with_params(unthrottled)
+    .run();
+    show("400ms period", &ablated);
+    println!(
+        "  -> the §6.2 conjecture holds in the model: the period floor, not the\n\
+         \x20    sampling protocol, caps Avalanche's throughput.\n"
+    );
+}
+
+fn main() {
+    println!("Design-choice ablations (see §6.6 of the paper)\n");
+    quorum_bounded_pool();
+    solana_one_confirmation();
+    diem_without_sender_cap();
+    avalanche_unthrottled();
+}

@@ -1,0 +1,48 @@
+//! Calibration probe: prints the Figure 3 sweep (1,000 TPS native
+//! transfers on four deployments) plus the Figure 4 robustness runs, so
+//! calibration constants can be fitted against the paper's targets.
+
+use diablo_chains::{Chain, Experiment};
+use diablo_net::DeploymentKind;
+use diablo_workloads::traces;
+
+fn main() {
+    let configs = [
+        DeploymentKind::Datacenter,
+        DeploymentKind::Testnet,
+        DeploymentKind::Devnet,
+        DeploymentKind::Community,
+    ];
+    println!("== Figure 3: constant 1,000 TPS, 120 s ==");
+    for chain in Chain::ALL {
+        for kind in configs {
+            let t = std::time::Instant::now();
+            let r = Experiment::new(chain, kind, traces::constant(1000.0, 120)).run();
+            println!(
+                "{:<10} {:<11} tput {:>7.1} TPS  lat {:>6.1}s  commit {:>5.1}%  ({:?})",
+                chain.name(),
+                kind.name(),
+                r.avg_throughput(),
+                r.avg_latency_secs(),
+                r.commit_ratio() * 100.0,
+                t.elapsed()
+            );
+        }
+    }
+    println!("== Figure 4: 10,000 TPS on testnet ==");
+    for chain in Chain::ALL {
+        let r = Experiment::new(
+            chain,
+            DeploymentKind::Testnet,
+            traces::constant(10_000.0, 120),
+        )
+        .run();
+        println!(
+            "{:<10} tput {:>7.1} TPS  lat {:>6.1}s  commit {:>5.1}%",
+            chain.name(),
+            r.avg_throughput(),
+            r.avg_latency_secs(),
+            r.commit_ratio() * 100.0
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Figure 4: robustness to high constant workloads.
+//!
+//! Each chain is deployed in the configuration where it performed best
+//! under 1,000 TPS (§6.2) — determined here by actually re-running the
+//! Figure 3 sweep, exactly as the paper describes — and then stressed
+//! with 10,000 TPS for 120 s. The paper's headline: the deterministic
+//! leader-based BFT chains suffer most (Diem ÷10, Quorum → 0) while the
+//! probabilistic/eventually-consistent chains degrade gracefully
+//! (Algorand ÷1.45, Solana ÷1.94) and Avalanche is throttled anyway.
+
+use diablo_bench::{bar, run_native};
+use diablo_chains::Chain;
+use diablo_net::DeploymentKind;
+use diablo_workloads::traces;
+
+fn best_config(chain: Chain) -> DeploymentKind {
+    // In increasing order of decentralization; near-ties (within 2%)
+    // resolve toward the larger, more representative deployment, as the
+    // paper's §6.3 deployments do.
+    let configs = [
+        DeploymentKind::Datacenter,
+        DeploymentKind::Testnet,
+        DeploymentKind::Devnet,
+        DeploymentKind::Community,
+    ];
+    let measured: Vec<(DeploymentKind, f64)> = configs
+        .into_iter()
+        .map(|kind| {
+            let r = run_native(chain, kind, traces::constant(1_000.0, 120));
+            (kind, r.avg_throughput())
+        })
+        .collect();
+    let best = measured.iter().map(|&(_, t)| t).fold(0.0, f64::max);
+    measured
+        .into_iter()
+        .rev()
+        .find(|&(_, t)| t >= best * 0.98)
+        .map(|(kind, _)| kind)
+        .expect("non-empty configs")
+}
+
+fn main() {
+    println!("Figure 4: 1,000 TPS vs 10,000 TPS in each chain's best configuration\n");
+    println!(
+        "{:<10} {:<11} {:>11} {:>9} {:>11} {:>9} {:>7}",
+        "chain", "config", "tput@1k", "lat@1k", "tput@10k", "lat@10k", "ratio"
+    );
+    println!("{}", "-".repeat(76));
+    for chain in Chain::ALL {
+        let kind = best_config(chain);
+        let low = run_native(chain, kind, traces::constant(1_000.0, 120));
+        let high = run_native(chain, kind, traces::constant(10_000.0, 120));
+        let ratio = if high.avg_throughput() > 0.0 {
+            low.avg_throughput() / high.avg_throughput()
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "{:<10} {:<11} {:>9.1} {:>8.1}s {:>11.1} {:>8.1}s {:>6.2}x",
+            chain.name(),
+            kind.name(),
+            low.avg_throughput(),
+            low.avg_latency_secs(),
+            high.avg_throughput(),
+            high.avg_latency_secs(),
+            ratio
+        );
+        println!("{:<22} 1k:  {}", "", bar(low.avg_throughput(), 1_000.0, 30));
+        println!(
+            "{:<22} 10k: {}",
+            "",
+            bar(high.avg_throughput(), 1_000.0, 30)
+        );
+    }
+    println!();
+    println!(
+        "Paper anchors: Diem divided by 10; Quorum drops to ~0; Algorand divided by 1.45 \
+         (latency x2.43); Solana divided by 1.94 (latency x4); Avalanche not hurt \
+         (x1.38 in the paper); Ethereum commits only 0.09% of the 10,000 TPS load."
+    );
+}

@@ -1,0 +1,71 @@
+//! Figure 6: availability under load peaks — latency CDFs.
+//!
+//! The per-stock NASDAQ bursts (Google: 800 transactions in the first
+//! second; Microsoft: 4,000; Apple: 10,000, each followed by a low
+//! tail) are replayed through the Exchange DApp on the consortium
+//! configuration. For each chain the figure plots the CDF of commit
+//! latencies; a plateau below 100 % exposes dropped transactions.
+
+use diablo_bench::maybe_quick;
+use diablo_chains::tx::CallSel;
+use diablo_chains::{Chain, Experiment, RunResult};
+use diablo_contracts::{calls, exchange::Stock, DApp};
+use diablo_net::DeploymentKind;
+use diablo_workloads::{traces, Workload};
+
+fn run_burst(chain: Chain, workload: Workload, stock: Stock) -> RunResult {
+    // Every transaction buys the burst's stock, as the paper's
+    // per-stock workloads do.
+    let entry = calls::entry_index(DApp::Exchange, stock.entry()).expect("known entry");
+    Experiment::new(chain, DeploymentKind::Consortium, maybe_quick(workload))
+        .with_dapp(DApp::Exchange)
+        .with_call(CallSel {
+            entry,
+            args: [0, 0],
+            argc: 0,
+        })
+        .run()
+}
+
+fn main() {
+    println!("Figure 6: latency CDFs under NASDAQ load peaks (consortium configuration)\n");
+    let workloads = [
+        ("Google (peak 800 tx/s)", traces::google(), Stock::Google),
+        (
+            "Microsoft (peak 4,000 tx/s)",
+            traces::microsoft(),
+            Stock::Microsoft,
+        ),
+        ("Apple (peak 10,000 tx/s)", traces::apple(), Stock::Apple),
+    ];
+    let probes = [1.0, 2.0, 4.0, 8.0, 14.0, 22.0, 30.0, 60.0, 120.0, 162.0];
+    for (label, workload, stock) in workloads {
+        println!("== {label} ==");
+        print!("{:<10} {:>7}", "chain", "commit%");
+        for p in probes {
+            print!(" {:>6}", format!("<={p}s"));
+        }
+        println!("  max lat");
+        println!("{}", "-".repeat(10 + 8 + probes.len() * 7 + 9));
+        for chain in Chain::ALL {
+            let r = run_burst(chain, workload.clone(), stock);
+            let cdf = r.latency_cdf();
+            let total = r.submitted().max(1) as f64;
+            print!("{:<10} {:>6.1}%", chain.name(), r.commit_ratio() * 100.0);
+            for p in probes {
+                // Fraction of *submitted* transactions committed within
+                // p seconds (so dropped transactions show as plateaus).
+                let frac = cdf.fraction_below(p) * cdf.len() as f64 / total;
+                print!(" {:>5.0}%", frac * 100.0);
+            }
+            println!("  {:>6.1}s", r.max_latency_secs());
+        }
+        println!();
+    }
+    println!(
+        "Paper anchors: Quorum commits 100% on all three bursts (91% within 8 s on Apple); \
+         Diem plateaus at 75% (all within 30 s); Algorand at 77% and Solana at 52% on Apple; \
+         Avalanche commits ~90% with a tail up to 162 s; Ethereum keeps committing slowly \
+         (118 s tail on Google, 64% on Microsoft)."
+    );
+}

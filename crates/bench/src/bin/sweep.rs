@@ -1,0 +1,80 @@
+//! The full experiment matrix, exported for plotting.
+//!
+//! Runs every chain × deployment × workload combination the paper's
+//! evaluation uses (the `minion` scripts of the artifact drive the same
+//! matrix on AWS) and writes machine-readable artifacts under
+//! `results/sweep/`: one comparison CSV for the whole matrix plus
+//! per-run throughput time series and latency CDF `.dat` files for the
+//! headline runs.
+//!
+//! Usage: `cargo run --release -p diablo-bench --bin sweep [out_dir]`
+
+use std::fs;
+use std::path::PathBuf;
+
+use diablo_bench::{maybe_quick, run_dapp};
+use diablo_chains::{Chain, Experiment, RunResult};
+use diablo_contracts::DApp;
+use diablo_core::analysis::{comparison_csv, latency_cdf_dat, throughput_series_dat};
+use diablo_net::DeploymentKind;
+use diablo_workloads::traces;
+
+fn main() {
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/sweep".to_string())
+        .into();
+    fs::create_dir_all(&out).expect("create output directory");
+    let mut results: Vec<RunResult> = Vec::new();
+
+    // Figure 3 matrix: native transfers across deployments.
+    for chain in Chain::ALL {
+        for kind in [
+            DeploymentKind::Datacenter,
+            DeploymentKind::Testnet,
+            DeploymentKind::Devnet,
+            DeploymentKind::Community,
+        ] {
+            let r = Experiment::new(chain, kind, maybe_quick(traces::constant(1_000.0, 120))).run();
+            println!(
+                "native-1000 {:<10} {:<11} {}",
+                chain.name(),
+                kind.name(),
+                r.summary()
+            );
+            results.push(r);
+        }
+    }
+
+    // Figure 2 matrix: every DApp on consortium; headline runs also get
+    // series/CDF exports.
+    for dapp in DApp::ALL {
+        for chain in Chain::ALL {
+            let r = run_dapp(chain, DeploymentKind::Consortium, dapp);
+            println!("{:<12} {:<10} {}", dapp.name(), chain.name(), r.summary());
+            if r.able() {
+                let stem = format!("{}-{}", dapp.name(), chain.name().to_lowercase());
+                fs::write(
+                    out.join(format!("{stem}.series.dat")),
+                    throughput_series_dat(&r),
+                )
+                .expect("write series");
+                fs::write(
+                    out.join(format!("{stem}.cdf.dat")),
+                    latency_cdf_dat(&r, 400),
+                )
+                .expect("write cdf");
+            }
+            results.push(r);
+        }
+    }
+
+    let refs: Vec<&RunResult> = results.iter().collect();
+    let csv = comparison_csv(&refs);
+    fs::write(out.join("matrix.csv"), &csv).expect("write matrix.csv");
+    println!(
+        "\nwrote {} runs to {} (matrix.csv + per-run .dat files)",
+        results.len(),
+        out.display()
+    );
+}

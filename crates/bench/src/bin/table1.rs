@@ -1,0 +1,101 @@
+//! Table 1: claimed versus observed performance.
+//!
+//! The paper contrasts the headline numbers announced for Algorand,
+//! Avalanche and Solana with the best performance Diablo measured across
+//! all of its configurations. We re-measure the "observed" column: the
+//! best average throughput and the matching latency over the §5.1
+//! configurations (the datacenter peak run for Solana uses the 10,000
+//! TPS robustness load, which is where its best number comes from).
+
+use diablo_bench::{maybe_quick, run_native};
+use diablo_chains::{Chain, RunResult};
+use diablo_net::DeploymentKind;
+use diablo_workloads::traces;
+
+struct Claim {
+    chain: Chain,
+    claimed_tput: &'static str,
+    claimed_lat: &'static str,
+    claimed_setup: &'static str,
+    /// The configurations to search for the best observed result,
+    /// with the offered load of each probe.
+    probes: &'static [(DeploymentKind, f64)],
+}
+
+const CLAIMS: &[Claim] = &[
+    Claim {
+        chain: Chain::Algorand,
+        claimed_tput: "1K-46K TPS",
+        claimed_lat: "2.5-4.5 s",
+        claimed_setup: "?",
+        probes: &[
+            (DeploymentKind::Testnet, 1_000.0),
+            (DeploymentKind::Datacenter, 1_000.0),
+            (DeploymentKind::Devnet, 1_000.0),
+        ],
+    },
+    Claim {
+        chain: Chain::Avalanche,
+        claimed_tput: "4.5K TPS",
+        claimed_lat: "2 s",
+        claimed_setup: "?",
+        probes: &[
+            (DeploymentKind::Datacenter, 1_000.0),
+            (DeploymentKind::Datacenter, 10_000.0),
+            (DeploymentKind::Testnet, 1_000.0),
+        ],
+    },
+    Claim {
+        chain: Chain::Solana,
+        claimed_tput: "200K TPS",
+        claimed_lat: "<1 s",
+        claimed_setup: "150 nodes",
+        probes: &[
+            (DeploymentKind::Datacenter, 10_000.0),
+            (DeploymentKind::Datacenter, 1_000.0),
+            (DeploymentKind::Testnet, 1_000.0),
+        ],
+    },
+];
+
+fn best_observed(claim: &Claim) -> (RunResult, DeploymentKind) {
+    let mut best: Option<(RunResult, DeploymentKind)> = None;
+    for &(kind, tps) in claim.probes {
+        let r = run_native(claim.chain, kind, maybe_quick(traces::constant(tps, 120)));
+        let better = match &best {
+            None => true,
+            Some((b, _)) => r.avg_throughput() > b.avg_throughput(),
+        };
+        if better {
+            best = Some((r, kind));
+        }
+    }
+    best.expect("at least one probe")
+}
+
+fn main() {
+    println!("Table 1: claimed vs observed performance (best across configurations)\n");
+    println!(
+        "{:<10} | {:>12} {:>10} {:>9} | {:>10} {:>8} {:>11}",
+        "Blockchain", "claimed tput", "latency", "setup", "observed", "latency", "setup"
+    );
+    println!("{}", "-".repeat(82));
+    for claim in CLAIMS {
+        let (r, kind) = best_observed(claim);
+        println!(
+            "{:<10} | {:>12} {:>10} {:>9} | {:>7.0} TPS {:>6.1} s {:>11}",
+            claim.chain.name(),
+            claim.claimed_tput,
+            claim.claimed_lat,
+            claim.claimed_setup,
+            r.avg_throughput(),
+            r.avg_latency_secs(),
+            kind.name()
+        );
+    }
+    println!();
+    println!(
+        "Paper's observed column: Algorand 885 TPS / 8.5 s (testnet), Avalanche 323 TPS / 49 s \
+         (datacenter), Solana 8845 TPS / 12 s (datacenter)."
+    );
+}

@@ -1,0 +1,86 @@
+//! Table 2: the DApp benchmarks and their real-trace workloads.
+//!
+//! For each of the five DApps, prints the contract, the trace, its
+//! shape figures (duration, peak, mean, total transactions) and an
+//! ASCII rendition of the submitted-transactions-per-second curve that
+//! the paper plots in the table.
+
+use std::fmt::Write as _;
+
+use diablo_contracts::DApp;
+use diablo_workloads::{traces, Workload};
+
+fn sparkline(w: &Workload, width: usize) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let rates = w.rates();
+    if rates.is_empty() {
+        return String::new();
+    }
+    let peak = w.peak_tps().max(1.0);
+    let chunk = rates.len().div_ceil(width);
+    rates
+        .chunks(chunk)
+        .map(|c| {
+            let m = c.iter().copied().fold(0.0, f64::max);
+            let lvl = ((m / peak) * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[lvl.min(LEVELS.len() - 1)]
+        })
+        .collect()
+}
+
+fn main() {
+    println!("Table 2: DApps and their real-trace workloads\n");
+    println!(
+        "{:<13} {:<22} {:<9} {:>5} {:>9} {:>9} {:>10}",
+        "DApp", "Contract", "Trace", "secs", "peak TPS", "mean TPS", "total txs"
+    );
+    println!("{}", "-".repeat(84));
+    for dapp in DApp::ALL {
+        let w = traces::for_dapp(dapp.name()).expect("trace exists");
+        println!(
+            "{:<13} {:<22} {:<9} {:>5} {:>9.0} {:>9.0} {:>10}",
+            dapp.name(),
+            dapp.contract_name(),
+            dapp.workload_name(),
+            w.duration_secs(),
+            w.peak_tps(),
+            w.mean_tps(),
+            w.total_txs()
+        );
+        println!("{:>13} {}", "", sparkline(&w, 60));
+    }
+    // Plot-ready exports of the Table 2 curves.
+    let out = std::path::Path::new("results/traces");
+    if std::fs::create_dir_all(out).is_ok() {
+        for dapp in DApp::ALL {
+            let w = traces::for_dapp(dapp.name()).expect("trace exists");
+            let mut dat = String::from(
+                "# second submitted_tps
+",
+            );
+            for (sec, rate) in w.rates().iter().enumerate() {
+                let _ = writeln!(dat, "{sec} {rate:.1}");
+            }
+            let _ = std::fs::write(out.join(format!("{}.dat", w.name())), dat);
+        }
+        println!("(wrote per-second curves to {})", out.display());
+    }
+
+    println!();
+    println!("Per-stock NASDAQ bursts (used by the availability experiment, Fig. 6):");
+    for w in [
+        traces::google(),
+        traces::amazon(),
+        traces::facebook(),
+        traces::microsoft(),
+        traces::apple(),
+    ] {
+        println!(
+            "  {:<18} peak {:>6.0} TPS, tail {:>3.0} TPS, {} txs",
+            w.name(),
+            w.peak_tps(),
+            w.rate_at(10),
+            w.total_txs()
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Table 3: deployment configurations and the inter-region network.
+//!
+//! Left side: the five configurations (nodes, machine class, regions).
+//! Right side: the bandwidth (upper triangle, Mbps) and round-trip time
+//! (lower triangle, ms) between each pair of regions — re-measured here
+//! through the network model's probe interface, the simulator's
+//! equivalent of the paper's `iperf3` runs on devnet machines.
+
+use diablo_net::{probe_pair, DeploymentConfig, DeploymentKind, NetworkModel, Region};
+use diablo_sim::DetRng;
+
+fn main() {
+    println!("Table 3 (left): deployment configurations\n");
+    println!(
+        "{:<12} {:>6} {:>7} {:>7}  regions",
+        "Configuration", "nodes", "vCPUs", "memory"
+    );
+    println!("{}", "-".repeat(60));
+    for kind in DeploymentKind::ALL {
+        let cfg = DeploymentConfig::standard(kind);
+        let regions = if cfg.is_local() {
+            "Ohio".to_string()
+        } else {
+            "all".to_string()
+        };
+        println!(
+            "{:<12} {:>6} {:>7} {:>4} GiB  {}",
+            kind.name(),
+            cfg.node_count(),
+            cfg.machine().vcpus(),
+            cfg.machine().memory_gib(),
+            regions
+        );
+    }
+
+    println!("\nTable 3 (right): bandwidth (Mbps, upper triangle) / RTT (ms, lower triangle)");
+    println!("re-measured with ping/iperf-style probes against the network model\n");
+    let net = NetworkModel::deterministic();
+    let mut rng = DetRng::new(3);
+    print!("{:<11}", "");
+    for r in Region::ALL {
+        print!("{:>8}", &r.city()[..r.city().len().min(7)]);
+    }
+    println!();
+    for a in Region::ALL {
+        print!("{:<11}", a.city());
+        for b in Region::ALL {
+            if a == b {
+                print!("{:>8}", "-");
+            } else {
+                let probe = probe_pair(&net, &mut rng, a, b);
+                if a.index() < b.index() {
+                    print!("{:>8.1}", probe.bandwidth_mbps);
+                } else {
+                    print!("{:>8.1}", probe.rtt_ms);
+                }
+            }
+        }
+        println!();
+    }
+    println!("\n(probed between machines of the devnet configuration)");
+}

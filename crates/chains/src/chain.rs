@@ -1,0 +1,193 @@
+//! The six blockchains of the paper's Table 4.
+
+use core::fmt;
+
+use diablo_vm::VmFlavor;
+
+/// Consistency property offered by a chain (Table 4's "Prop." column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Property {
+    /// Probabilistic safety (Algorand, Avalanche).
+    Probabilistic,
+    /// Deterministic safety with immediate finality (Diem, Quorum).
+    Deterministic,
+    /// Eventual consistency (Ethereum, Solana) — the "◇" of Table 4.
+    Eventual,
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Property::Probabilistic => "prob.",
+            Property::Deterministic => "det.",
+            Property::Eventual => "eventual",
+        })
+    }
+}
+
+/// One of the six evaluated blockchains, plus the leaderless contrast
+/// system the paper cites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Chain {
+    /// Algorand: proof-of-stake with BA★ committee agreement.
+    Algorand,
+    /// Avalanche (C-Chain): metastable sampling over a DAG, EVM contracts.
+    Avalanche,
+    /// Diem (née Libra): HotStuff-based, MoveVM contracts.
+    Diem,
+    /// Ethereum with the Clique proof-of-authority engine.
+    Ethereum,
+    /// Quorum (ConsenSys/J.P. Morgan) running IBFT.
+    Quorum,
+    /// Solana: proof-of-history slots with TowerBFT.
+    Solana,
+    /// Smart Red Belly Blockchain: *leaderless* deterministic BFT
+    /// (DBFT) with superblocks. Not part of the paper's six — it is the
+    /// contrast system of §6.1/§6.3 ("recent experiments already
+    /// demonstrated that some blockchain could commit all of them in
+    /// the same setting" and "is immune to this problem"), included
+    /// here as an extension.
+    RedBelly,
+}
+
+impl Chain {
+    /// The six chains the paper evaluates, in its presentation order.
+    pub const ALL: [Chain; 6] = [
+        Chain::Algorand,
+        Chain::Avalanche,
+        Chain::Diem,
+        Chain::Ethereum,
+        Chain::Quorum,
+        Chain::Solana,
+    ];
+
+    /// The paper's six plus the leaderless contrast system.
+    pub const EXTENDED: [Chain; 7] = [
+        Chain::Algorand,
+        Chain::Avalanche,
+        Chain::Diem,
+        Chain::Ethereum,
+        Chain::Quorum,
+        Chain::Solana,
+        Chain::RedBelly,
+    ];
+
+    /// The chain's name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Chain::Algorand => "Algorand",
+            Chain::Avalanche => "Avalanche",
+            Chain::Diem => "Diem",
+            Chain::Ethereum => "Ethereum",
+            Chain::Quorum => "Quorum",
+            Chain::Solana => "Solana",
+            Chain::RedBelly => "RedBelly",
+        }
+    }
+
+    /// The consensus protocol name (Table 4).
+    pub const fn consensus_name(self) -> &'static str {
+        match self {
+            Chain::Algorand => "BA*",
+            Chain::Avalanche => "Avalanche",
+            Chain::Diem => "HotStuff",
+            Chain::Ethereum => "Clique",
+            Chain::Quorum => "IBFT",
+            Chain::Solana => "TowerBFT",
+            Chain::RedBelly => "DBFT",
+        }
+    }
+
+    /// The execution engine (Table 4's "VM" column).
+    pub const fn vm_flavor(self) -> VmFlavor {
+        match self {
+            Chain::Algorand => VmFlavor::Avm,
+            Chain::Avalanche | Chain::Ethereum | Chain::Quorum | Chain::RedBelly => VmFlavor::Geth,
+            Chain::Diem => VmFlavor::MoveVm,
+            Chain::Solana => VmFlavor::Ebpf,
+        }
+    }
+
+    /// The consistency property (Table 4's "Prop." column).
+    pub const fn property(self) -> Property {
+        match self {
+            Chain::Algorand | Chain::Avalanche => Property::Probabilistic,
+            Chain::Diem | Chain::Quorum | Chain::RedBelly => Property::Deterministic,
+            Chain::Ethereum | Chain::Solana => Property::Eventual,
+        }
+    }
+
+    /// Whether the chain runs a deterministic *leader-based* BFT
+    /// consensus — the class §6.3 finds most affected by constantly high
+    /// workloads.
+    pub const fn is_leader_based_bft(self) -> bool {
+        matches!(self, Chain::Diem | Chain::Quorum)
+    }
+
+    /// Parses a chain name (case-insensitive), including the extension.
+    pub fn parse(s: &str) -> Option<Chain> {
+        Chain::EXTENDED
+            .iter()
+            .copied()
+            .find(|c| c.name().eq_ignore_ascii_case(s.trim()))
+    }
+}
+
+impl fmt::Display for Chain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_vm_column() {
+        assert_eq!(Chain::Algorand.vm_flavor(), VmFlavor::Avm);
+        assert_eq!(Chain::Avalanche.vm_flavor(), VmFlavor::Geth);
+        assert_eq!(Chain::Diem.vm_flavor(), VmFlavor::MoveVm);
+        assert_eq!(Chain::Ethereum.vm_flavor(), VmFlavor::Geth);
+        assert_eq!(Chain::Quorum.vm_flavor(), VmFlavor::Geth);
+        assert_eq!(Chain::Solana.vm_flavor(), VmFlavor::Ebpf);
+    }
+
+    #[test]
+    fn table4_property_column() {
+        assert_eq!(Chain::Algorand.property(), Property::Probabilistic);
+        assert_eq!(Chain::Diem.property(), Property::Deterministic);
+        assert_eq!(Chain::Ethereum.property(), Property::Eventual);
+        assert_eq!(Chain::Solana.property(), Property::Eventual);
+    }
+
+    #[test]
+    fn leader_based_bft_classification() {
+        // §6.3: "Diem and Quorum are the only blockchains we evaluated
+        // that use a deterministic leader-based BFT consensus".
+        let leader_based: Vec<Chain> = Chain::ALL
+            .iter()
+            .copied()
+            .filter(|c| c.is_leader_based_bft())
+            .collect();
+        assert_eq!(leader_based, vec![Chain::Diem, Chain::Quorum]);
+    }
+
+    #[test]
+    fn redbelly_is_an_extension_not_a_paper_chain() {
+        assert!(!Chain::ALL.contains(&Chain::RedBelly));
+        assert!(Chain::EXTENDED.contains(&Chain::RedBelly));
+        // Leaderless: not in the leader-based BFT class of §6.3.
+        assert!(!Chain::RedBelly.is_leader_based_bft());
+        assert_eq!(Chain::RedBelly.consensus_name(), "DBFT");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for c in Chain::EXTENDED {
+            assert_eq!(Chain::parse(c.name()), Some(c));
+            assert_eq!(Chain::parse(&c.name().to_lowercase()), Some(c));
+        }
+        assert_eq!(Chain::parse("bitcoin"), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! Fault injection.
+//!
+//! The paper's related-work section credits Blockbench with measuring
+//! "the tolerance of faults through injected delays, crashes and message
+//! corruption" (§7); Diablo itself focuses on performance. This module
+//! adds that dimension to the simulated chains: node crashes at chosen
+//! instants and network slowdowns, with the protocol-appropriate
+//! consequences — crashed leaders waste their rounds, and deterministic
+//! BFT chains stop committing entirely once more than `f` nodes are
+//! down, while the probabilistic chains merely slow down.
+
+use diablo_sim::SimTime;
+
+/// A schedule of faults injected into one experiment.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// `(node index, crash instant)` — the node stops participating at
+    /// that instant and never recovers.
+    pub crashes: Vec<(usize, SimTime)>,
+    /// From this instant, all consensus message delays are multiplied
+    /// by the factor (an injected WAN degradation).
+    pub slowdown: Option<(SimTime, f64)>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Crashes `count` nodes (indices `0..count`) at `at`.
+    pub fn crash_nodes(count: usize, at: SimTime) -> Self {
+        FaultPlan {
+            crashes: (0..count).map(|i| (i, at)).collect(),
+            slowdown: None,
+        }
+    }
+
+    /// Multiplies consensus delays by `factor` from `at` on.
+    pub fn slow_network(at: SimTime, factor: f64) -> Self {
+        FaultPlan {
+            crashes: Vec::new(),
+            slowdown: Some((at, factor)),
+        }
+    }
+
+    /// Whether `node` is crashed at `now`.
+    pub fn is_crashed(&self, node: usize, now: SimTime) -> bool {
+        self.crashes.iter().any(|&(n, at)| n == node && now >= at)
+    }
+
+    /// Number of crashed nodes at `now`.
+    pub fn crashed_count(&self, now: SimTime) -> usize {
+        self.crashes.iter().filter(|&&(_, at)| now >= at).count()
+    }
+
+    /// The network delay multiplier at `now` (1.0 when unimpaired).
+    pub fn delay_factor(&self, now: SimTime) -> f64 {
+        match self.slowdown {
+            Some((at, factor)) if now >= at => factor.max(1.0),
+            _ => 1.0,
+        }
+    }
+
+    /// Whether any fault is scheduled at all.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.slowdown.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crashes_activate_at_their_instant() {
+        let plan = FaultPlan::crash_nodes(3, SimTime::from_secs(10));
+        assert!(!plan.is_crashed(0, SimTime::from_secs(9)));
+        assert!(plan.is_crashed(0, SimTime::from_secs(10)));
+        assert!(plan.is_crashed(2, SimTime::from_secs(11)));
+        assert!(!plan.is_crashed(3, SimTime::from_secs(11)));
+        assert_eq!(plan.crashed_count(SimTime::from_secs(5)), 0);
+        assert_eq!(plan.crashed_count(SimTime::from_secs(20)), 3);
+    }
+
+    #[test]
+    fn slowdown_applies_from_its_instant() {
+        let plan = FaultPlan::slow_network(SimTime::from_secs(30), 4.0);
+        assert_eq!(plan.delay_factor(SimTime::from_secs(29)), 1.0);
+        assert_eq!(plan.delay_factor(SimTime::from_secs(30)), 4.0);
+    }
+
+    #[test]
+    fn slowdown_never_speeds_up() {
+        let plan = FaultPlan::slow_network(SimTime::ZERO, 0.1);
+        assert_eq!(plan.delay_factor(SimTime::from_secs(1)), 1.0);
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(!FaultPlan::crash_nodes(1, SimTime::ZERO).is_empty());
+        assert!(!FaultPlan::slow_network(SimTime::ZERO, 2.0).is_empty());
+    }
+}

@@ -1,0 +1,288 @@
+//! The harness boundary between the Diablo framework and a simulated
+//! chain.
+//!
+//! `diablo-core`'s Secondaries plan transactions (presigning, §4); the
+//! harness injects those planned transactions into the chain simulation
+//! and returns one [`TxRecord`] per transaction, in input order. The
+//! higher-level [`crate::Experiment`] driver is a thin wrapper that
+//! plans transactions straight from a workload curve.
+
+use diablo_contracts::DApp;
+use diablo_net::{DeploymentConfig, DeploymentKind, NetworkModel, QuorumModel};
+use diablo_sim::{SimDuration, SimTime, Simulation};
+
+use crate::exec::{ExecMode, ExecutionEngine};
+use crate::faults::FaultPlan;
+use crate::params::ChainParams;
+use crate::records::RunResult;
+use crate::sim::{ChainSim, Ev, TICK_MS};
+use crate::tx::Payload;
+use crate::Chain;
+
+/// One transaction planned by a Diablo Secondary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedTx {
+    /// Scheduled submission instant.
+    pub at: SimTime,
+    /// Signing account.
+    pub sender: u32,
+    /// What the transaction does.
+    pub payload: Payload,
+}
+
+/// Harness construction options.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// RNG seed.
+    pub seed: u64,
+    /// Execution fidelity.
+    pub exec_mode: ExecMode,
+    /// Drain window after the last submission, in seconds.
+    pub grace_secs: u64,
+    /// Parameter overrides; `None` = standard parameters.
+    pub params: Option<ChainParams>,
+    /// Injected faults (crashes, slowdowns).
+    pub faults: FaultPlan,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            seed: 42,
+            exec_mode: ExecMode::Profiled,
+            grace_secs: 60,
+            params: None,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// A chain ready to receive planned transactions.
+#[derive(Debug)]
+pub struct ChainHarness {
+    chain: Chain,
+    params: ChainParams,
+    config: DeploymentConfig,
+    engine: ExecutionEngine,
+    options: HarnessOptions,
+}
+
+impl ChainHarness {
+    /// Builds the harness, deploying `dapp` if given.
+    ///
+    /// Fails with the chain's reason when the DApp cannot run at all —
+    /// unsupported state model or a hard "budget exceeded" (§6.4).
+    pub fn new(
+        chain: Chain,
+        deployment: DeploymentKind,
+        dapp: Option<DApp>,
+        options: HarnessOptions,
+    ) -> Result<Self, String> {
+        Self::with_config(chain, DeploymentConfig::standard(deployment), dapp, options)
+    }
+
+    /// Builds the harness on an explicit deployment (custom setup files).
+    pub fn with_config(
+        chain: Chain,
+        config: DeploymentConfig,
+        dapp: Option<DApp>,
+        options: HarnessOptions,
+    ) -> Result<Self, String> {
+        let params = options
+            .params
+            .clone()
+            .unwrap_or_else(|| ChainParams::standard(chain, &config));
+        let flavor = chain.vm_flavor();
+        let engine = match dapp {
+            None => ExecutionEngine::native(flavor, options.exec_mode),
+            Some(dapp) => {
+                ExecutionEngine::with_dapp(flavor, options.exec_mode, dapp).map_err(|u| u.reason)?
+            }
+        };
+        if let Some(Err(err)) = engine.probe() {
+            if err.is_hard_budget() {
+                return Err(format!("{err}"));
+            }
+        }
+        Ok(ChainHarness {
+            chain,
+            params,
+            config,
+            engine,
+            options,
+        })
+    }
+
+    /// The chain under test.
+    pub fn chain(&self) -> Chain {
+        self.chain
+    }
+
+    /// Number of signing accounts the chain's setup provides (§5.2:
+    /// 2,000 normally, 130 for Diem at scale).
+    pub fn accounts(&self) -> u32 {
+        self.params.accounts
+    }
+
+    /// Runs the submission plan to completion.
+    ///
+    /// `txs` must be sorted by submission time; `workload_secs` is the
+    /// length of the submission window used for throughput reporting.
+    /// Returns one record per planned transaction, in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txs` is not sorted by `at`.
+    pub fn run(self, txs: Vec<PlannedTx>, workload_name: &str, workload_secs: f64) -> RunResult {
+        assert!(
+            txs.windows(2).all(|w| w[0].at <= w[1].at),
+            "plan must be sorted by time"
+        );
+        let last = txs.last().map(|t| t.at).unwrap_or(SimTime::ZERO);
+        let net = NetworkModel::default();
+        let qmodel = QuorumModel::new(&self.config, &net);
+
+        // Bucket the plan into submission ticks.
+        let tick_us = TICK_MS * 1000;
+        let n_ticks = (last.as_micros() / tick_us + 1) as usize;
+        let mut plan: Vec<Vec<PlannedTx>> = vec![Vec::new(); n_ticks];
+        for tx in txs {
+            plan[(tx.at.as_micros() / tick_us) as usize].push(tx);
+        }
+
+        let world = ChainSim::from_plan(
+            self.chain,
+            self.params,
+            &self.config,
+            qmodel,
+            self.engine,
+            plan,
+            self.options.seed,
+            SimTime::from_secs_f64_ceil(workload_secs)
+                + SimDuration::from_secs(self.options.grace_secs),
+        )
+        .with_faults(self.options.faults.clone());
+        let mut sim = Simulation::new(world);
+        let ticks = sim.world().tick_count();
+        for k in 0..ticks {
+            sim.schedule(SimTime::from_millis(k as u64 * TICK_MS), Ev::Tick(k as u32));
+        }
+        sim.schedule(SimTime::ZERO, Ev::Propose);
+        let deadline = sim.world().deadline();
+        sim.run_until(deadline);
+        let world = sim.into_world();
+        let (records, blocks) = world.into_records();
+        RunResult {
+            chain: self.chain,
+            workload: workload_name.to_string(),
+            workload_secs,
+            records,
+            unable_reason: None,
+            blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::TxStatus;
+
+    fn plan_constant(tps: u64, secs: u64) -> Vec<PlannedTx> {
+        let mut txs = Vec::new();
+        for s in 0..secs {
+            for i in 0..tps {
+                txs.push(PlannedTx {
+                    at: SimTime::from_micros(s * 1_000_000 + i * 1_000_000 / tps),
+                    sender: (i % 100) as u32,
+                    payload: Payload::Transfer,
+                });
+            }
+        }
+        txs
+    }
+
+    #[test]
+    fn harness_runs_a_plan() {
+        let h = ChainHarness::new(
+            Chain::Quorum,
+            DeploymentKind::Testnet,
+            None,
+            HarnessOptions::default(),
+        )
+        .unwrap();
+        let plan = plan_constant(100, 20);
+        let n = plan.len() as u64;
+        let r = h.run(plan, "plan-test", 20.0);
+        assert_eq!(r.submitted(), n);
+        assert!(r.commit_ratio() > 0.9, "{}", r.summary());
+    }
+
+    #[test]
+    fn records_follow_input_order() {
+        let h = ChainHarness::new(
+            Chain::Diem,
+            DeploymentKind::Testnet,
+            None,
+            HarnessOptions::default(),
+        )
+        .unwrap();
+        let plan = plan_constant(50, 10);
+        let times: Vec<SimTime> = plan.iter().map(|t| t.at).collect();
+        let r = h.run(plan, "order-test", 10.0);
+        for (rec, t) in r.records.iter().zip(times) {
+            assert_eq!(rec.submitted, t);
+        }
+    }
+
+    #[test]
+    fn unable_dapps_fail_construction() {
+        let err = ChainHarness::new(
+            Chain::Solana,
+            DeploymentKind::Testnet,
+            Some(DApp::Mobility),
+            HarnessOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("budget exceeded"));
+    }
+
+    #[test]
+    fn empty_plan_is_fine() {
+        let h = ChainHarness::new(
+            Chain::Ethereum,
+            DeploymentKind::Testnet,
+            None,
+            HarnessOptions::default(),
+        )
+        .unwrap();
+        let r = h.run(Vec::new(), "empty", 1.0);
+        assert_eq!(r.submitted(), 0);
+        assert_eq!(r.count_status(TxStatus::Committed), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by time")]
+    fn unsorted_plan_panics() {
+        let h = ChainHarness::new(
+            Chain::Quorum,
+            DeploymentKind::Testnet,
+            None,
+            HarnessOptions::default(),
+        )
+        .unwrap();
+        let plan = vec![
+            PlannedTx {
+                at: SimTime::from_secs(2),
+                sender: 0,
+                payload: Payload::Transfer,
+            },
+            PlannedTx {
+                at: SimTime::from_secs(1),
+                sender: 0,
+                payload: Payload::Transfer,
+            },
+        ];
+        let _ = h.run(plan, "bad", 2.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Memory pools and their admission policies.
+//!
+//! The paper attributes several headline behaviours to mempool policy:
+//! Diem accepts at most 100 transactions per sender and drops on
+//! overflow (§5.2), Algorand and Solana drop transactions under bursts
+//! (§6.5), while Quorum's IBFT "was historically designed to never drop
+//! a client request" (§6.5) — an unbounded queue that is precisely why
+//! it collapses under sustained 10,000 TPS (§6.3).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::tx::{TxId, TxMeta};
+
+/// Admission policy of a node's memory pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MempoolPolicy {
+    /// Maximum pool occupancy; `None` = unbounded (Quorum).
+    pub capacity: Option<usize>,
+    /// Maximum in-flight transactions per sender; `None` = unlimited.
+    /// Diem uses `Some(100)`.
+    pub per_sender: Option<u32>,
+}
+
+impl MempoolPolicy {
+    /// Quorum's never-drop policy.
+    pub const UNBOUNDED: MempoolPolicy = MempoolPolicy {
+        capacity: None,
+        per_sender: None,
+    };
+
+    /// A bounded pool without per-sender limits.
+    pub const fn bounded(capacity: usize) -> MempoolPolicy {
+        MempoolPolicy {
+            capacity: Some(capacity),
+            per_sender: None,
+        }
+    }
+}
+
+/// Why a transaction was refused admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// Pool at capacity — the transaction is dropped.
+    PoolFull,
+    /// The sender already has the maximum in-flight transactions.
+    PerSenderLimit,
+}
+
+/// A FIFO memory pool with the policies above.
+#[derive(Debug)]
+pub struct Mempool {
+    policy: MempoolPolicy,
+    queue: VecDeque<TxMeta>,
+    per_sender: HashMap<u32, u32>,
+    admitted_total: u64,
+    dropped_full: u64,
+    dropped_sender: u64,
+}
+
+impl Mempool {
+    /// An empty pool under `policy`.
+    pub fn new(policy: MempoolPolicy) -> Self {
+        Mempool {
+            policy,
+            queue: VecDeque::new(),
+            per_sender: HashMap::new(),
+            admitted_total: 0,
+            dropped_full: 0,
+            dropped_sender: 0,
+        }
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Occupancy as a fraction of capacity (0 for unbounded pools).
+    pub fn fill_ratio(&self) -> f64 {
+        match self.policy.capacity {
+            Some(cap) if cap > 0 => (self.queue.len() as f64 / cap as f64).min(1.0),
+            _ => 0.0,
+        }
+    }
+
+    /// Lifetime admission count.
+    pub fn admitted_total(&self) -> u64 {
+        self.admitted_total
+    }
+
+    /// Lifetime drops due to a full pool.
+    pub fn dropped_full(&self) -> u64 {
+        self.dropped_full
+    }
+
+    /// Lifetime drops due to the per-sender cap.
+    pub fn dropped_sender(&self) -> u64 {
+        self.dropped_sender
+    }
+
+    /// Tries to admit a transaction.
+    pub fn admit(&mut self, tx: TxMeta) -> Result<(), AdmitError> {
+        if let Some(limit) = self.policy.per_sender {
+            if self.per_sender.get(&tx.sender).copied().unwrap_or(0) >= limit {
+                self.dropped_sender += 1;
+                return Err(AdmitError::PerSenderLimit);
+            }
+        }
+        if let Some(cap) = self.policy.capacity {
+            if self.queue.len() >= cap {
+                self.dropped_full += 1;
+                return Err(AdmitError::PoolFull);
+            }
+        }
+        *self.per_sender.entry(tx.sender).or_insert(0) += 1;
+        self.queue.push_back(tx);
+        self.admitted_total += 1;
+        Ok(())
+    }
+
+    /// Pops up to `max` transactions in FIFO order, subject to a
+    /// per-batch byte budget and a predicate (e.g. fee eligibility,
+    /// gossip availability). Transactions failing the predicate are
+    /// *skipped but retained* (they stay pending, preserving FIFO order
+    /// among themselves).
+    pub fn take_batch(
+        &mut self,
+        max: usize,
+        max_bytes: u64,
+        mut eligible: impl FnMut(&TxMeta) -> bool,
+    ) -> Vec<TxMeta> {
+        let mut taken = Vec::new();
+        let mut kept = VecDeque::new();
+        let mut bytes = 0u64;
+        while let Some(tx) = self.queue.pop_front() {
+            if taken.len() >= max || bytes + tx.wire_bytes as u64 > max_bytes {
+                kept.push_back(tx);
+                break;
+            }
+            if eligible(&tx) {
+                bytes += tx.wire_bytes as u64;
+                let count = self
+                    .per_sender
+                    .get_mut(&tx.sender)
+                    .expect("queued tx must have a sender count");
+                *count -= 1;
+                if *count == 0 {
+                    self.per_sender.remove(&tx.sender);
+                }
+                taken.push(tx);
+            } else {
+                kept.push_back(tx);
+            }
+        }
+        // Put back everything we skipped or did not reach, in order.
+        while let Some(tx) = self.queue.pop_front() {
+            kept.push_back(tx);
+        }
+        self.queue = kept;
+        taken
+    }
+
+    /// Removes transactions matching `expired`, returning their ids
+    /// (Solana's 120 s recent-blockhash expiry).
+    pub fn evict_where(&mut self, mut expired: impl FnMut(&TxMeta) -> bool) -> Vec<TxId> {
+        let mut evicted = Vec::new();
+        let mut kept = VecDeque::with_capacity(self.queue.len());
+        while let Some(tx) = self.queue.pop_front() {
+            if expired(&tx) {
+                let count = self
+                    .per_sender
+                    .get_mut(&tx.sender)
+                    .expect("queued tx must have a sender count");
+                *count -= 1;
+                if *count == 0 {
+                    self.per_sender.remove(&tx.sender);
+                }
+                evicted.push(tx.id);
+            } else {
+                kept.push_back(tx);
+            }
+        }
+        self.queue = kept;
+        evicted
+    }
+
+    /// Iterates the queued transactions (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = &TxMeta> {
+        self.queue.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::Payload;
+    use diablo_sim::SimTime;
+
+    fn tx(id: TxId, sender: u32) -> TxMeta {
+        TxMeta {
+            id,
+            sender,
+            payload: Payload::Transfer,
+            submitted: SimTime::from_micros(id as u64),
+            available: SimTime::from_micros(id as u64),
+            wire_bytes: 100,
+            fee_cap_millis: 2000,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut pool = Mempool::new(MempoolPolicy::UNBOUNDED);
+        for i in 0..10 {
+            pool.admit(tx(i, 0)).unwrap();
+        }
+        let batch = pool.take_batch(5, u64::MAX, |_| true);
+        assert_eq!(
+            batch.iter().map(|t| t.id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert_eq!(pool.len(), 5);
+    }
+
+    #[test]
+    fn capacity_drops() {
+        let mut pool = Mempool::new(MempoolPolicy::bounded(3));
+        for i in 0..3 {
+            pool.admit(tx(i, i)).unwrap();
+        }
+        assert_eq!(pool.admit(tx(3, 3)), Err(AdmitError::PoolFull));
+        assert_eq!(pool.dropped_full(), 1);
+        assert_eq!(pool.fill_ratio(), 1.0);
+    }
+
+    #[test]
+    fn per_sender_cap_like_diem() {
+        let policy = MempoolPolicy {
+            capacity: None,
+            per_sender: Some(100),
+        };
+        let mut pool = Mempool::new(policy);
+        for i in 0..100 {
+            pool.admit(tx(i, 7)).unwrap();
+        }
+        assert_eq!(pool.admit(tx(100, 7)), Err(AdmitError::PerSenderLimit));
+        // A different sender is fine.
+        pool.admit(tx(101, 8)).unwrap();
+        assert_eq!(pool.dropped_sender(), 1);
+        // Popping frees the sender's slots.
+        let _ = pool.take_batch(1, u64::MAX, |_| true);
+        pool.admit(tx(102, 7)).unwrap();
+    }
+
+    #[test]
+    fn take_batch_respects_byte_budget() {
+        let mut pool = Mempool::new(MempoolPolicy::UNBOUNDED);
+        for i in 0..10 {
+            pool.admit(tx(i, 0)).unwrap();
+        }
+        let batch = pool.take_batch(100, 250, |_| true);
+        assert_eq!(batch.len(), 2); // 100 bytes each, budget 250
+        assert_eq!(pool.len(), 8);
+    }
+
+    #[test]
+    fn ineligible_txs_are_retained_in_order() {
+        let mut pool = Mempool::new(MempoolPolicy::UNBOUNDED);
+        for i in 0..6 {
+            pool.admit(tx(i, 0)).unwrap();
+        }
+        // Only even ids are eligible.
+        let batch = pool.take_batch(100, u64::MAX, |t| t.id % 2 == 0);
+        assert_eq!(
+            batch.iter().map(|t| t.id).collect::<Vec<_>>(),
+            vec![0, 2, 4]
+        );
+        let rest: Vec<TxId> = pool.iter().map(|t| t.id).collect();
+        assert_eq!(rest, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn evict_where_removes_and_reports() {
+        let mut pool = Mempool::new(MempoolPolicy {
+            capacity: None,
+            per_sender: Some(2),
+        });
+        for i in 0..4 {
+            pool.admit(tx(i, i % 2)).unwrap();
+        }
+        let evicted = pool.evict_where(|t| t.id < 2);
+        assert_eq!(evicted, vec![0, 1]);
+        assert_eq!(pool.len(), 2);
+        // Eviction released one slot per sender (tx 2 and tx 3 remain).
+        pool.admit(tx(10, 0)).unwrap();
+        assert_eq!(pool.admit(tx(11, 0)), Err(AdmitError::PerSenderLimit));
+    }
+
+    #[test]
+    fn unbounded_never_fills() {
+        let mut pool = Mempool::new(MempoolPolicy::UNBOUNDED);
+        for i in 0..10_000 {
+            pool.admit(tx(i, i)).unwrap();
+        }
+        assert_eq!(pool.fill_ratio(), 0.0);
+        assert_eq!(pool.dropped_full(), 0);
+    }
+}

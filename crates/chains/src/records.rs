@@ -1,0 +1,378 @@
+//! Per-transaction records and per-run results.
+//!
+//! The Diablo Secondaries record a submission time and a decision time
+//! for every transaction (§4); everything the paper reports — average
+//! throughput, average latency, commit ratio, latency CDFs — is computed
+//! from these records post-mortem.
+
+use diablo_sim::{Cdf, SimTime, TimeSeries};
+
+use crate::chain::Chain;
+
+/// The fate of one transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxStatus {
+    /// Submitted, not yet decided when the experiment ended.
+    Pending,
+    /// Committed in a final block.
+    Committed,
+    /// Dropped at admission: memory pool at capacity.
+    DroppedPoolFull,
+    /// Dropped at admission: per-sender in-flight limit (Diem).
+    DroppedPerSender,
+    /// Evicted from the pool: recent-blockhash expiry (Solana).
+    DroppedExpired,
+    /// Included in a block but the execution failed (revert, budget).
+    Failed,
+}
+
+/// One transaction's lifecycle timestamps.
+#[derive(Debug, Clone, Copy)]
+pub struct TxRecord {
+    /// Submission instant (client-side clock, §4).
+    pub submitted: SimTime,
+    /// Decision instant — when the polling Secondary saw the
+    /// transaction in a final block.
+    pub decided: Option<SimTime>,
+    /// Final status.
+    pub status: TxStatus,
+}
+
+impl TxRecord {
+    /// A freshly submitted record.
+    pub fn submitted_at(t: SimTime) -> Self {
+        TxRecord {
+            submitted: t,
+            decided: None,
+            status: TxStatus::Pending,
+        }
+    }
+
+    /// Commit latency, if committed.
+    pub fn latency_secs(&self) -> Option<f64> {
+        match (self.status, self.decided) {
+            (TxStatus::Committed, Some(d)) => Some(d.since(self.submitted).as_secs_f64()),
+            _ => None,
+        }
+    }
+}
+
+/// One produced block (including empty slots/periods).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRecord {
+    /// Chain height (1-based).
+    pub height: u64,
+    /// Commit instant.
+    pub committed: SimTime,
+    /// Transactions included.
+    pub txs: u32,
+    /// Payload bytes.
+    pub bytes: u32,
+}
+
+/// The outcome of one chain × workload experiment.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Which chain ran.
+    pub chain: Chain,
+    /// Workload name.
+    pub workload: String,
+    /// Duration of the submission phase, in seconds.
+    pub workload_secs: f64,
+    /// Per-transaction records, in submission order.
+    pub records: Vec<TxRecord>,
+    /// If the chain could not run the DApp at all, the error string
+    /// ("budget exceeded", unsupported state model): the X marks of
+    /// Figure 5 and the missing bars of Figure 2.
+    pub unable_reason: Option<String>,
+    /// Every block the chain produced (empty ones included), in height
+    /// order — the block-explorer view (the paper reads Avalanche's
+    /// block period off snowtrace; this is the equivalent here).
+    pub blocks: Vec<BlockRecord>,
+}
+
+impl RunResult {
+    /// A result marking the chain unable to run the workload's DApp.
+    pub fn unable(chain: Chain, workload: impl Into<String>, secs: f64, reason: String) -> Self {
+        RunResult {
+            chain,
+            workload: workload.into(),
+            workload_secs: secs,
+            records: Vec::new(),
+            unable_reason: Some(reason),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Whether the chain could run the workload at all.
+    pub fn able(&self) -> bool {
+        self.unable_reason.is_none()
+    }
+
+    /// Number of submitted transactions.
+    pub fn submitted(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Number of committed transactions.
+    pub fn committed(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.status == TxStatus::Committed)
+            .count() as u64
+    }
+
+    /// Number of transactions with the given status.
+    pub fn count_status(&self, status: TxStatus) -> u64 {
+        self.records.iter().filter(|r| r.status == status).count() as u64
+    }
+
+    /// Proportion of committed transactions (0 when nothing was
+    /// submitted).
+    pub fn commit_ratio(&self) -> f64 {
+        let n = self.submitted();
+        if n == 0 {
+            0.0
+        } else {
+            self.committed() as f64 / n as f64
+        }
+    }
+
+    /// Average throughput: transactions committed *within* the
+    /// submission window, divided by the window (the paper's
+    /// figure-of-merit; commits during the drain period still count
+    /// toward the commit ratio and the latency CDF, not throughput).
+    pub fn avg_throughput(&self) -> f64 {
+        if self.workload_secs <= 0.0 {
+            return 0.0;
+        }
+        let window = diablo_sim::SimTime::from_secs_f64_ceil(self.workload_secs);
+        let in_window = self
+            .records
+            .iter()
+            .filter(|r| r.status == TxStatus::Committed && r.decided.is_some_and(|d| d <= window))
+            .count();
+        in_window as f64 / self.workload_secs
+    }
+
+    /// Average commit latency over committed transactions, in seconds.
+    pub fn avg_latency_secs(&self) -> f64 {
+        let lats: Vec<f64> = self
+            .records
+            .iter()
+            .filter_map(|r| r.latency_secs())
+            .collect();
+        if lats.is_empty() {
+            0.0
+        } else {
+            lats.iter().sum::<f64>() / lats.len() as f64
+        }
+    }
+
+    /// Median commit latency, in seconds (0 when nothing committed).
+    pub fn median_latency_secs(&self) -> f64 {
+        self.latency_cdf().quantile(0.5).unwrap_or(0.0)
+    }
+
+    /// Maximum commit latency, in seconds.
+    pub fn max_latency_secs(&self) -> f64 {
+        self.records
+            .iter()
+            .filter_map(|r| r.latency_secs())
+            .fold(0.0, f64::max)
+    }
+
+    /// The latency CDF of committed transactions (Figure 6).
+    pub fn latency_cdf(&self) -> Cdf {
+        Cdf::from_samples(
+            self.records
+                .iter()
+                .filter_map(|r| r.latency_secs())
+                .collect(),
+        )
+    }
+
+    /// Committed transactions per second of decision time (throughput
+    /// time series).
+    pub fn commit_series(&self) -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        for r in &self.records {
+            if r.status == TxStatus::Committed {
+                if let Some(d) = r.decided {
+                    ts.record_at(d, 1);
+                }
+            }
+        }
+        ts
+    }
+
+    /// Submitted transactions per second (the Table 2 curves as
+    /// actually generated).
+    pub fn submit_series(&self) -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        for r in &self.records {
+            ts.record_at(r.submitted, 1);
+        }
+        ts
+    }
+
+    /// Peak one-second committed throughput.
+    pub fn peak_throughput(&self) -> u64 {
+        self.commit_series().peak()
+    }
+
+    /// Mean interval between consecutive non-genesis blocks, seconds
+    /// (0 with fewer than two blocks) — the observed block period.
+    pub fn mean_block_interval_secs(&self) -> f64 {
+        if self.blocks.len() < 2 {
+            return 0.0;
+        }
+        let first = self.blocks.first().expect("len >= 2").committed;
+        let last = self.blocks.last().expect("len >= 2").committed;
+        last.since(first).as_secs_f64() / (self.blocks.len() - 1) as f64
+    }
+
+    /// Mean transactions per non-empty block (0 when no block carried
+    /// transactions).
+    pub fn mean_block_fill(&self) -> f64 {
+        let full: Vec<&BlockRecord> = self.blocks.iter().filter(|b| b.txs > 0).collect();
+        if full.is_empty() {
+            return 0.0;
+        }
+        full.iter().map(|b| b.txs as f64).sum::<f64>() / full.len() as f64
+    }
+
+    /// One-line summary in the style of the Diablo primary's output log.
+    pub fn summary(&self) -> String {
+        if let Some(reason) = &self.unable_reason {
+            return format!(
+                "{} / {}: unable to run ({reason})",
+                self.chain, self.workload
+            );
+        }
+        format!(
+            "{} / {}: {} sent, {} committed ({:.1}%), avg throughput {:.1} TPS, \
+             avg latency {:.1}s, median latency {:.1}s",
+            self.chain,
+            self.workload,
+            self.submitted(),
+            self.committed(),
+            self.commit_ratio() * 100.0,
+            self.avg_throughput(),
+            self.avg_latency_secs(),
+            self.median_latency_secs(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diablo_sim::SimDuration;
+
+    fn committed(at_secs: u64, latency_secs: u64) -> TxRecord {
+        let submitted = SimTime::from_secs(at_secs);
+        TxRecord {
+            submitted,
+            decided: Some(submitted + SimDuration::from_secs(latency_secs)),
+            status: TxStatus::Committed,
+        }
+    }
+
+    fn run(records: Vec<TxRecord>) -> RunResult {
+        RunResult {
+            chain: Chain::Quorum,
+            workload: "test".into(),
+            workload_secs: 10.0,
+            records,
+            unable_reason: None,
+            blocks: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn metrics_from_records() {
+        let r = run(vec![
+            committed(0, 2),
+            committed(1, 4),
+            TxRecord::submitted_at(SimTime::from_secs(2)),
+            TxRecord {
+                submitted: SimTime::from_secs(3),
+                decided: None,
+                status: TxStatus::DroppedPoolFull,
+            },
+        ]);
+        assert_eq!(r.submitted(), 4);
+        assert_eq!(r.committed(), 2);
+        assert_eq!(r.commit_ratio(), 0.5);
+        assert_eq!(r.avg_throughput(), 0.2);
+        assert_eq!(r.avg_latency_secs(), 3.0);
+        assert_eq!(r.max_latency_secs(), 4.0);
+        assert_eq!(r.count_status(TxStatus::DroppedPoolFull), 1);
+    }
+
+    #[test]
+    fn cdf_only_counts_commits() {
+        let r = run(vec![
+            committed(0, 1),
+            committed(0, 3),
+            TxRecord::submitted_at(SimTime::ZERO),
+        ]);
+        let cdf = r.latency_cdf();
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.quantile(1.0), Some(3.0));
+    }
+
+    #[test]
+    fn unable_runs_report_reason() {
+        let r = RunResult::unable(Chain::Solana, "uber", 120.0, "budget exceeded".into());
+        assert!(!r.able());
+        assert_eq!(r.avg_throughput(), 0.0);
+        assert!(r.summary().contains("budget exceeded"));
+    }
+
+    #[test]
+    fn series_bucket_by_second() {
+        let r = run(vec![committed(0, 2), committed(0, 2), committed(5, 1)]);
+        let commits = r.commit_series();
+        assert_eq!(commits.get(2), 2);
+        assert_eq!(commits.get(6), 1);
+        let submits = r.submit_series();
+        assert_eq!(submits.get(0), 2);
+        assert_eq!(submits.get(5), 1);
+    }
+
+    #[test]
+    fn block_statistics() {
+        let mut r = run(vec![committed(0, 2)]);
+        r.blocks = vec![
+            BlockRecord {
+                height: 1,
+                committed: SimTime::from_secs(1),
+                txs: 10,
+                bytes: 1500,
+            },
+            BlockRecord {
+                height: 2,
+                committed: SimTime::from_secs(3),
+                txs: 0,
+                bytes: 0,
+            },
+            BlockRecord {
+                height: 3,
+                committed: SimTime::from_secs(5),
+                txs: 30,
+                bytes: 4500,
+            },
+        ];
+        assert!((r.mean_block_interval_secs() - 2.0).abs() < 1e-9);
+        assert!((r.mean_block_fill() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_mentions_key_numbers() {
+        let s = run(vec![committed(0, 2)]).summary();
+        assert!(s.contains("1 committed"));
+        assert!(s.contains("Quorum"));
+    }
+}

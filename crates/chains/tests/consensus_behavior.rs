@@ -1,0 +1,278 @@
+//! Behavioural tests of the per-chain mechanisms, each pinned to the
+//! paper's description of that mechanism.
+
+use diablo_chains::{
+    Chain, ChainParams, ConsensusKind, Experiment, MempoolPolicy, RunResult, TxStatus,
+};
+use diablo_contracts::DApp;
+use diablo_net::{DeploymentConfig, DeploymentKind};
+use diablo_sim::SimDuration;
+use diablo_workloads::traces;
+
+fn run(chain: Chain, kind: DeploymentKind, tps: f64, secs: u64) -> RunResult {
+    Experiment::new(chain, kind, traces::constant(tps, secs)).run()
+}
+
+fn params(chain: Chain, kind: DeploymentKind) -> ChainParams {
+    ChainParams::standard(chain, &DeploymentConfig::standard(kind))
+}
+
+// ---- Solana: confirmations and blockhash expiry (§5.2) ----
+
+#[test]
+fn solana_latency_floor_is_thirty_slots() {
+    let r = run(Chain::Solana, DeploymentKind::Testnet, 50.0, 20);
+    // 30 confirmations × 400 ms slots = 12 s before detection.
+    let min = r
+        .records
+        .iter()
+        .filter_map(|rec| rec.latency_secs())
+        .fold(f64::MAX, f64::min);
+    assert!(min >= 12.0, "fastest commit {min}");
+}
+
+#[test]
+fn solana_expires_stale_blockhashes() {
+    // Give Solana a deep pool so overload queues instead of dropping at
+    // admission; transactions older than 120 s then lose their recent
+    // blockhash and are evicted (§5.2).
+    let mut p = params(Chain::Solana, DeploymentKind::Testnet);
+    p.mempool = MempoolPolicy::bounded(1_000_000);
+    let r = Experiment::new(
+        Chain::Solana,
+        DeploymentKind::Testnet,
+        traces::constant(5_000.0, 150),
+    )
+    .with_params(p)
+    .with_grace(30)
+    .run();
+    assert!(
+        r.count_status(TxStatus::DroppedExpired) > 0,
+        "expected blockhash expiries: {}",
+        r.summary()
+    );
+    // No committed transaction can be older than the expiry window plus
+    // the confirmation pipeline.
+    let max = r.max_latency_secs();
+    assert!(
+        max < 120.0 + 15.0,
+        "latency {max} exceeds expiry + finality"
+    );
+}
+
+// ---- Diem: HotStuff pacemaker (§6.2/§6.6) ----
+
+#[test]
+fn diem_pacemaker_wastes_rounds_on_wan() {
+    // Same offered load; the WAN deployment commits less because phases
+    // exceed the LAN-tuned pacemaker timeout.
+    let lan = run(Chain::Diem, DeploymentKind::Testnet, 800.0, 60);
+    let wan = run(Chain::Diem, DeploymentKind::Devnet, 800.0, 60);
+    assert!(lan.commit_ratio() > 0.99, "{}", lan.summary());
+    assert!(
+        wan.avg_throughput() < lan.avg_throughput() * 0.8,
+        "WAN {} vs LAN {}",
+        wan.summary(),
+        lan.summary()
+    );
+}
+
+#[test]
+fn diem_per_sender_cap_reports_distinct_status() {
+    // Few signers + sustained load ⇒ per-sender refusals, not pool-full.
+    let mut p = params(Chain::Diem, DeploymentKind::Testnet);
+    p.accounts = 2;
+    let r = Experiment::new(
+        Chain::Diem,
+        DeploymentKind::Testnet,
+        traces::constant(5_000.0, 30),
+    )
+    .with_params(p)
+    .run();
+    assert!(
+        r.count_status(TxStatus::DroppedPerSender) > 0,
+        "{}",
+        r.summary()
+    );
+}
+
+// ---- Ethereum: London fees and nonce gaps (§5.2/§6.3) ----
+
+#[test]
+fn ethereum_commits_resume_after_a_burst_fee_spike() {
+    // A burst spikes the base fee; the tail then decays it, and the
+    // burst's leftover transactions commit late — the Figure 6 tail.
+    let r = Experiment::new(
+        Chain::Ethereum,
+        DeploymentKind::Consortium,
+        traces::google(),
+    )
+    .with_dapp(DApp::Exchange)
+    .run();
+    assert!(r.commit_ratio() > 0.97, "{}", r.summary());
+    assert!(
+        r.max_latency_secs() > 30.0,
+        "expected a late tail: {}",
+        r.summary()
+    );
+}
+
+#[test]
+fn ethereum_nonce_gaps_stall_senders_after_drops() {
+    let r = run(Chain::Ethereum, DeploymentKind::Testnet, 10_000.0, 120);
+    let dropped = r.count_status(TxStatus::DroppedPoolFull);
+    let pending = r.count_status(TxStatus::Pending);
+    assert!(dropped > 0, "overload must overflow the pool");
+    assert!(
+        pending > r.committed() * 10,
+        "nonce-stalled transactions pile up as pending: {}",
+        r.summary()
+    );
+}
+
+// ---- Quorum: IBFT never drops; unbounded queue collapses (§6.3/§6.5) ----
+
+#[test]
+fn quorum_never_reports_admission_drops() {
+    let r = run(Chain::Quorum, DeploymentKind::Testnet, 10_000.0, 60);
+    assert_eq!(r.count_status(TxStatus::DroppedPoolFull), 0);
+    assert_eq!(r.count_status(TxStatus::DroppedPerSender), 0);
+    assert_eq!(r.count_status(TxStatus::DroppedExpired), 0);
+}
+
+#[test]
+fn quorum_block_interval_grows_with_backlog() {
+    // Under sustained overload the commit rate decays over the run —
+    // the pool-scan assembly cost at work.
+    let r = run(Chain::Quorum, DeploymentKind::Testnet, 10_000.0, 120);
+    let series = r.commit_series();
+    let early: u64 = (0..30).map(|s| series.get(s)).sum();
+    let late: u64 = (90..120).map(|s| series.get(s)).sum();
+    assert!(
+        late * 2 < early,
+        "commits must decay as the queue grows: early {early}, late {late}"
+    );
+}
+
+// ---- Avalanche: throttled period, adaptive under load (§5.2/§6.2) ----
+
+#[test]
+fn avalanche_throughput_is_load_invariant() {
+    let low = run(Chain::Avalanche, DeploymentKind::Testnet, 1_000.0, 120);
+    let high = run(Chain::Avalanche, DeploymentKind::Testnet, 10_000.0, 120);
+    let ratio = high.avg_throughput() / low.avg_throughput().max(1.0);
+    assert!(
+        (0.8..1.6).contains(&ratio),
+        "throttled chain: ratio {ratio}"
+    );
+}
+
+#[test]
+fn avalanche_gas_limit_caps_transfer_throughput() {
+    // 8M gas / 21k per transfer / 1.18 s loaded period ≈ 322 TPS.
+    let r = run(Chain::Avalanche, DeploymentKind::Testnet, 2_000.0, 120);
+    assert!(r.avg_throughput() < 340.0, "{}", r.summary());
+    assert!(r.avg_throughput() > 200.0, "{}", r.summary());
+}
+
+// ---- Algorand: WAN-insensitive rounds, bounded pool (§5.2/§6.5) ----
+
+#[test]
+fn algorand_drops_bursts_at_the_pool() {
+    let r = Experiment::new(Chain::Algorand, DeploymentKind::Consortium, traces::apple())
+        .with_dapp(DApp::Exchange)
+        .run();
+    assert!(
+        r.count_status(TxStatus::DroppedPoolFull) > 1_000,
+        "{}",
+        r.summary()
+    );
+}
+
+// ---- Block production timing matches the protocol constants ----
+
+#[test]
+fn observed_block_intervals_match_protocol_timing() {
+    // Saturating load so block production runs at its floor; the
+    // observed interval must match the §5.2 timing constants.
+    let interval = |chain| {
+        Experiment::new(
+            chain,
+            DeploymentKind::Testnet,
+            traces::constant(3_000.0, 60),
+        )
+        .run()
+        .mean_block_interval_secs()
+    };
+    let solana = interval(Chain::Solana);
+    assert!((0.38..0.45).contains(&solana), "Solana slots: {solana}");
+    let avalanche = interval(Chain::Avalanche);
+    assert!(
+        (1.1..1.4).contains(&avalanche),
+        "Avalanche period: {avalanche}"
+    );
+    let ethereum = interval(Chain::Ethereum);
+    assert!(
+        (14.0..16.5).contains(&ethereum),
+        "Clique period: {ethereum}"
+    );
+    let algorand = interval(Chain::Algorand);
+    assert!((3.4..4.6).contains(&algorand), "BA rounds: {algorand}");
+}
+
+#[test]
+fn blocks_cover_all_commits() {
+    // Conservation: transactions in blocks == committed + failed.
+    let r = Experiment::new(
+        Chain::Quorum,
+        DeploymentKind::Testnet,
+        traces::constant(500.0, 30),
+    )
+    .run();
+    let in_blocks: u64 = r.blocks.iter().map(|b| b.txs as u64).sum();
+    let decided = r.committed() + r.count_status(TxStatus::Failed);
+    // Blocks committed near the deadline may still await confirmation.
+    assert!(in_blocks >= decided, "{in_blocks} < {decided}");
+    assert!(in_blocks <= r.submitted());
+}
+
+// ---- Ablation plumbing: parameter overrides really apply ----
+
+#[test]
+fn parameter_overrides_change_behaviour() {
+    let mut p = params(Chain::Solana, DeploymentKind::Testnet);
+    p.confirmations = 0;
+    p.mempool = MempoolPolicy::bounded(1_000_000);
+    let fast = Experiment::new(
+        Chain::Solana,
+        DeploymentKind::Testnet,
+        traces::constant(100.0, 20),
+    )
+    .with_params(p)
+    .run();
+    let normal = run(Chain::Solana, DeploymentKind::Testnet, 100.0, 20);
+    assert!(fast.avg_latency_secs() < 2.0, "{}", fast.summary());
+    assert!(normal.avg_latency_secs() > 12.0, "{}", normal.summary());
+}
+
+#[test]
+fn consensus_kind_override_applies() {
+    let mut p = params(Chain::Ethereum, DeploymentKind::Testnet);
+    p.consensus = ConsensusKind::Clique {
+        period: SimDuration::from_secs(1),
+    };
+    let fast = Experiment::new(
+        Chain::Ethereum,
+        DeploymentKind::Testnet,
+        traces::constant(100.0, 30),
+    )
+    .with_params(p)
+    .run();
+    let slow = run(Chain::Ethereum, DeploymentKind::Testnet, 100.0, 30);
+    assert!(
+        fast.avg_throughput() > slow.avg_throughput(),
+        "1 s blocks must outrun 15 s blocks: {} vs {}",
+        fast.summary(),
+        slow.summary()
+    );
+}

@@ -1,0 +1,177 @@
+//! Per-flavor contract builds.
+//!
+//! [`build`] lowers a [`DApp`] for a [`VmFlavor`], yielding either a
+//! deployable [`Contract`] or an [`Unsupported`] explaining why the pair
+//! does not exist — the machine-readable version of the paper's §5.2
+//! notes ("we could not implement the video sharing DApp in Teal…").
+
+use core::fmt;
+
+use diablo_vm::{validate, ContractState, Interpreter, Program, TxContext, VmFlavor};
+
+use crate::{exchange, gaming, mobility, videosharing, webservice, DApp};
+
+/// A DApp lowered for one VM flavor, ready to deploy.
+#[derive(Debug, Clone)]
+pub struct Contract {
+    /// Which DApp this is.
+    pub dapp: DApp,
+    /// The flavor it was lowered for.
+    pub flavor: VmFlavor,
+    /// The executable program.
+    pub program: Program,
+    /// The deploy-time state.
+    pub initial_state: ContractState,
+}
+
+/// Why a DApp cannot be built for a flavor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unsupported {
+    /// The DApp that was requested.
+    pub dapp: DApp,
+    /// The flavor that rejects it.
+    pub flavor: VmFlavor,
+    /// Human-readable explanation (quotes the paper where applicable).
+    pub reason: String,
+}
+
+impl fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cannot be built for {}: {}",
+            self.dapp, self.flavor, self.reason
+        )
+    }
+}
+
+impl std::error::Error for Unsupported {}
+
+/// Lowers `dapp` for `flavor`.
+pub fn build(dapp: DApp, flavor: VmFlavor) -> Result<Contract, Unsupported> {
+    let limits = flavor.state_limits();
+    let (program, initial_state) = match dapp {
+        DApp::Exchange => (exchange::program(), exchange::initial_state(&limits)),
+        DApp::Gaming => (gaming::program(), gaming::initial_state(&limits)),
+        DApp::WebService => (webservice::program(), webservice::initial_state(&limits)),
+        DApp::Mobility => (
+            mobility::program(flavor),
+            mobility::initial_state(flavor, &limits),
+        ),
+        DApp::VideoSharing => {
+            if flavor == VmFlavor::Avm {
+                return Err(Unsupported {
+                    dapp,
+                    flavor,
+                    reason: "video data structures are too large for the AVM state, \
+                             which is limited to a key-value store with 128 bytes per \
+                             key-value pair"
+                        .to_string(),
+                });
+            }
+            (
+                videosharing::program(),
+                videosharing::initial_state(&limits),
+            )
+        }
+    };
+    // Every lowered program must pass static validation: all jumps in
+    // range, every path from every entry terminated.
+    validate(&program).unwrap_or_else(|e| panic!("{dapp}/{flavor} failed validation: {e}"));
+    Ok(Contract {
+        dapp,
+        flavor,
+        program,
+        initial_state,
+    })
+}
+
+impl Contract {
+    /// The entry point a workload transaction of this DApp invokes.
+    pub fn default_entry(&self) -> &'static str {
+        crate::calls::default_entry(self.dapp)
+    }
+
+    /// Dry-runs one representative call and classifies the DApp as
+    /// runnable or not on this flavor. Returns the execution receipt or
+    /// the error (e.g. `BudgetExceeded` for Mobility on AVM/MoveVM/eBPF).
+    pub fn probe(&self) -> Result<diablo_vm::Receipt, diablo_vm::ExecError> {
+        let call = crate::calls::call_for(self.dapp, 0);
+        let ctx = TxContext {
+            caller: 1,
+            args: call.args,
+            payload_bytes: call.payload_bytes,
+            gas_limit: u64::MAX,
+        };
+        Interpreter::new(self.flavor).dry_run(&self.program, call.entry, &ctx, &self.initial_state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_pairs_build_except_youtube_on_avm() {
+        for dapp in DApp::ALL {
+            for flavor in VmFlavor::ALL {
+                let result = build(dapp, flavor);
+                if dapp == DApp::VideoSharing && flavor == VmFlavor::Avm {
+                    let err = result.expect_err("youtube/AVM must be unsupported");
+                    assert!(err.reason.contains("128 bytes"));
+                } else {
+                    result.unwrap_or_else(|e| panic!("{dapp}/{flavor}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_classifies_mobility_like_figure5() {
+        // Fig. 5: geth executes the Mobility DApp; AVM, MoveVM and eBPF
+        // report "budget exceeded".
+        let ok = build(DApp::Mobility, VmFlavor::Geth).unwrap().probe();
+        assert!(ok.is_ok(), "geth must run mobility: {ok:?}");
+        for flavor in [VmFlavor::Avm, VmFlavor::MoveVm, VmFlavor::Ebpf] {
+            let err = build(DApp::Mobility, flavor).unwrap().probe().unwrap_err();
+            assert!(err.is_hard_budget(), "{flavor}: {err}");
+        }
+    }
+
+    #[test]
+    fn every_lowered_program_validates_statically() {
+        for dapp in DApp::ALL {
+            for flavor in VmFlavor::ALL {
+                if let Ok(c) = build(dapp, flavor) {
+                    assert_eq!(validate(&c.program), Ok(()), "{dapp}/{flavor}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disassembly_shows_the_paper_entry_points() {
+        let c = build(DApp::Mobility, VmFlavor::Geth).unwrap();
+        let text = diablo_vm::disassemble(&c.program);
+        assert!(
+            text.contains("checkDistance:"),
+            "{}",
+            &text[..200.min(text.len())]
+        );
+        let c = build(DApp::Exchange, VmFlavor::Geth).unwrap();
+        let text = diablo_vm::disassemble(&c.program);
+        for entry in ["checkStock:", "buyGoogle:", "buyApple:"] {
+            assert!(text.contains(entry));
+        }
+    }
+
+    #[test]
+    fn probe_passes_light_dapps_everywhere() {
+        for dapp in [DApp::Exchange, DApp::Gaming, DApp::WebService] {
+            for flavor in VmFlavor::ALL {
+                let receipt = build(dapp, flavor).unwrap().probe();
+                assert!(receipt.is_ok(), "{dapp}/{flavor}: {receipt:?}");
+            }
+        }
+    }
+}

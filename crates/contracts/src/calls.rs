@@ -1,0 +1,220 @@
+//! Workload call templates.
+//!
+//! Maps a DApp plus a transaction sequence number to the concrete call a
+//! Diablo Secondary issues: entry point, arguments, payload size. The
+//! sequence number deterministically varies arguments (customer
+//! positions for Mobility, stock rotation for the Exchange when no
+//! specific stock stream is requested) so repeated runs are identical.
+
+use diablo_vm::Word;
+
+use crate::exchange::Stock;
+use crate::{mobility, videosharing, DApp};
+
+/// One concrete contract call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSpec {
+    /// Entry point name.
+    pub entry: &'static str,
+    /// Call arguments.
+    pub args: Vec<Word>,
+    /// Opaque payload bytes shipped with the call (video data).
+    pub payload_bytes: u64,
+}
+
+impl CallSpec {
+    /// Approximate wire size of the transaction carrying this call, in
+    /// bytes (signature + header + args + payload).
+    pub fn wire_bytes(&self) -> u64 {
+        // 64-byte signature, ~40-byte header, 8 bytes per argument.
+        112 + 8 * self.args.len() as u64 + self.payload_bytes
+    }
+}
+
+/// The default entry point of a DApp's workload transactions.
+pub fn default_entry(dapp: DApp) -> &'static str {
+    match dapp {
+        DApp::Exchange => Stock::Apple.entry(),
+        DApp::Gaming => "update",
+        DApp::WebService => "add",
+        DApp::Mobility => "checkDistance",
+        DApp::VideoSharing => "upload",
+    }
+}
+
+/// The call issued by the `seq`-th transaction of a DApp workload.
+pub fn call_for(dapp: DApp, seq: u64) -> CallSpec {
+    match dapp {
+        DApp::Exchange => {
+            // Without a per-stock stream, rotate over the GAFAM stocks.
+            let stock = Stock::ALL[(seq % 5) as usize];
+            CallSpec {
+                entry: stock.entry(),
+                args: vec![],
+                payload_bytes: 0,
+            }
+        }
+        DApp::Gaming => {
+            // The paper's workload invokes update(1, 1).
+            CallSpec {
+                entry: "update",
+                args: vec![1, 1],
+                payload_bytes: 0,
+            }
+        }
+        DApp::WebService => CallSpec {
+            entry: "add",
+            args: vec![],
+            payload_bytes: 0,
+        },
+        DApp::Mobility => {
+            // Customers scattered deterministically over the grid.
+            let cx = ((seq.wrapping_mul(48_271)) % mobility::GRID as u64) as Word;
+            let cy = ((seq.wrapping_mul(69_621)) % mobility::GRID as u64) as Word;
+            CallSpec {
+                entry: "checkDistance",
+                args: vec![cx, cy],
+                payload_bytes: 0,
+            }
+        }
+        DApp::VideoSharing => CallSpec {
+            entry: "upload",
+            args: vec![videosharing::VIDEO_BYTES],
+            payload_bytes: videosharing::VIDEO_BYTES as u64,
+        },
+    }
+}
+
+/// The call buying one token of a specific stock (used by the per-stock
+/// NASDAQ burst workloads of Figure 6).
+pub fn exchange_call(stock: Stock) -> CallSpec {
+    CallSpec {
+        entry: stock.entry(),
+        args: vec![],
+        payload_bytes: 0,
+    }
+}
+
+/// The callable entry points of a DApp, in a stable order (indices are
+/// the wire encoding of an explicit function selection).
+pub fn entries(dapp: DApp) -> &'static [&'static str] {
+    match dapp {
+        DApp::Exchange => &[
+            "checkStock",
+            "buyGoogle",
+            "buyApple",
+            "buyFacebook",
+            "buyAmazon",
+            "buyMicrosoft",
+        ],
+        DApp::Gaming => &["update"],
+        DApp::WebService => &["add", "get"],
+        DApp::Mobility => &["checkDistance"],
+        DApp::VideoSharing => &["upload", "owner"],
+    }
+}
+
+/// Resolves a function name to its entry index for a DApp.
+pub fn entry_index(dapp: DApp, function: &str) -> Option<u8> {
+    entries(dapp)
+        .iter()
+        .position(|&e| e == function)
+        .map(|i| i as u8)
+}
+
+/// The call for an explicitly selected entry with explicit arguments
+/// (the benchmark specification's `function: "update(1, 1)"` path).
+pub fn call_for_entry(dapp: DApp, entry: u8, args: &[i64]) -> CallSpec {
+    let name = entries(dapp)
+        .get(entry as usize)
+        .copied()
+        .unwrap_or_else(|| default_entry(dapp));
+    let payload_bytes = if dapp == DApp::VideoSharing && name == "upload" {
+        videosharing::VIDEO_BYTES as u64
+    } else {
+        0
+    };
+    let args = if dapp == DApp::VideoSharing && name == "upload" && args.is_empty() {
+        vec![videosharing::VIDEO_BYTES]
+    } else {
+        args.to_vec()
+    };
+    CallSpec {
+        entry: name,
+        args,
+        payload_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calls_are_deterministic() {
+        for dapp in DApp::ALL {
+            assert_eq!(call_for(dapp, 42), call_for(dapp, 42));
+        }
+    }
+
+    #[test]
+    fn exchange_rotates_stocks() {
+        let entries: Vec<&str> = (0..5).map(|s| call_for(DApp::Exchange, s).entry).collect();
+        let mut unique = entries.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 5);
+    }
+
+    #[test]
+    fn mobility_args_stay_on_grid() {
+        for seq in 0..1000 {
+            let c = call_for(DApp::Mobility, seq);
+            assert_eq!(c.entry, "checkDistance");
+            assert!((0..mobility::GRID).contains(&c.args[0]));
+            assert!((0..mobility::GRID).contains(&c.args[1]));
+        }
+    }
+
+    #[test]
+    fn video_calls_carry_payload() {
+        let c = call_for(DApp::VideoSharing, 0);
+        assert_eq!(c.payload_bytes, videosharing::VIDEO_BYTES as u64);
+        assert!(c.wire_bytes() > 1024);
+    }
+
+    #[test]
+    fn light_calls_are_small_on_the_wire() {
+        let c = call_for(DApp::WebService, 0);
+        assert!(c.wire_bytes() < 200);
+    }
+
+    #[test]
+    fn entry_tables_resolve_every_paper_function() {
+        assert_eq!(entry_index(DApp::Gaming, "update"), Some(0));
+        assert_eq!(entry_index(DApp::Exchange, "buyApple"), Some(2));
+        assert_eq!(entry_index(DApp::Mobility, "checkDistance"), Some(0));
+        assert_eq!(entry_index(DApp::WebService, "add"), Some(0));
+        assert_eq!(entry_index(DApp::VideoSharing, "upload"), Some(0));
+        assert_eq!(entry_index(DApp::Exchange, "sellEverything"), None);
+    }
+
+    #[test]
+    fn call_for_entry_honors_explicit_args() {
+        let c = call_for_entry(DApp::Mobility, 0, &[4000, 7000]);
+        assert_eq!(c.entry, "checkDistance");
+        assert_eq!(c.args, vec![4000, 7000]);
+        // Upload defaults its payload even when the spec passes no args.
+        let u = call_for_entry(DApp::VideoSharing, 0, &[]);
+        assert_eq!(u.payload_bytes, videosharing::VIDEO_BYTES as u64);
+        assert_eq!(u.args, vec![videosharing::VIDEO_BYTES]);
+    }
+
+    #[test]
+    fn gaming_call_matches_paper_spec() {
+        // The paper's workload configuration invokes "update(1, 1)".
+        let c = call_for(DApp::Gaming, 7);
+        assert_eq!(c.entry, "update");
+        assert_eq!(c.args, vec![1, 1]);
+    }
+}

@@ -1,0 +1,233 @@
+//! The Exchange DApp: `ExchangeContractGafam`.
+//!
+//! A decentralized exchange holding one fungible token per GAFAM stock,
+//! each implemented as a single integer counter in limited supply. A
+//! `buy*` call checks availability, decrements the counter and emits an
+//! event; buying from an empty supply reverts (§3, "checks that this
+//! counter is greater than 0").
+
+use diablo_vm::{Asm, ContractState, Op, Program, StateLimits, Word};
+
+/// The five NASDAQ stocks of the GAFAM workload, in the paper's order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stock {
+    /// GOOGL.
+    Google,
+    /// AAPL.
+    Apple,
+    /// FB.
+    Facebook,
+    /// AMZN.
+    Amazon,
+    /// MSFT.
+    Microsoft,
+}
+
+impl Stock {
+    /// All five stocks.
+    pub const ALL: [Stock; 5] = [
+        Stock::Google,
+        Stock::Apple,
+        Stock::Facebook,
+        Stock::Amazon,
+        Stock::Microsoft,
+    ];
+
+    /// Storage key of this stock's supply counter.
+    pub const fn key(self) -> Word {
+        match self {
+            Stock::Google => 0,
+            Stock::Apple => 1,
+            Stock::Facebook => 2,
+            Stock::Amazon => 3,
+            Stock::Microsoft => 4,
+        }
+    }
+
+    /// The contract entry point buying one token of this stock.
+    pub const fn entry(self) -> &'static str {
+        match self {
+            Stock::Google => "buyGoogle",
+            Stock::Apple => "buyApple",
+            Stock::Facebook => "buyFacebook",
+            Stock::Amazon => "buyAmazon",
+            Stock::Microsoft => "buyMicrosoft",
+        }
+    }
+
+    /// The ticker symbol.
+    pub const fn ticker(self) -> &'static str {
+        match self {
+            Stock::Google => "GOOGL",
+            Stock::Apple => "AAPL",
+            Stock::Facebook => "FB",
+            Stock::Amazon => "AMZN",
+            Stock::Microsoft => "MSFT",
+        }
+    }
+}
+
+/// Initial token supply per stock; large enough that realistic workload
+/// runs never deplete it (the paper's experiments measure throughput,
+/// not sell-outs).
+pub const INITIAL_SUPPLY: Word = 10_000_000;
+
+/// Revert code for "out of stock".
+pub const ERR_OUT_OF_STOCK: u16 = 1;
+
+/// Event tag: a successful purchase (args: stock key, remaining supply).
+pub const EV_BOUGHT: u16 = 10;
+
+/// Event tag: a stock level report from `checkStock`.
+pub const EV_STOCK_LEVEL: u16 = 11;
+
+/// Builds the contract program (identical logic on every flavor).
+pub fn program() -> Program {
+    let mut asm = Asm::new();
+
+    // checkStock: emits the level of every stock.
+    asm.entry("checkStock");
+    for stock in Stock::ALL {
+        asm.op(Op::Push(stock.key()))
+            .op(Op::Push(stock.key()))
+            .op(Op::SLoad)
+            .op(Op::Emit {
+                tag: EV_STOCK_LEVEL,
+                arity: 2,
+            });
+    }
+    asm.op(Op::Halt);
+
+    // buy<Stock>: check supply > 0, decrement, emit.
+    for stock in Stock::ALL {
+        asm.entry(stock.entry());
+        let key = stock.key();
+        // supply = storage[key]
+        asm.op(Op::Push(key)).op(Op::SLoad).op(Op::Store(0));
+        // if supply == 0: revert(out of stock)
+        let ok = asm.new_label();
+        asm.op(Op::Load(0));
+        asm.jump_if_not_zero(ok);
+        asm.op(Op::Revert(ERR_OUT_OF_STOCK));
+        asm.bind(ok);
+        // storage[key] = supply - 1
+        asm.op(Op::Push(key))
+            .op(Op::Load(0))
+            .op(Op::Push(1))
+            .op(Op::Sub)
+            .op(Op::SStore);
+        // emit Bought(key, remaining)
+        asm.op(Op::Push(key))
+            .op(Op::Load(0))
+            .op(Op::Push(1))
+            .op(Op::Sub)
+            .op(Op::Emit {
+                tag: EV_BOUGHT,
+                arity: 2,
+            });
+        asm.op(Op::Halt);
+    }
+
+    asm.finish()
+}
+
+/// The deploy-time state: every stock at [`INITIAL_SUPPLY`].
+pub fn initial_state(limits: &StateLimits) -> ContractState {
+    let mut state = ContractState::new();
+    for stock in Stock::ALL {
+        let ok = state.store(stock.key(), INITIAL_SUPPLY, limits);
+        assert!(ok, "exchange state must fit every flavor's limits");
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diablo_vm::{ExecError, Interpreter, TxContext, VmFlavor};
+
+    fn deployed() -> (Program, ContractState) {
+        (program(), initial_state(&StateLimits::unbounded()))
+    }
+
+    #[test]
+    fn buy_decrements_and_emits() {
+        let (p, mut s) = deployed();
+        let vm = Interpreter::new(VmFlavor::Geth);
+        let r = vm
+            .execute(&p, "buyApple", &TxContext::simple(1, vec![]), &mut s)
+            .unwrap();
+        assert_eq!(s.load(Stock::Apple.key()), INITIAL_SUPPLY - 1);
+        assert_eq!(
+            r.events,
+            vec![(EV_BOUGHT, vec![Stock::Apple.key(), INITIAL_SUPPLY - 1])]
+        );
+        // Other stocks untouched.
+        assert_eq!(s.load(Stock::Google.key()), INITIAL_SUPPLY);
+    }
+
+    #[test]
+    fn all_buy_entries_work_on_every_flavor() {
+        for flavor in VmFlavor::ALL {
+            let p = program();
+            let mut s = initial_state(&flavor.state_limits());
+            let vm = Interpreter::new(flavor);
+            for stock in Stock::ALL {
+                vm.execute(&p, stock.entry(), &TxContext::simple(2, vec![]), &mut s)
+                    .unwrap_or_else(|e| panic!("{flavor}/{}: {e}", stock.entry()));
+            }
+            for stock in Stock::ALL {
+                assert_eq!(s.load(stock.key()), INITIAL_SUPPLY - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sold_out_reverts_without_state_change() {
+        let p = program();
+        let mut s = ContractState::new();
+        let lim = StateLimits::unbounded();
+        s.store(Stock::Google.key(), 1, &lim);
+        let vm = Interpreter::new(VmFlavor::Geth);
+        // First buy succeeds and exhausts the supply.
+        vm.execute(&p, "buyGoogle", &TxContext::simple(1, vec![]), &mut s)
+            .unwrap();
+        assert_eq!(s.load(Stock::Google.key()), 0);
+        // Second buy reverts out-of-stock.
+        let err = vm
+            .execute(&p, "buyGoogle", &TxContext::simple(1, vec![]), &mut s)
+            .unwrap_err();
+        assert_eq!(err, ExecError::Reverted(ERR_OUT_OF_STOCK));
+        assert_eq!(s.load(Stock::Google.key()), 0);
+    }
+
+    #[test]
+    fn check_stock_reports_all_levels() {
+        let (p, mut s) = deployed();
+        let vm = Interpreter::new(VmFlavor::Geth);
+        let r = vm
+            .execute(&p, "checkStock", &TxContext::simple(1, vec![]), &mut s)
+            .unwrap();
+        assert_eq!(r.events.len(), 5);
+        for (i, (tag, args)) in r.events.iter().enumerate() {
+            assert_eq!(*tag, EV_STOCK_LEVEL);
+            assert_eq!(args, &vec![Stock::ALL[i].key(), INITIAL_SUPPLY]);
+        }
+    }
+
+    #[test]
+    fn buys_fit_every_hard_budget() {
+        // The exchange DApp must run on all four VMs (it appears on all
+        // chains in Figure 2).
+        for flavor in VmFlavor::ALL {
+            let p = program();
+            let mut s = initial_state(&flavor.state_limits());
+            let r = Interpreter::new(flavor)
+                .execute(&p, "buyMicrosoft", &TxContext::simple(1, vec![]), &mut s)
+                .unwrap();
+            if let Some(budget) = flavor.per_tx_budget() {
+                assert!(r.gas_used <= budget);
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The Gaming DApp: `DecentralizedDota`.
+//!
+//! The `update` function moves the positions of 10 players along the
+//! x-axis and y-axis of a 250×250 map "so that they turn back whenever
+//! they reach the limit of the map" (§3). Turning back is implemented by
+//! reflecting the position off the map boundary, which keeps every
+//! coordinate in `[0, MAP_SIZE]` without persistent direction state.
+
+use diablo_vm::{Asm, ContractState, Op, Program, StateLimits, Word};
+
+/// Number of players moved per update (two teams of five).
+pub const PLAYERS: Word = 10;
+
+/// The map is `MAP_SIZE × MAP_SIZE`.
+pub const MAP_SIZE: Word = 250;
+
+/// Event tag: one player moved (args: player, x, y).
+pub const EV_MOVED: u16 = 20;
+
+/// Storage key of player `i`'s x coordinate.
+pub const fn key_x(player: Word) -> Word {
+    player * 2
+}
+
+/// Storage key of player `i`'s y coordinate.
+pub const fn key_y(player: Word) -> Word {
+    player * 2 + 1
+}
+
+/// Emits code that reflects the value in `local` into `[0, MAP_SIZE]`.
+///
+/// `v < 0 → -v`; `v > MAP_SIZE → 2·MAP_SIZE - v`. A single reflection
+/// suffices because update steps are small compared to the map.
+fn emit_reflect(asm: &mut Asm, local: u8) {
+    // if v < 0 { v = -v }
+    let non_neg = asm.new_label();
+    asm.op(Op::Load(local)).op(Op::Push(0)).op(Op::Lt);
+    asm.jump_if_zero(non_neg);
+    asm.op(Op::Load(local)).op(Op::Neg).op(Op::Store(local));
+    asm.bind(non_neg);
+    // if v > MAP_SIZE { v = 2 * MAP_SIZE - v }
+    let in_range = asm.new_label();
+    asm.op(Op::Load(local)).op(Op::Push(MAP_SIZE)).op(Op::Gt);
+    asm.jump_if_zero(in_range);
+    asm.op(Op::Push(2 * MAP_SIZE))
+        .op(Op::Load(local))
+        .op(Op::Sub)
+        .op(Op::Store(local));
+    asm.bind(in_range);
+}
+
+/// Builds the contract program (identical logic on every flavor).
+///
+/// `update(dx, dy)` moves every player by `(dx, dy)` with reflection at
+/// the boundaries and emits one event per player.
+pub fn program() -> Program {
+    let mut asm = Asm::new();
+    asm.entry("update");
+    // Locals: 0 = dx, 1 = dy, 2 = x, 3 = y.
+    asm.op(Op::Arg(0)).op(Op::Store(0));
+    asm.op(Op::Arg(1)).op(Op::Store(1));
+    for player in 0..PLAYERS {
+        // x = reflect(storage[key_x] + dx)
+        asm.op(Op::Push(key_x(player)))
+            .op(Op::SLoad)
+            .op(Op::Load(0))
+            .op(Op::Add)
+            .op(Op::Store(2));
+        emit_reflect(&mut asm, 2);
+        // y = reflect(storage[key_y] + dy)
+        asm.op(Op::Push(key_y(player)))
+            .op(Op::SLoad)
+            .op(Op::Load(1))
+            .op(Op::Add)
+            .op(Op::Store(3));
+        emit_reflect(&mut asm, 3);
+        // Store back and emit Moved(player, x, y).
+        asm.op(Op::Push(key_x(player)))
+            .op(Op::Load(2))
+            .op(Op::SStore);
+        asm.op(Op::Push(key_y(player)))
+            .op(Op::Load(3))
+            .op(Op::SStore);
+        asm.op(Op::Push(player))
+            .op(Op::Load(2))
+            .op(Op::Load(3))
+            .op(Op::Emit {
+                tag: EV_MOVED,
+                arity: 3,
+            });
+    }
+    asm.op(Op::Halt);
+    asm.finish()
+}
+
+/// Deploy-time state: players scattered over the map.
+pub fn initial_state(limits: &StateLimits) -> ContractState {
+    let mut state = ContractState::new();
+    for player in 0..PLAYERS {
+        let x = (player * 53) % (MAP_SIZE + 1);
+        let y = (player * 97) % (MAP_SIZE + 1);
+        assert!(
+            state.store(key_x(player), x, limits),
+            "gaming state must fit"
+        );
+        assert!(
+            state.store(key_y(player), y, limits),
+            "gaming state must fit"
+        );
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diablo_vm::{Interpreter, TxContext, VmFlavor};
+
+    fn update(s: &mut ContractState, dx: Word, dy: Word) {
+        let p = program();
+        Interpreter::new(VmFlavor::Geth)
+            .execute(&p, "update", &TxContext::simple(1, vec![dx, dy]), s)
+            .unwrap();
+    }
+
+    #[test]
+    fn update_moves_every_player() {
+        let mut s = initial_state(&StateLimits::unbounded());
+        let before: Vec<(Word, Word)> = (0..PLAYERS)
+            .map(|p| (s.load(key_x(p)), s.load(key_y(p))))
+            .collect();
+        update(&mut s, 1, 1);
+        for (p, (bx, by)) in before.iter().enumerate() {
+            let p = p as Word;
+            assert_eq!(s.load(key_x(p)), bx + 1);
+            assert_eq!(s.load(key_y(p)), by + 1);
+        }
+    }
+
+    #[test]
+    fn players_turn_back_at_the_map_limit() {
+        let mut s = ContractState::new();
+        let lim = StateLimits::unbounded();
+        // Put player 0 at the top-right corner; everyone else at origin.
+        s.store(key_x(0), MAP_SIZE, &lim);
+        s.store(key_y(0), MAP_SIZE, &lim);
+        update(&mut s, 10, 3);
+        // Reflected: 250 + 10 → 240; 250 + 3 → 247.
+        assert_eq!(s.load(key_x(0)), MAP_SIZE - 10);
+        assert_eq!(s.load(key_y(0)), MAP_SIZE - 3);
+    }
+
+    #[test]
+    fn players_reflect_off_zero() {
+        let mut s = ContractState::new();
+        update(&mut s, -7, -2);
+        // All players start at 0 in an empty state; -7 reflects to 7.
+        assert_eq!(s.load(key_x(0)), 7);
+        assert_eq!(s.load(key_y(0)), 2);
+    }
+
+    #[test]
+    fn positions_stay_on_the_map_under_many_updates() {
+        let mut s = initial_state(&StateLimits::unbounded());
+        for step in 0..200 {
+            let dx = if step % 2 == 0 { 9 } else { -13 };
+            let dy = if step % 3 == 0 { -11 } else { 7 };
+            update(&mut s, dx, dy);
+            for p in 0..PLAYERS {
+                let x = s.load(key_x(p));
+                let y = s.load(key_y(p));
+                assert!(
+                    (0..=MAP_SIZE).contains(&x),
+                    "x = {x} off map at step {step}"
+                );
+                assert!(
+                    (0..=MAP_SIZE).contains(&y),
+                    "y = {y} off map at step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn emits_one_event_per_player() {
+        let p = program();
+        let mut s = initial_state(&StateLimits::unbounded());
+        let r = Interpreter::new(VmFlavor::Geth)
+            .execute(&p, "update", &TxContext::simple(1, vec![1, 1]), &mut s)
+            .unwrap();
+        assert_eq!(r.events.len(), PLAYERS as usize);
+        assert!(r
+            .events
+            .iter()
+            .all(|(tag, args)| *tag == EV_MOVED && args.len() == 3));
+    }
+
+    #[test]
+    fn runs_within_every_hard_budget() {
+        // The gaming DApp appears for every chain in Figure 2, so it must
+        // fit the AVM 700-op budget, the MoveVM cap and the eBPF cap.
+        for flavor in VmFlavor::ALL {
+            let p = program();
+            let mut s = initial_state(&flavor.state_limits());
+            let r = Interpreter::new(flavor)
+                .execute(&p, "update", &TxContext::simple(1, vec![1, 1]), &mut s)
+                .unwrap_or_else(|e| panic!("{flavor}: {e}"));
+            if let Some(budget) = flavor.per_tx_budget() {
+                assert!(r.gas_used <= budget, "{flavor}: {} > {budget}", r.gas_used);
+            }
+        }
+    }
+}

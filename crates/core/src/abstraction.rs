@@ -1,0 +1,361 @@
+//! The blockchain abstraction of §4.
+//!
+//! Diablo models a blockchain as a tuple ⟨E, R, I⟩: endpoints, resources
+//! (accounts, contract state) and interaction types (`transfer_X`,
+//! `invoke_D_Xs`). Adding a blockchain means implementing four
+//! functions, which become the [`Connector`] trait here:
+//!
+//! 1. `s.create_client(E)` — make a client bound to a set of endpoints,
+//! 2. `create_resource(φʳ)` — provision accounts / deploy contracts,
+//! 3. `encode(φⁱ, r, t)` — turn an interaction into an opaque, presigned
+//!    payload, and
+//! 4. `c.trigger(e)` — schedule the encoded payload for submission.
+//!
+//! The paper's per-chain implementations are 1,000–1,200 lines of Go
+//! each; here each chain's adapter (see [`crate::adapters`]) binds the
+//! same four functions to the simulated networks of `diablo-chains`.
+
+use diablo_chains::{tx::CallSel, Payload, PlannedTx};
+use diablo_contracts::DApp;
+use diablo_sim::SimTime;
+
+/// An interaction as specified by the benchmark (`φⁱ` applied to
+/// concrete resources).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Interaction {
+    /// `transfer_X`: move `amount` coins between pool accounts.
+    Transfer {
+        /// Signing account (index into the declared pool).
+        from: u32,
+        /// Destination account.
+        to: u32,
+        /// Coins moved.
+        amount: u64,
+    },
+    /// `invoke_D_Xs`: call `function(args)` on a deployed DApp.
+    Invoke {
+        /// Signing account.
+        from: u32,
+        /// The contract name as declared in the spec.
+        contract: String,
+        /// Function name.
+        function: String,
+        /// Call arguments.
+        args: Vec<i64>,
+    },
+}
+
+/// An interaction event `(c, i, r, t)`: client, interaction, time.
+/// (The resource is embedded in the interaction.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct InteractionEvent {
+    /// The issuing client (worker thread).
+    pub client: ClientId,
+    /// What to do.
+    pub interaction: Interaction,
+    /// When to submit it.
+    pub at: SimTime,
+}
+
+/// Handle to a client created by [`Connector::create_client`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClientId(pub u32);
+
+/// A resource declaration (`φʳ`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResourceSpec {
+    /// A pool of `number` funded accounts.
+    Accounts {
+        /// Pool size.
+        number: u32,
+    },
+    /// A deployed DApp contract, by spec name (e.g. `dota`).
+    Contract {
+        /// The contract name.
+        name: String,
+    },
+}
+
+/// An encoded, presigned interaction, ready to trigger.
+///
+/// Opaque to the framework: only the adapter that produced it can
+/// interpret it (here it wraps the simulator's planned transaction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Encoded {
+    pub(crate) planned: PlannedTx,
+}
+
+impl Encoded {
+    /// The submission instant baked into the encoding.
+    pub fn at(&self) -> SimTime {
+        self.planned.at
+    }
+}
+
+/// The four-function blockchain abstraction.
+pub trait Connector {
+    /// The adapter/chain name.
+    fn name(&self) -> &str;
+
+    /// Creates a client that submits through the endpoints matching the
+    /// `view` patterns (function 1).
+    fn create_client(&mut self, view: &[String]) -> Result<ClientId, String>;
+
+    /// Provisions a resource: funds accounts or deploys a contract
+    /// (function 2).
+    fn create_resource(&mut self, resource: &ResourceSpec) -> Result<(), String>;
+
+    /// Encodes (presigns) one interaction for submission at `at`
+    /// (function 3).
+    fn encode(&mut self, interaction: &Interaction, at: SimTime) -> Result<Encoded, String>;
+
+    /// Schedules an encoded interaction on a client (function 4).
+    fn trigger(&mut self, client: ClientId, encoded: Encoded) -> Result<(), String>;
+}
+
+/// Connector state shared by all simulated chains: tracks declared
+/// resources and accumulates each client's submission plan.
+#[derive(Debug)]
+pub struct SimConnector {
+    name: String,
+    /// Declared account pool size (0 until created).
+    accounts: u32,
+    /// Deployed contracts by spec name.
+    contracts: Vec<(String, DApp)>,
+    /// Per-client planned submissions.
+    plans: Vec<Vec<PlannedTx>>,
+    /// Global invocation sequence (argument variation).
+    next_seq: u64,
+}
+
+impl SimConnector {
+    /// A connector for the named simulated chain.
+    pub fn new(name: impl Into<String>) -> Self {
+        SimConnector {
+            name: name.into(),
+            accounts: 0,
+            contracts: Vec::new(),
+            plans: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of clients created so far.
+    pub fn client_count(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// The DApp deployed under `name`, if any.
+    pub fn contract(&self, name: &str) -> Option<DApp> {
+        self.contracts
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, d)| d)
+    }
+
+    /// Number of distinct contracts deployed.
+    pub fn contract_count(&self) -> usize {
+        self.contracts.len()
+    }
+
+    /// The single DApp of the benchmark, if exactly one is deployed.
+    pub fn sole_dapp(&self) -> Option<DApp> {
+        match self.contracts.as_slice() {
+            [(_, d)] => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Drains all triggered interactions into one time-sorted plan.
+    pub fn take_plan(&mut self) -> Vec<PlannedTx> {
+        let mut all: Vec<PlannedTx> = self.plans.iter_mut().flat_map(std::mem::take).collect();
+        all.sort_by_key(|t| t.at);
+        all
+    }
+}
+
+impl Connector for SimConnector {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn create_client(&mut self, _view: &[String]) -> Result<ClientId, String> {
+        // Every simulated node serves every view pattern; the pattern
+        // restricts placement, which the simulator derives from the
+        // deployment configuration.
+        self.plans.push(Vec::new());
+        Ok(ClientId(self.plans.len() as u32 - 1))
+    }
+
+    fn create_resource(&mut self, resource: &ResourceSpec) -> Result<(), String> {
+        match resource {
+            ResourceSpec::Accounts { number } => {
+                if *number == 0 {
+                    return Err("account pool must be non-empty".to_string());
+                }
+                self.accounts = self.accounts.max(*number);
+                Ok(())
+            }
+            ResourceSpec::Contract { name } => {
+                let dapp = DApp::parse(name).ok_or_else(|| format!("unknown contract `{name}`"))?;
+                if self.contract(name).is_none() {
+                    self.contracts.push((name.clone(), dapp));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn encode(&mut self, interaction: &Interaction, at: SimTime) -> Result<Encoded, String> {
+        let planned = match interaction {
+            Interaction::Transfer { from, .. } => PlannedTx {
+                at,
+                sender: *from,
+                payload: Payload::Transfer,
+            },
+            Interaction::Invoke {
+                from,
+                contract,
+                function,
+                args,
+            } => {
+                let dapp = self
+                    .contract(contract)
+                    .ok_or_else(|| format!("contract `{contract}` not deployed"))?;
+                // Resolve the spec's function string to an entry index;
+                // an empty function string means the default rotation.
+                let call = if function.is_empty() {
+                    None
+                } else {
+                    let entry =
+                        diablo_contracts::calls::entry_index(dapp, function).ok_or_else(|| {
+                            format!("contract `{contract}` has no function `{function}`")
+                        })?;
+                    if args.len() > 2 {
+                        return Err(format!(
+                            "function `{function}` called with {} arguments (max 2)",
+                            args.len()
+                        ));
+                    }
+                    let mut packed = [0i32; 2];
+                    for (slot, &a) in packed.iter_mut().zip(args.iter()) {
+                        *slot = i32::try_from(a)
+                            .map_err(|_| format!("argument {a} out of range for `{function}`"))?;
+                    }
+                    Some(CallSel {
+                        entry,
+                        args: packed,
+                        argc: args.len() as u8,
+                    })
+                };
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                PlannedTx {
+                    at,
+                    sender: *from,
+                    payload: Payload::Invoke { dapp, seq, call },
+                }
+            }
+        };
+        Ok(Encoded { planned })
+    }
+
+    fn trigger(&mut self, client: ClientId, encoded: Encoded) -> Result<(), String> {
+        let plan = self
+            .plans
+            .get_mut(client.0 as usize)
+            .ok_or_else(|| format!("unknown client {}", client.0))?;
+        plan.push(encoded.planned);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_function_flow() {
+        let mut c = SimConnector::new("quorum");
+        c.create_resource(&ResourceSpec::Accounts { number: 100 })
+            .unwrap();
+        c.create_resource(&ResourceSpec::Contract {
+            name: "dota".into(),
+        })
+        .unwrap();
+        let client = c.create_client(&[".*".to_string()]).unwrap();
+        let i = Interaction::Invoke {
+            from: 3,
+            contract: "dota".into(),
+            function: "update".into(),
+            args: vec![1, 1],
+        };
+        let e = c.encode(&i, SimTime::from_secs(1)).unwrap();
+        assert_eq!(e.at(), SimTime::from_secs(1));
+        c.trigger(client, e).unwrap();
+        let plan = c.take_plan();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].sender, 3);
+        assert!(matches!(
+            plan[0].payload,
+            Payload::Invoke {
+                dapp: DApp::Gaming,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unknown_contract_rejected() {
+        let mut c = SimConnector::new("x");
+        let err = c
+            .create_resource(&ResourceSpec::Contract {
+                name: "ponzi".into(),
+            })
+            .unwrap_err();
+        assert!(err.contains("unknown contract"));
+        let i = Interaction::Invoke {
+            from: 0,
+            contract: "dota".into(),
+            function: "update".into(),
+            args: vec![],
+        };
+        let err = c.encode(&i, SimTime::ZERO).unwrap_err();
+        assert!(err.contains("not deployed"));
+    }
+
+    #[test]
+    fn plan_is_time_sorted_across_clients() {
+        let mut c = SimConnector::new("x");
+        let a = c.create_client(&[]).unwrap();
+        let b = c.create_client(&[]).unwrap();
+        let t = Interaction::Transfer {
+            from: 0,
+            to: 1,
+            amount: 1,
+        };
+        for (client, secs) in [(a, 5), (b, 2), (a, 1), (b, 9)] {
+            let e = c.encode(&t, SimTime::from_secs(secs)).unwrap();
+            c.trigger(client, e).unwrap();
+        }
+        let plan = c.take_plan();
+        let times: Vec<u64> = plan.iter().map(|p| p.at.as_micros() / 1_000_000).collect();
+        assert_eq!(times, vec![1, 2, 5, 9]);
+    }
+
+    #[test]
+    fn trigger_unknown_client_errors() {
+        let mut c = SimConnector::new("x");
+        let e = c
+            .encode(
+                &Interaction::Transfer {
+                    from: 0,
+                    to: 1,
+                    amount: 1,
+                },
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert!(c.trigger(ClientId(7), e).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Result files: the aggregator's JSON output and the artifact's CSV
+//! conversion (§4 and appendix A.3).
+//!
+//! The Primary "outputs a JSON file, indicating the start time and end
+//! time of each transaction", which "can then be used post-mortem to
+//! generate time series and analyze the distribution of latencies". The
+//! artifact additionally converts results to CSV with one line per
+//! transaction (submission time, latency). Both writers live here,
+//! including the small JSON serializer (the workspace carries no JSON
+//! dependency).
+
+use std::fmt::Write as _;
+
+use diablo_chains::{RunResult, TxStatus};
+
+/// Escapes a string for inclusion in JSON.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The status string written to result files.
+pub fn status_name(status: TxStatus) -> &'static str {
+    match status {
+        TxStatus::Pending => "pending",
+        TxStatus::Committed => "committed",
+        TxStatus::DroppedPoolFull => "dropped-pool-full",
+        TxStatus::DroppedPerSender => "dropped-per-sender",
+        TxStatus::DroppedExpired => "dropped-expired",
+        TxStatus::Failed => "aborted",
+    }
+}
+
+/// Serializes a run to the Diablo results JSON.
+///
+/// Schema: `{"chain", "workload", "duration", "stats": {...}, "txs":
+/// [[submit_secs, decide_secs | null, "status"], ...]}`.
+pub fn results_json(result: &RunResult) -> String {
+    let mut out = String::with_capacity(64 + result.records.len() * 32);
+    out.push('{');
+    let _ = write!(
+        out,
+        "\"chain\":\"{}\",\"workload\":\"{}\",\"duration\":{:.3},",
+        json_escape(result.chain.name()),
+        json_escape(&result.workload),
+        result.workload_secs
+    );
+    if let Some(reason) = &result.unable_reason {
+        let _ = write!(out, "\"unable\":\"{}\",", json_escape(reason));
+    }
+    let _ = write!(
+        out,
+        "\"stats\":{{\"sent\":{},\"committed\":{},\"commitRatio\":{:.6},\
+         \"avgThroughput\":{:.3},\"avgLatency\":{:.3},\"medianLatency\":{:.3},\
+         \"maxLatency\":{:.3}}},",
+        result.submitted(),
+        result.committed(),
+        result.commit_ratio(),
+        result.avg_throughput(),
+        result.avg_latency_secs(),
+        result.median_latency_secs(),
+        result.max_latency_secs()
+    );
+    out.push_str("\"txs\":[");
+    for (i, rec) in result.records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{:.6},", rec.submitted.as_secs_f64());
+        match rec.decided {
+            Some(d) => {
+                let _ = write!(out, "{:.6},", d.as_secs_f64());
+            }
+            None => out.push_str("null,"),
+        }
+        let _ = write!(out, "\"{}\"]", status_name(rec.status));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Converts a run to the artifact's CSV format: one line per
+/// transaction with the submission time (seconds) and the commit
+/// latency (seconds; empty when not committed), ordered by submission —
+/// "the latencies are expressed in seconds and follow the transaction
+/// submission times" (appendix A.3).
+pub fn results_csv(result: &RunResult) -> String {
+    let mut out = String::from("submit,latency,status\n");
+    for rec in &result.records {
+        match rec.latency_secs() {
+            Some(lat) => {
+                let _ = writeln!(
+                    out,
+                    "{:.2},{:.2},{}",
+                    rec.submitted.as_secs_f64(),
+                    lat,
+                    status_name(rec.status)
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{:.2},,{}",
+                    rec.submitted.as_secs_f64(),
+                    status_name(rec.status)
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diablo_chains::{Chain, TxRecord};
+    use diablo_sim::{SimDuration, SimTime};
+
+    fn sample() -> RunResult {
+        let t0 = SimTime::from_millis(100);
+        RunResult {
+            chain: Chain::Algorand,
+            workload: "native-10".into(),
+            workload_secs: 30.0,
+            records: vec![
+                TxRecord {
+                    submitted: t0,
+                    decided: Some(t0 + SimDuration::from_millis(530)),
+                    status: TxStatus::Committed,
+                },
+                TxRecord {
+                    submitted: SimTime::from_secs(1),
+                    decided: None,
+                    status: TxStatus::Pending,
+                },
+            ],
+            unable_reason: None,
+            blocks: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn json_contains_stats_and_txs() {
+        let json = results_json(&sample());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"chain\":\"Algorand\""));
+        assert!(json.contains("\"sent\":2"));
+        assert!(json.contains("\"committed\":1"));
+        assert!(json.contains("[0.100000,0.630000,\"committed\"]"), "{json}");
+        assert!(json.contains("null,\"pending\""));
+    }
+
+    #[test]
+    fn csv_matches_artifact_example_shape() {
+        // The screencast example: "the first submitted transaction for
+        // Algorand at time 0.10 second took 0.53 seconds to commit".
+        let csv = results_csv(&sample());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("submit,latency,status"));
+        assert_eq!(lines.next(), Some("0.10,0.53,committed"));
+        assert_eq!(lines.next(), Some("1.00,,pending"));
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn unable_runs_serialize_reason() {
+        let r = RunResult::unable(Chain::Solana, "uber", 120.0, "budget exceeded".into());
+        let json = results_json(&r);
+        assert!(json.contains("\"unable\":\"budget exceeded\""));
+        assert!(json.contains("\"txs\":[]"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Benchmark reports: the aggregation the Primary performs (§4).
+
+use diablo_chains::{RunResult, TxStatus};
+
+/// The aggregated outcome of one benchmark run.
+#[derive(Debug)]
+pub struct Report {
+    /// The underlying per-transaction results.
+    pub result: RunResult,
+    /// How many Secondaries produced the load.
+    pub secondaries: usize,
+    /// How many clients (worker threads) were emulated.
+    pub clients: u32,
+}
+
+impl Report {
+    /// Whether the chain could run the benchmark at all.
+    pub fn able(&self) -> bool {
+        self.result.able()
+    }
+
+    /// The statistics block the Diablo primary prints to standard
+    /// output (`--stat`), in the style of the paper's artifact appendix:
+    /// transactions sent / committed / aborted / pending, average load,
+    /// average throughput, average and median latency.
+    pub fn stats_text(&self) -> String {
+        if let Some(reason) = &self.result.unable_reason {
+            return format!(
+                "benchmark {} on {}: unable to run ({reason})\n",
+                self.result.workload, self.result.chain
+            );
+        }
+        let r = &self.result;
+        let sent = r.submitted();
+        let committed = r.committed();
+        let dropped = r.count_status(TxStatus::DroppedPoolFull)
+            + r.count_status(TxStatus::DroppedPerSender)
+            + r.count_status(TxStatus::DroppedExpired);
+        let failed = r.count_status(TxStatus::Failed);
+        let pending = r.count_status(TxStatus::Pending);
+        let avg_load = sent as f64 / r.workload_secs.max(1e-9);
+        format!(
+            "benchmark {} on {} ({} secondaries, {} clients)\n\
+             {sent} transactions sent, {committed} committed, {dropped} dropped, \
+             {failed} aborted, {pending} pending\n\
+             average load: {avg_load:.1} tx/s\n\
+             average throughput: {:.1} tx/s\n\
+             average latency: {:.1} s, median latency: {:.1} s\n",
+            r.workload,
+            r.chain,
+            self.secondaries,
+            self.clients,
+            r.avg_throughput(),
+            r.avg_latency_secs(),
+            r.median_latency_secs(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diablo_chains::{Chain, TxRecord};
+    use diablo_sim::{SimDuration, SimTime};
+
+    fn report() -> Report {
+        let submitted = SimTime::from_secs(1);
+        let records = vec![
+            TxRecord {
+                submitted,
+                decided: Some(submitted + SimDuration::from_secs(3)),
+                status: TxStatus::Committed,
+            },
+            TxRecord {
+                submitted,
+                decided: None,
+                status: TxStatus::Pending,
+            },
+            TxRecord {
+                submitted,
+                decided: None,
+                status: TxStatus::DroppedPoolFull,
+            },
+        ];
+        Report {
+            result: RunResult {
+                chain: Chain::Algorand,
+                workload: "native-10".into(),
+                workload_secs: 30.0,
+                records,
+                unable_reason: None,
+                blocks: Vec::new(),
+            },
+            secondaries: 2,
+            clients: 4,
+        }
+    }
+
+    #[test]
+    fn stats_text_mentions_all_counters() {
+        let text = report().stats_text();
+        assert!(text.contains("3 transactions sent"), "{text}");
+        assert!(text.contains("1 committed"), "{text}");
+        assert!(text.contains("1 dropped"), "{text}");
+        assert!(text.contains("1 pending"), "{text}");
+        assert!(text.contains("2 secondaries"), "{text}");
+        assert!(text.contains("Algorand"), "{text}");
+    }
+
+    #[test]
+    fn unable_reports_reason() {
+        let r = Report {
+            result: RunResult::unable(Chain::Solana, "uber", 120.0, "budget exceeded".into()),
+            secondaries: 1,
+            clients: 1,
+        };
+        assert!(!r.able());
+        assert!(r.stats_text().contains("budget exceeded"));
+    }
+}

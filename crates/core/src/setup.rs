@@ -1,0 +1,168 @@
+//! The blockchain setup file.
+//!
+//! The paper's primary takes two configuration files: the workload
+//! specification and a *blockchain setup* file describing the deployed
+//! network — "the blockchain configuration file is necessary to
+//! generate the workload appropriately because the transaction
+//! distribution depends on the number and locations of the deployed
+//! blockchain nodes" (§4). This module parses that file:
+//!
+//! ```yaml
+//! interface: quorum
+//! nodes:
+//!   - { region: "us-east-2", machine: "c5.2xlarge", count: 20 }
+//!   - { region: "eu-north-1", machine: "c5.2xlarge", count: 20 }
+//! ```
+//!
+//! or, shorthand, one of the paper's five standard configurations:
+//!
+//! ```yaml
+//! interface: quorum
+//! deployment: consortium
+//! ```
+
+use diablo_chains::Chain;
+use diablo_net::{DeploymentConfig, DeploymentKind, InstanceType, NodeSite, Region};
+
+use crate::spec::SpecError;
+use crate::yaml::{self, Value};
+
+/// A parsed blockchain setup.
+#[derive(Debug, Clone)]
+pub struct Setup {
+    /// The chain under test.
+    pub chain: Chain,
+    /// Where its nodes run.
+    pub config: DeploymentConfig,
+}
+
+fn err(msg: impl Into<String>) -> SpecError {
+    SpecError(msg.into())
+}
+
+/// Parses an instance-type name (`c5.xlarge`, `c5.2xlarge`, `c5.9xlarge`).
+fn parse_instance(name: &str) -> Result<InstanceType, SpecError> {
+    match name.trim() {
+        "c5.xlarge" => Ok(InstanceType::C5Xlarge),
+        "c5.2xlarge" => Ok(InstanceType::C52xlarge),
+        "c5.9xlarge" => Ok(InstanceType::C59xlarge),
+        other => Err(err(format!("unknown machine type `{other}`"))),
+    }
+}
+
+impl Setup {
+    /// Parses a setup file.
+    pub fn parse(text: &str) -> Result<Setup, SpecError> {
+        let root = yaml::parse(text).map_err(SpecError::from)?;
+        let chain_name = root
+            .get("interface")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("setup needs an `interface` (chain name)"))?;
+        let chain = Chain::parse(chain_name)
+            .ok_or_else(|| err(format!("unknown blockchain interface `{chain_name}`")))?;
+
+        if let Some(kind) = root.get("deployment") {
+            let name = kind
+                .as_str()
+                .ok_or_else(|| err("`deployment` must be a name"))?;
+            let kind = DeploymentKind::parse(name)
+                .ok_or_else(|| err(format!("unknown deployment `{name}`")))?;
+            return Ok(Setup {
+                chain,
+                config: DeploymentConfig::standard(kind),
+            });
+        }
+
+        let nodes = root
+            .get("nodes")
+            .ok_or_else(|| err("setup needs `nodes` or a `deployment` shorthand"))?
+            .as_list()
+            .ok_or_else(|| err("`nodes` must be a list"))?;
+        let mut sites = Vec::new();
+        for node in nodes {
+            let region_name = node
+                .get("region")
+                .and_then(Value::as_str)
+                .ok_or_else(|| err("node entry needs a `region`"))?;
+            let region = Region::parse(region_name)
+                .ok_or_else(|| err(format!("unknown region `{region_name}`")))?;
+            let machine = parse_instance(
+                node.get("machine")
+                    .and_then(Value::as_str)
+                    .unwrap_or("c5.xlarge"),
+            )?;
+            let count = node.get("count").and_then(Value::as_u64).unwrap_or(1) as usize;
+            if count == 0 {
+                return Err(err("node `count` must be positive"));
+            }
+            for _ in 0..count {
+                sites.push(NodeSite {
+                    region,
+                    machine: diablo_net::MachineSpec::new(machine),
+                });
+            }
+        }
+        if sites.is_empty() {
+            return Err(err("setup deploys no nodes"));
+        }
+        let config = DeploymentConfig::from_sites(DeploymentKind::Devnet, sites);
+        Ok(Setup { chain, config })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_shorthand() {
+        let s = Setup::parse("interface: quorum\ndeployment: consortium\n").unwrap();
+        assert_eq!(s.chain, Chain::Quorum);
+        assert_eq!(s.config.node_count(), 200);
+        assert_eq!(s.config.machine().vcpus(), 8);
+    }
+
+    #[test]
+    fn explicit_node_list() {
+        let text = r#"
+interface: solana
+nodes:
+  - { region: "us-east-2", machine: "c5.9xlarge", count: 3 }
+  - { region: "eu-north-1", machine: "c5.9xlarge", count: 2 }
+  - { region: "Tokyo", count: 1 }
+"#;
+        let s = Setup::parse(text).unwrap();
+        assert_eq!(s.chain, Chain::Solana);
+        assert_eq!(s.config.node_count(), 6);
+        assert_eq!(s.config.region_count(), 3);
+        assert_eq!(s.config.sites()[0].region, Region::Ohio);
+        assert_eq!(s.config.sites()[5].machine.vcpus(), 4); // default c5.xlarge
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert!(Setup::parse("nodes: []\n")
+            .unwrap_err()
+            .0
+            .contains("interface"));
+        assert!(Setup::parse("interface: bitcoin\n")
+            .unwrap_err()
+            .0
+            .contains("unknown blockchain"));
+        assert!(Setup::parse("interface: diem\n")
+            .unwrap_err()
+            .0
+            .contains("nodes"));
+        let bad_region = "interface: diem\nnodes:\n  - { region: \"mars-west-1\" }\n";
+        assert!(Setup::parse(bad_region)
+            .unwrap_err()
+            .0
+            .contains("unknown region"));
+        let bad_machine =
+            "interface: diem\nnodes:\n  - { region: \"us-east-2\", machine: \"m5.large\" }\n";
+        assert!(Setup::parse(bad_machine)
+            .unwrap_err()
+            .0
+            .contains("unknown machine"));
+    }
+}

@@ -1,0 +1,493 @@
+//! The Diablo benchmark specification (§4, "Workload specification").
+//!
+//! A benchmark configuration declares *resources* (accounts, contracts),
+//! *clients* (how many, where, which endpoints they see) and *behaviors*
+//! (which interaction each client issues, at which rate over time). The
+//! on-disk format is the paper's YAML dialect; [`BenchmarkSpec::parse`]
+//! resolves it into typed form.
+
+use std::fmt;
+
+use diablo_workloads::Workload;
+
+use crate::yaml::{self, Value};
+
+/// A parsed benchmark specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkSpec {
+    /// The workload groups (the `workloads:` list).
+    pub workloads: Vec<WorkloadGroup>,
+}
+
+/// One entry of the `workloads:` list: `number` identical clients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadGroup {
+    /// Number of clients (worker threads) with this behavior.
+    pub number: u32,
+    /// Location patterns restricting where the clients run
+    /// (AWS zone tags, e.g. `us-east-2`; empty = anywhere).
+    pub location: Vec<String>,
+    /// Endpoint patterns the clients may submit to (regex-ish strings;
+    /// `.*` = all nodes).
+    pub view: Vec<String>,
+    /// The behaviors each client executes.
+    pub behaviors: Vec<Behavior>,
+}
+
+/// One `interaction` + `load` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Behavior {
+    /// What each transaction does.
+    pub interaction: InteractionSpec,
+    /// Piecewise-constant load `(start_second, tps)`, terminated by a
+    /// breakpoint with rate 0 that marks the end of the behavior.
+    pub load: Vec<(u64, f64)>,
+}
+
+/// The interaction a behavior issues (the paper's `transfer_X` and
+/// `invoke_D_Xs` interaction types).
+#[derive(Debug, Clone, PartialEq)]
+pub enum InteractionSpec {
+    /// Native transfers between accounts of the declared pool.
+    Transfer {
+        /// Size of the signing account pool.
+        accounts: u32,
+        /// Coins moved per transfer.
+        amount: u64,
+    },
+    /// DApp invocations.
+    Invoke {
+        /// Size of the signing account pool.
+        accounts: u32,
+        /// The contract name (a DApp name, e.g. `dota`).
+        contract: String,
+        /// Function name parsed from `"update(1, 1)"`.
+        function: String,
+        /// Literal arguments parsed from the call string.
+        args: Vec<i64>,
+    },
+}
+
+/// A specification error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "benchmark specification: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<yaml::ParseError> for SpecError {
+    fn from(e: yaml::ParseError) -> Self {
+        SpecError(format!("{e}"))
+    }
+}
+
+fn err(msg: impl Into<String>) -> SpecError {
+    SpecError(msg.into())
+}
+
+impl BenchmarkSpec {
+    /// Parses a benchmark configuration file.
+    pub fn parse(text: &str) -> Result<BenchmarkSpec, SpecError> {
+        let root = yaml::parse(text)?;
+        let workloads = root
+            .get("workloads")
+            .ok_or_else(|| err("missing `workloads` section"))?
+            .as_list()
+            .ok_or_else(|| err("`workloads` must be a list"))?;
+        let workloads = workloads
+            .iter()
+            .map(parse_group)
+            .collect::<Result<Vec<_>, _>>()?;
+        if workloads.is_empty() {
+            return Err(err("`workloads` is empty"));
+        }
+        Ok(BenchmarkSpec { workloads })
+    }
+
+    /// Total number of clients across all groups.
+    pub fn client_count(&self) -> u32 {
+        self.workloads.iter().map(|w| w.number).sum()
+    }
+
+    /// The experiment duration: the latest load end over all behaviors.
+    pub fn duration_secs(&self) -> u64 {
+        self.workloads
+            .iter()
+            .flat_map(|w| &w.behaviors)
+            .filter_map(|b| b.load.last().map(|&(t, _)| t))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Expected total submitted transactions across all clients.
+    pub fn total_txs(&self) -> u64 {
+        self.workloads
+            .iter()
+            .flat_map(|w| w.behaviors.iter().map(move |b| (w.number, b)))
+            .map(|(n, b)| n as u64 * b.to_workload("").total_txs())
+            .sum()
+    }
+}
+
+impl Behavior {
+    /// Converts the load curve into a per-client workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the load list is malformed (validated at parse time).
+    pub fn to_workload(&self, name: &str) -> Workload {
+        let (end, _) = *self.load.last().expect("validated non-empty");
+        let points = self.load[..self.load.len() - 1].to_vec();
+        Workload::piecewise(name, &points, end)
+    }
+}
+
+fn parse_group(v: &Value) -> Result<WorkloadGroup, SpecError> {
+    let number = v
+        .get("number")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| err("workload needs a `number` of clients"))? as u32;
+    if number == 0 {
+        return Err(err("workload `number` must be positive"));
+    }
+    let client = v
+        .get("client")
+        .ok_or_else(|| err("workload needs a `client` section"))?;
+    let location = parse_sample_strings(client.get("location"), "location")?;
+    let view = parse_sample_strings(client.get("view"), "endpoint")?;
+    let behaviors = client
+        .get("behavior")
+        .ok_or_else(|| err("client needs a `behavior` list"))?
+        .as_list()
+        .ok_or_else(|| err("`behavior` must be a list"))?
+        .iter()
+        .map(parse_behavior)
+        .collect::<Result<Vec<_>, _>>()?;
+    if behaviors.is_empty() {
+        return Err(err("`behavior` is empty"));
+    }
+    Ok(WorkloadGroup {
+        number,
+        location,
+        view,
+        behaviors,
+    })
+}
+
+/// Parses `{ sample: !location [ "us-east-2" ] }`-style declarations.
+fn parse_sample_strings(v: Option<&Value>, expected_tag: &str) -> Result<Vec<String>, SpecError> {
+    let Some(v) = v else { return Ok(Vec::new()) };
+    let sample = v.get("sample").unwrap_or(v);
+    let (tag, inner) = sample
+        .tagged()
+        .ok_or_else(|| err(format!("expected a !{expected_tag} sample")))?;
+    if tag != expected_tag {
+        return Err(err(format!("expected tag !{expected_tag}, found !{tag}")));
+    }
+    let items = inner
+        .as_list()
+        .ok_or_else(|| err(format!("!{expected_tag} takes a list")))?;
+    items
+        .iter()
+        .map(|i| {
+            i.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| err("sample items must be strings"))
+        })
+        .collect()
+}
+
+/// Parses an `!account { number: N }` sample into the pool size.
+fn parse_accounts(v: Option<&Value>) -> Result<u32, SpecError> {
+    let Some(v) = v else {
+        return Ok(crate::DEFAULT_ACCOUNTS);
+    };
+    let sample = v.get("sample").unwrap_or(v);
+    let (tag, inner) = sample
+        .tagged()
+        .ok_or_else(|| err("expected an !account sample"))?;
+    if tag != "account" {
+        return Err(err(format!("expected tag !account, found !{tag}")));
+    }
+    inner
+        .get("number")
+        .and_then(Value::as_u64)
+        .map(|n| n as u32)
+        .ok_or_else(|| err("!account needs a `number`"))
+}
+
+/// Parses a `!contract { name: "dota" }` sample into the contract name.
+fn parse_contract(v: Option<&Value>) -> Result<String, SpecError> {
+    let v = v.ok_or_else(|| err("!invoke needs a `contract`"))?;
+    let sample = v.get("sample").unwrap_or(v);
+    let (tag, inner) = sample
+        .tagged()
+        .ok_or_else(|| err("expected a !contract sample"))?;
+    if tag != "contract" {
+        return Err(err(format!("expected tag !contract, found !{tag}")));
+    }
+    inner
+        .get("name")
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| err("!contract needs a `name`"))
+}
+
+fn parse_behavior(v: &Value) -> Result<Behavior, SpecError> {
+    let (tag, inner) = v
+        .get("interaction")
+        .ok_or_else(|| err("behavior needs an `interaction`"))?
+        .tagged()
+        .ok_or_else(|| err("interaction must be tagged (!invoke or !transfer)"))?;
+    let interaction = match tag {
+        "invoke" => {
+            let accounts = parse_accounts(inner.get("from"))?;
+            let contract = parse_contract(inner.get("contract"))?;
+            let call = inner
+                .get("function")
+                .and_then(Value::as_str)
+                .ok_or_else(|| err("!invoke needs a `function`"))?;
+            let (function, args) = parse_call(call)?;
+            InteractionSpec::Invoke {
+                accounts,
+                contract,
+                function,
+                args,
+            }
+        }
+        "transfer" => {
+            let accounts = parse_accounts(inner.get("from"))?;
+            let amount = inner.get("amount").and_then(Value::as_u64).unwrap_or(1);
+            InteractionSpec::Transfer { accounts, amount }
+        }
+        other => return Err(err(format!("unknown interaction type !{other}"))),
+    };
+    let load_map = v
+        .get("load")
+        .ok_or_else(|| err("behavior needs a `load`"))?
+        .as_map()
+        .ok_or_else(|| err("`load` must map seconds to rates"))?;
+    let mut load = Vec::with_capacity(load_map.len());
+    for (k, rate) in load_map {
+        let t: u64 = k.parse().map_err(|_| err(format!("bad load time `{k}`")))?;
+        let r = rate
+            .as_f64()
+            .ok_or_else(|| err(format!("bad load rate for `{k}`")))?;
+        if r < 0.0 {
+            return Err(err("load rates must be non-negative"));
+        }
+        load.push((t, r));
+    }
+    if load.len() < 2 {
+        return Err(err("load needs at least a start and an end breakpoint"));
+    }
+    if !load.windows(2).all(|w| w[0].0 < w[1].0) {
+        return Err(err("load times must increase"));
+    }
+    if load[0].0 != 0 {
+        return Err(err("load must start at second 0"));
+    }
+    if load.last().expect("non-empty").1 != 0.0 {
+        return Err(err("load must end with a `t: 0` breakpoint"));
+    }
+    Ok(Behavior { interaction, load })
+}
+
+/// Parses `"update(1, 1)"` into `("update", [1, 1])`.
+fn parse_call(call: &str) -> Result<(String, Vec<i64>), SpecError> {
+    let call = call.trim();
+    let Some(open) = call.find('(') else {
+        return Ok((call.to_string(), Vec::new()));
+    };
+    if !call.ends_with(')') {
+        return Err(err(format!("unbalanced call `{call}`")));
+    }
+    let name = call[..open].trim().to_string();
+    if name.is_empty() {
+        return Err(err(format!("missing function name in `{call}`")));
+    }
+    let inside = call[open + 1..call.len() - 1].trim();
+    if inside.is_empty() {
+        return Ok((name, Vec::new()));
+    }
+    let args = inside
+        .split(',')
+        .map(|a| {
+            a.trim()
+                .parse::<i64>()
+                .map_err(|_| err(format!("bad argument `{a}`")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((name, args))
+}
+
+/// The paper's gaming-DApp configuration from §4, usable as a template.
+pub const PAPER_DOTA_SPEC: &str = r#"
+let:
+  - &loc { sample: !location [ "us-east-2" ] }
+  - &end { sample: !endpoint [ ".*" ] }
+  - &acc { sample: !account { number: 2000 } }
+  - &dapp { sample: !contract { name: "dota" } }
+workloads:
+  - number: 3
+    client:
+      location: *loc
+      view: *end
+      behavior:
+        - interaction: !invoke
+            from: *acc
+            contract: *dapp
+            function: "update(1, 1)"
+          load:
+            0: 4432
+            50: 4438
+            120: 0
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_parses() {
+        let spec = BenchmarkSpec::parse(PAPER_DOTA_SPEC).unwrap();
+        assert_eq!(spec.client_count(), 3);
+        assert_eq!(spec.duration_secs(), 120);
+        let group = &spec.workloads[0];
+        assert_eq!(group.location, vec!["us-east-2"]);
+        assert_eq!(group.view, vec![".*"]);
+        let behavior = &group.behaviors[0];
+        match &behavior.interaction {
+            InteractionSpec::Invoke {
+                accounts,
+                contract,
+                function,
+                args,
+            } => {
+                assert_eq!(*accounts, 2000);
+                assert_eq!(contract, "dota");
+                assert_eq!(function, "update");
+                assert_eq!(args, &vec![1, 1]);
+            }
+            other => panic!("wrong interaction {other:?}"),
+        }
+        assert_eq!(behavior.load, vec![(0, 4432.0), (50, 4438.0), (120, 0.0)]);
+    }
+
+    #[test]
+    fn paper_spec_load_matches_section4_text() {
+        // "each client sends 4432 TPS for the first 50 seconds then 4438
+        // TPS for the next 70 seconds, after which the benchmark ends."
+        let spec = BenchmarkSpec::parse(PAPER_DOTA_SPEC).unwrap();
+        let w = spec.workloads[0].behaviors[0].to_workload("dota-client");
+        assert_eq!(w.duration_secs(), 120);
+        assert_eq!(w.rate_at(0), 4432.0);
+        assert_eq!(w.rate_at(119), 4438.0);
+        assert_eq!(w.total_txs(), 4432 * 50 + 4438 * 70);
+        assert_eq!(spec.total_txs(), 3 * (4432 * 50 + 4438 * 70));
+    }
+
+    #[test]
+    fn transfer_spec() {
+        let text = r#"
+workloads:
+  - number: 2
+    client:
+      behavior:
+        - interaction: !transfer
+            from: { sample: !account { number: 100 } }
+            amount: 5
+          load:
+            0: 500
+            120: 0
+"#;
+        let spec = BenchmarkSpec::parse(text).unwrap();
+        match &spec.workloads[0].behaviors[0].interaction {
+            InteractionSpec::Transfer { accounts, amount } => {
+                assert_eq!(*accounts, 100);
+                assert_eq!(*amount, 5);
+            }
+            other => panic!("wrong interaction {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_parsing() {
+        assert_eq!(
+            parse_call("update(1, 1)").unwrap(),
+            ("update".into(), vec![1, 1])
+        );
+        assert_eq!(parse_call("add()").unwrap(), ("add".into(), vec![]));
+        assert_eq!(
+            parse_call("checkStock").unwrap(),
+            ("checkStock".into(), vec![])
+        );
+        assert_eq!(
+            parse_call("checkDistance(4000, 7000)").unwrap(),
+            ("checkDistance".into(), vec![4000, 7000])
+        );
+        assert!(parse_call("broken(1").is_err());
+        assert!(parse_call("f(x)").is_err());
+    }
+
+    #[test]
+    fn load_validation() {
+        let bad_end = r#"
+workloads:
+  - number: 1
+    client:
+      behavior:
+        - interaction: !transfer
+            from: { sample: !account { number: 10 } }
+          load:
+            0: 100
+            60: 50
+"#;
+        let e = BenchmarkSpec::parse(bad_end).unwrap_err();
+        assert!(e.0.contains("end with"), "{e}");
+
+        let bad_order = r#"
+workloads:
+  - number: 1
+    client:
+      behavior:
+        - interaction: !transfer
+            from: { sample: !account { number: 10 } }
+          load:
+            0: 100
+            50: 60
+            40: 0
+"#;
+        let e = BenchmarkSpec::parse(bad_order).unwrap_err();
+        assert!(e.0.contains("increase"), "{e}");
+    }
+
+    #[test]
+    fn missing_sections_error() {
+        assert!(BenchmarkSpec::parse("other: 1\n").is_err());
+        let e = BenchmarkSpec::parse("workloads:\n  - number: 1\n").unwrap_err();
+        assert!(e.0.contains("client"), "{e}");
+    }
+
+    #[test]
+    fn unknown_interaction_errors() {
+        let text = r#"
+workloads:
+  - number: 1
+    client:
+      behavior:
+        - interaction: !teleport
+            from: { sample: !account { number: 10 } }
+          load:
+            0: 10
+            10: 0
+"#;
+        let e = BenchmarkSpec::parse(text).unwrap_err();
+        assert!(e.0.contains("unknown interaction"), "{e}");
+    }
+}

@@ -1,0 +1,723 @@
+//! The distributed Primary/Secondary mode: a length-framed TCP protocol.
+//!
+//! Mirrors the deployment of §4/§5.3: one Primary coordinates `N`
+//! Secondaries over TCP. The Secondaries receive their client
+//! assignment, presign (plan) their share of the workload, stream the
+//! plan back, receive per-transaction outcomes once the run completes,
+//! compute their local statistics and report them to the Primary's
+//! aggregator.
+//!
+//! Framing: every message is `u32` little-endian length followed by a
+//! one-byte message tag and the body. Integers are little-endian;
+//! strings and vectors are length-prefixed.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use diablo_chains::tx::CallSel;
+use diablo_chains::{Chain, ChainHarness, HarnessOptions, Payload, PlannedTx, RunResult, TxStatus};
+use diablo_contracts::DApp;
+use diablo_net::DeploymentKind;
+use diablo_sim::SimTime;
+
+use crate::adapters;
+use crate::output::status_name;
+use crate::primary::{partition_clients, BenchmarkOptions};
+use crate::report::Report;
+use crate::secondary::{declare_resources, plan_range};
+use crate::spec::BenchmarkSpec;
+
+/// Maximum accepted frame size (64 MiB).
+const MAX_FRAME: usize = 64 << 20;
+
+/// Transactions per `Plan`/`Outcomes` frame.
+const CHUNK: usize = 16_384;
+
+/// One planned transaction on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTx {
+    /// Submission instant, µs.
+    pub at_us: u64,
+    /// Signing account.
+    pub sender: u32,
+    /// 0 = transfer, 1 = invoke (default rotation), 2 = invoke with an
+    /// explicit function selection.
+    pub kind: u8,
+    /// Index into [`DApp::ALL`] when invoking.
+    pub dapp: u8,
+    /// Invocation sequence number.
+    pub seq: u64,
+    /// Selected entry index (`kind == 2`).
+    pub entry: u8,
+    /// Literal arguments (`kind == 2`).
+    pub args: [i32; 2],
+    /// How many arguments are used (`kind == 2`).
+    pub argc: u8,
+}
+
+/// One transaction outcome on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireOutcome {
+    /// Encoded [`TxStatus`].
+    pub status: u8,
+    /// Submission instant, µs.
+    pub submit_us: u64,
+    /// Decision instant, µs (`u64::MAX` = undecided).
+    pub decide_us: u64,
+}
+
+/// Protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Secondary → Primary: identify with a location tag (§5.3).
+    Hello {
+        /// The Secondary's location tag.
+        tag: String,
+    },
+    /// Primary → Secondary: the benchmark assignment.
+    Assign {
+        /// Chain name.
+        chain: String,
+        /// Benchmark specification text.
+        spec: String,
+        /// First global client index (inclusive).
+        first: u32,
+        /// Last global client index (exclusive).
+        last: u32,
+    },
+    /// Secondary → Primary: a chunk of planned transactions.
+    Plan {
+        /// The chunk.
+        txs: Vec<WireTx>,
+    },
+    /// Secondary → Primary: planning finished.
+    PlanDone,
+    /// Primary → Secondary: a chunk of outcomes (in the Secondary's
+    /// planning order).
+    Outcomes {
+        /// The chunk.
+        txs: Vec<WireOutcome>,
+    },
+    /// Primary → Secondary: all outcomes delivered.
+    OutcomesDone,
+    /// Secondary → Primary: the local statistics report.
+    Stats {
+        /// Human-readable statistics.
+        text: String,
+    },
+    /// Primary → Secondary: experiment over, disconnect.
+    Done,
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String, String> {
+    if buf.remaining() < 4 {
+        return Err("truncated string length".into());
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err("truncated string body".into());
+    }
+    let s = String::from_utf8(buf[..len].to_vec()).map_err(|e| e.to_string())?;
+    buf.advance(len);
+    Ok(s)
+}
+
+/// Encodes a message into a framed byte buffer.
+pub fn encode(msg: &Message) -> BytesMut {
+    let mut body = BytesMut::with_capacity(64);
+    match msg {
+        Message::Hello { tag } => {
+            body.put_u8(1);
+            put_string(&mut body, tag);
+        }
+        Message::Assign {
+            chain,
+            spec,
+            first,
+            last,
+        } => {
+            body.put_u8(2);
+            put_string(&mut body, chain);
+            put_string(&mut body, spec);
+            body.put_u32_le(*first);
+            body.put_u32_le(*last);
+        }
+        Message::Plan { txs } => {
+            body.put_u8(3);
+            body.put_u32_le(txs.len() as u32);
+            for tx in txs {
+                body.put_u64_le(tx.at_us);
+                body.put_u32_le(tx.sender);
+                body.put_u8(tx.kind);
+                body.put_u8(tx.dapp);
+                body.put_u64_le(tx.seq);
+                body.put_u8(tx.entry);
+                body.put_i32_le(tx.args[0]);
+                body.put_i32_le(tx.args[1]);
+                body.put_u8(tx.argc);
+            }
+        }
+        Message::PlanDone => body.put_u8(4),
+        Message::Outcomes { txs } => {
+            body.put_u8(5);
+            body.put_u32_le(txs.len() as u32);
+            for tx in txs {
+                body.put_u8(tx.status);
+                body.put_u64_le(tx.submit_us);
+                body.put_u64_le(tx.decide_us);
+            }
+        }
+        Message::OutcomesDone => body.put_u8(6),
+        Message::Stats { text } => {
+            body.put_u8(7);
+            put_string(&mut body, text);
+        }
+        Message::Done => body.put_u8(8),
+    }
+    let mut framed = BytesMut::with_capacity(body.len() + 4);
+    framed.put_u32_le(body.len() as u32);
+    framed.extend_from_slice(&body);
+    framed
+}
+
+/// Decodes one frame body (without the length prefix).
+pub fn decode(mut body: &[u8]) -> Result<Message, String> {
+    if body.is_empty() {
+        return Err("empty frame".into());
+    }
+    let tag = body.get_u8();
+    match tag {
+        1 => Ok(Message::Hello {
+            tag: get_string(&mut body)?,
+        }),
+        2 => {
+            let chain = get_string(&mut body)?;
+            let spec = get_string(&mut body)?;
+            if body.remaining() < 8 {
+                return Err("truncated assign".into());
+            }
+            let first = body.get_u32_le();
+            let last = body.get_u32_le();
+            Ok(Message::Assign {
+                chain,
+                spec,
+                first,
+                last,
+            })
+        }
+        3 => {
+            if body.remaining() < 4 {
+                return Err("truncated plan".into());
+            }
+            let n = body.get_u32_le() as usize;
+            if body.remaining() < n * 32 {
+                return Err("truncated plan body".into());
+            }
+            let mut txs = Vec::with_capacity(n);
+            for _ in 0..n {
+                txs.push(WireTx {
+                    at_us: body.get_u64_le(),
+                    sender: body.get_u32_le(),
+                    kind: body.get_u8(),
+                    dapp: body.get_u8(),
+                    seq: body.get_u64_le(),
+                    entry: body.get_u8(),
+                    args: [body.get_i32_le(), body.get_i32_le()],
+                    argc: body.get_u8(),
+                });
+            }
+            Ok(Message::Plan { txs })
+        }
+        4 => Ok(Message::PlanDone),
+        5 => {
+            if body.remaining() < 4 {
+                return Err("truncated outcomes".into());
+            }
+            let n = body.get_u32_le() as usize;
+            if body.remaining() < n * 17 {
+                return Err("truncated outcomes body".into());
+            }
+            let mut txs = Vec::with_capacity(n);
+            for _ in 0..n {
+                txs.push(WireOutcome {
+                    status: body.get_u8(),
+                    submit_us: body.get_u64_le(),
+                    decide_us: body.get_u64_le(),
+                });
+            }
+            Ok(Message::Outcomes { txs })
+        }
+        6 => Ok(Message::OutcomesDone),
+        7 => Ok(Message::Stats {
+            text: get_string(&mut body)?,
+        }),
+        8 => Ok(Message::Done),
+        other => Err(format!("unknown message tag {other}")),
+    }
+}
+
+/// Writes one framed message to a stream.
+pub fn write_message(stream: &mut TcpStream, msg: &Message) -> Result<(), String> {
+    let framed = encode(msg);
+    stream.write_all(&framed).map_err(|e| e.to_string())
+}
+
+/// Reads one framed message from a stream.
+pub fn read_message(stream: &mut TcpStream) -> Result<Message, String> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf).map_err(|e| e.to_string())?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(format!("frame of {len} bytes exceeds the limit"));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).map_err(|e| e.to_string())?;
+    decode(&body)
+}
+
+/// Status ↔ wire encoding.
+fn status_to_wire(status: TxStatus) -> u8 {
+    match status {
+        TxStatus::Pending => 0,
+        TxStatus::Committed => 1,
+        TxStatus::DroppedPoolFull => 2,
+        TxStatus::DroppedPerSender => 3,
+        TxStatus::DroppedExpired => 4,
+        TxStatus::Failed => 5,
+    }
+}
+
+fn status_from_wire(code: u8) -> Result<TxStatus, String> {
+    Ok(match code {
+        0 => TxStatus::Pending,
+        1 => TxStatus::Committed,
+        2 => TxStatus::DroppedPoolFull,
+        3 => TxStatus::DroppedPerSender,
+        4 => TxStatus::DroppedExpired,
+        5 => TxStatus::Failed,
+        other => return Err(format!("unknown status code {other}")),
+    })
+}
+
+fn planned_to_wire(tx: &PlannedTx) -> WireTx {
+    let base = WireTx {
+        at_us: tx.at.as_micros(),
+        sender: tx.sender,
+        kind: 0,
+        dapp: 0,
+        seq: 0,
+        entry: 0,
+        args: [0, 0],
+        argc: 0,
+    };
+    match tx.payload {
+        Payload::Transfer => base,
+        Payload::Invoke { dapp, seq, call } => {
+            let dapp = DApp::ALL
+                .iter()
+                .position(|&d| d == dapp)
+                .expect("known dapp") as u8;
+            match call {
+                None => WireTx {
+                    kind: 1,
+                    dapp,
+                    seq,
+                    ..base
+                },
+                Some(sel) => WireTx {
+                    kind: 2,
+                    dapp,
+                    seq,
+                    entry: sel.entry,
+                    args: sel.args,
+                    argc: sel.argc,
+                    ..base
+                },
+            }
+        }
+    }
+}
+
+fn wire_to_planned(tx: &WireTx) -> Result<PlannedTx, String> {
+    let dapp = || {
+        DApp::ALL
+            .get(tx.dapp as usize)
+            .copied()
+            .ok_or_else(|| format!("unknown dapp index {}", tx.dapp))
+    };
+    let payload = match tx.kind {
+        0 => Payload::Transfer,
+        1 => Payload::Invoke {
+            dapp: dapp()?,
+            seq: tx.seq,
+            call: None,
+        },
+        2 => Payload::Invoke {
+            dapp: dapp()?,
+            seq: tx.seq,
+            call: Some(CallSel {
+                entry: tx.entry,
+                args: tx.args,
+                argc: tx.argc.min(2),
+            }),
+        },
+        other => return Err(format!("unknown tx kind {other}")),
+    };
+    Ok(PlannedTx {
+        at: SimTime::from_micros(tx.at_us),
+        sender: tx.sender,
+        payload,
+    })
+}
+
+/// Runs the Primary end of the distributed mode: accepts
+/// `n_secondaries` connections, dispatches assignments, collects plans,
+/// runs the benchmark, returns outcomes and aggregates statistics.
+pub fn serve_primary(
+    listener: &TcpListener,
+    chain: Chain,
+    deployment: DeploymentKind,
+    spec_text: &str,
+    workload_name: &str,
+    options: &BenchmarkOptions,
+    n_secondaries: usize,
+) -> Result<Report, String> {
+    let spec = BenchmarkSpec::parse(spec_text).map_err(|e| e.to_string())?;
+    let clients = spec.client_count();
+    let ranges = partition_clients(clients, n_secondaries);
+
+    // Resolve the DApp once for the backend.
+    let mut scratch = adapters::connector(chain);
+    declare_resources(&spec, &mut scratch)?;
+    let dapp = scratch.sole_dapp();
+
+    // Accept the Secondaries and dispatch their shares.
+    let mut streams = Vec::with_capacity(ranges.len());
+    for range in &ranges {
+        let (mut stream, _addr) = listener.accept().map_err(|e| e.to_string())?;
+        match read_message(&mut stream)? {
+            Message::Hello { .. } => {}
+            other => return Err(format!("expected Hello, got {other:?}")),
+        }
+        write_message(
+            &mut stream,
+            &Message::Assign {
+                chain: chain.name().to_string(),
+                spec: spec_text.to_string(),
+                first: range.0,
+                last: range.1,
+            },
+        )?;
+        streams.push(stream);
+    }
+
+    // Collect plans.
+    let mut merged: Vec<PlannedTx> = Vec::new();
+    let mut origin: Vec<(u32, u32)> = Vec::new(); // (secondary, local index)
+    for (si, stream) in streams.iter_mut().enumerate() {
+        let mut local = 0u32;
+        loop {
+            match read_message(stream)? {
+                Message::Plan { txs } => {
+                    for wire in &txs {
+                        merged.push(wire_to_planned(wire)?);
+                        origin.push((si as u32, local));
+                        local += 1;
+                    }
+                }
+                Message::PlanDone => break,
+                other => return Err(format!("expected Plan, got {other:?}")),
+            }
+        }
+    }
+
+    // Sort by time, keeping the origin map aligned.
+    let mut order: Vec<usize> = (0..merged.len()).collect();
+    order.sort_by_key(|&i| merged[i].at);
+    let merged_sorted: Vec<PlannedTx> = order.iter().map(|&i| merged[i]).collect();
+
+    // Run the benchmark.
+    let harness_options = HarnessOptions {
+        seed: options.seed,
+        exec_mode: options.exec_mode,
+        grace_secs: options.grace_secs,
+        params: None,
+        faults: diablo_chains::FaultPlan::none(),
+    };
+    let result = match ChainHarness::new(chain, deployment, dapp, harness_options) {
+        Ok(h) => h.run(merged_sorted, workload_name, spec.duration_secs() as f64),
+        Err(reason) => RunResult::unable(chain, workload_name, spec.duration_secs() as f64, reason),
+    };
+
+    // Route outcomes back in each Secondary's planning order.
+    let mut per_secondary: Vec<Vec<WireOutcome>> = vec![Vec::new(); streams.len()];
+    for (pos, &idx) in order.iter().enumerate() {
+        let (si, local) = origin[idx];
+        let rec = &result.records[pos];
+        let outcome = WireOutcome {
+            status: status_to_wire(rec.status),
+            submit_us: rec.submitted.as_micros(),
+            decide_us: rec.decided.map(|d| d.as_micros()).unwrap_or(u64::MAX),
+        };
+        let bucket = &mut per_secondary[si as usize];
+        if bucket.len() <= local as usize {
+            bucket.resize(
+                local as usize + 1,
+                WireOutcome {
+                    status: 0,
+                    submit_us: 0,
+                    decide_us: u64::MAX,
+                },
+            );
+        }
+        bucket[local as usize] = outcome;
+    }
+    for (stream, outcomes) in streams.iter_mut().zip(per_secondary) {
+        for chunk in outcomes.chunks(CHUNK) {
+            write_message(
+                stream,
+                &Message::Outcomes {
+                    txs: chunk.to_vec(),
+                },
+            )?;
+        }
+        write_message(stream, &Message::OutcomesDone)?;
+    }
+
+    // Aggregate the Secondaries' statistics reports.
+    for stream in streams.iter_mut() {
+        match read_message(stream)? {
+            Message::Stats { .. } => {}
+            other => return Err(format!("expected Stats, got {other:?}")),
+        }
+        write_message(stream, &Message::Done)?;
+    }
+
+    Ok(Report {
+        result,
+        secondaries: streams.len(),
+        clients,
+    })
+}
+
+/// Runs the Secondary end of the distributed mode against the Primary
+/// at `addr`. Returns the local statistics text it reported.
+pub fn run_secondary(addr: &str, tag: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    write_message(
+        &mut stream,
+        &Message::Hello {
+            tag: tag.to_string(),
+        },
+    )?;
+    let (spec_text, chain_name, range) = match read_message(&mut stream)? {
+        Message::Assign {
+            chain,
+            spec,
+            first,
+            last,
+        } => (spec, chain, (first, last)),
+        other => return Err(format!("expected Assign, got {other:?}")),
+    };
+    let chain = Chain::parse(&chain_name).ok_or_else(|| format!("unknown chain {chain_name}"))?;
+    let spec = BenchmarkSpec::parse(&spec_text).map_err(|e| e.to_string())?;
+
+    // Presign (plan) the assigned client share, timing it: §4's
+    // Secondaries "constantly check if the submission time is not too
+    // late compared to the time demanded by the Primary and emit a
+    // warning otherwise". In virtual time nothing can be late, but a
+    // Secondary that presigns slower than the workload's real-time rate
+    // would lag a live deployment, so we warn on that.
+    let plan_started = std::time::Instant::now();
+    let mut conn = adapters::connector(chain);
+    declare_resources(&spec, &mut conn)?;
+    plan_range(&spec, range, &mut conn)?;
+    let plan = conn.take_plan();
+    let planned = plan.len();
+    let plan_wall = plan_started.elapsed().as_secs_f64();
+    let workload_secs = spec.duration_secs().max(1) as f64;
+    let lag_warning = if plan_wall > workload_secs {
+        format!(
+            " [warning: presigning took {plan_wall:.1}s for a {workload_secs:.0}s workload —              this secondary would fall behind a live run]"
+        )
+    } else {
+        String::new()
+    };
+    for chunk in plan.chunks(CHUNK) {
+        let txs: Vec<WireTx> = chunk.iter().map(planned_to_wire).collect();
+        write_message(&mut stream, &Message::Plan { txs })?;
+    }
+    write_message(&mut stream, &Message::PlanDone)?;
+
+    // Receive outcomes and compute local statistics.
+    let mut committed = 0u64;
+    let mut latency_sum = 0.0f64;
+    let mut received = 0usize;
+    loop {
+        match read_message(&mut stream)? {
+            Message::Outcomes { txs } => {
+                for o in &txs {
+                    received += 1;
+                    let status = status_from_wire(o.status)?;
+                    if status == TxStatus::Committed && o.decide_us != u64::MAX {
+                        committed += 1;
+                        latency_sum += (o.decide_us.saturating_sub(o.submit_us)) as f64 / 1e6;
+                    }
+                }
+            }
+            Message::OutcomesDone => break,
+            other => return Err(format!("expected Outcomes, got {other:?}")),
+        }
+    }
+    if received != planned {
+        return Err(format!(
+            "planned {planned} transactions but got {received} outcomes"
+        ));
+    }
+    let avg_latency = if committed > 0 {
+        latency_sum / committed as f64
+    } else {
+        0.0
+    };
+    let text = format!(
+        "secondary {tag}: {planned} sent, {committed} {}, avg latency {avg_latency:.2}s{lag_warning}",
+        status_name(TxStatus::Committed)
+    );
+    write_message(&mut stream, &Message::Stats { text: text.clone() })?;
+    match read_message(&mut stream)? {
+        Message::Done => Ok(text),
+        other => Err(format!("expected Done, got {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_messages() {
+        let messages = vec![
+            Message::Hello {
+                tag: "us-east-2".into(),
+            },
+            Message::Assign {
+                chain: "Quorum".into(),
+                spec: "workloads: []".into(),
+                first: 0,
+                last: 3,
+            },
+            Message::Plan {
+                txs: vec![
+                    WireTx {
+                        at_us: 1,
+                        sender: 2,
+                        kind: 0,
+                        dapp: 0,
+                        seq: 0,
+                        entry: 0,
+                        args: [0, 0],
+                        argc: 0,
+                    },
+                    WireTx {
+                        at_us: 99,
+                        sender: 7,
+                        kind: 2,
+                        dapp: 3,
+                        seq: 42,
+                        entry: 1,
+                        args: [4000, -7],
+                        argc: 2,
+                    },
+                ],
+            },
+            Message::PlanDone,
+            Message::Outcomes {
+                txs: vec![WireOutcome {
+                    status: 1,
+                    submit_us: 5,
+                    decide_us: 10,
+                }],
+            },
+            Message::OutcomesDone,
+            Message::Stats { text: "ok".into() },
+            Message::Done,
+        ];
+        for msg in messages {
+            let framed = encode(&msg);
+            let len = u32::from_le_bytes(framed[..4].try_into().unwrap()) as usize;
+            assert_eq!(len + 4, framed.len());
+            let decoded = decode(&framed[4..]).unwrap();
+            assert_eq!(decoded, msg, "roundtrip failed");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[99]).is_err());
+        // Truncated plan: claims one tx, provides none.
+        let mut body = BytesMut::new();
+        body.put_u8(3);
+        body.put_u32_le(1);
+        assert!(decode(&body).is_err());
+    }
+
+    #[test]
+    fn planned_wire_roundtrip() {
+        let txs = vec![
+            PlannedTx {
+                at: SimTime::from_millis(5),
+                sender: 9,
+                payload: Payload::Transfer,
+            },
+            PlannedTx {
+                at: SimTime::from_secs(2),
+                sender: 1,
+                payload: Payload::Invoke {
+                    dapp: DApp::Mobility,
+                    seq: 77,
+                    call: None,
+                },
+            },
+            PlannedTx {
+                at: SimTime::from_secs(3),
+                sender: 4,
+                payload: Payload::Invoke {
+                    dapp: DApp::Gaming,
+                    seq: 5,
+                    call: Some(CallSel {
+                        entry: 0,
+                        args: [1, 1],
+                        argc: 2,
+                    }),
+                },
+            },
+        ];
+        for tx in txs {
+            let wire = planned_to_wire(&tx);
+            assert_eq!(wire_to_planned(&wire).unwrap(), tx);
+        }
+    }
+
+    #[test]
+    fn status_codes_roundtrip() {
+        for status in [
+            TxStatus::Pending,
+            TxStatus::Committed,
+            TxStatus::DroppedPoolFull,
+            TxStatus::DroppedPerSender,
+            TxStatus::DroppedExpired,
+            TxStatus::Failed,
+        ] {
+            assert_eq!(status_from_wire(status_to_wire(status)).unwrap(), status);
+        }
+        assert!(status_from_wire(42).is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! The five deployment configurations of the paper's Table 3 (left side).
+//!
+//! | name       | nodes | machine     | regions |
+//! |------------|-------|-------------|---------|
+//! | datacenter | 10    | c5.9xlarge  | Ohio    |
+//! | testnet    | 10    | c5.xlarge   | Ohio    |
+//! | devnet     | 10    | c5.xlarge   | all 10  |
+//! | community  | 200   | c5.xlarge   | all 10  |
+//! | consortium | 200   | c5.2xlarge  | all 10  |
+
+use core::fmt;
+
+use crate::machine::{InstanceType, MachineSpec};
+use crate::region::Region;
+
+/// Which of the paper's five deployment scenarios a configuration models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeploymentKind {
+    /// 10 large machines in one availability zone (peak performance).
+    Datacenter,
+    /// 10 small machines in one availability zone (developer testnet).
+    Testnet,
+    /// 10 small machines spread over all regions (beta-test devnet).
+    Devnet,
+    /// 200 small machines spread over all regions (~one per jurisdiction).
+    Community,
+    /// 200 modern machines spread over all regions (R3-style consortium).
+    Consortium,
+}
+
+impl DeploymentKind {
+    /// All five scenarios, in the paper's order.
+    pub const ALL: [DeploymentKind; 5] = [
+        DeploymentKind::Datacenter,
+        DeploymentKind::Testnet,
+        DeploymentKind::Devnet,
+        DeploymentKind::Community,
+        DeploymentKind::Consortium,
+    ];
+
+    /// The paper's name for this configuration.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DeploymentKind::Datacenter => "datacenter",
+            DeploymentKind::Testnet => "testnet",
+            DeploymentKind::Devnet => "devnet",
+            DeploymentKind::Community => "community",
+            DeploymentKind::Consortium => "consortium",
+        }
+    }
+
+    /// Parses a configuration name.
+    pub fn parse(s: &str) -> Option<DeploymentKind> {
+        DeploymentKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name() == s.trim())
+    }
+}
+
+impl fmt::Display for DeploymentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One blockchain node's placement: where it runs and on what hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeSite {
+    /// AWS region hosting the node.
+    pub region: Region,
+    /// Machine class of the node.
+    pub machine: MachineSpec,
+}
+
+/// A concrete deployment: an ordered list of node sites.
+///
+/// Diablo Secondaries are collocated with blockchain nodes (§5.3), so the
+/// same site list also places the load-generating clients.
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    kind: DeploymentKind,
+    sites: Vec<NodeSite>,
+}
+
+impl DeploymentConfig {
+    /// Builds one of the paper's five standard configurations.
+    pub fn standard(kind: DeploymentKind) -> Self {
+        match kind {
+            DeploymentKind::Datacenter => {
+                Self::single_region(kind, 10, Region::Ohio, InstanceType::C59xlarge)
+            }
+            DeploymentKind::Testnet => {
+                Self::single_region(kind, 10, Region::Ohio, InstanceType::C5Xlarge)
+            }
+            DeploymentKind::Devnet => Self::spread(kind, 10, InstanceType::C5Xlarge),
+            DeploymentKind::Community => Self::spread(kind, 200, InstanceType::C5Xlarge),
+            DeploymentKind::Consortium => Self::spread(kind, 200, InstanceType::C52xlarge),
+        }
+    }
+
+    /// A custom configuration with every node in one region.
+    pub fn single_region(
+        kind: DeploymentKind,
+        nodes: usize,
+        region: Region,
+        instance: InstanceType,
+    ) -> Self {
+        let machine = MachineSpec::new(instance);
+        DeploymentConfig {
+            kind,
+            sites: vec![NodeSite { region, machine }; nodes],
+        }
+    }
+
+    /// A configuration from an explicit site list (custom setup files).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is empty.
+    pub fn from_sites(kind: DeploymentKind, sites: Vec<NodeSite>) -> Self {
+        assert!(!sites.is_empty(), "a deployment needs at least one node");
+        DeploymentConfig { kind, sites }
+    }
+
+    /// A custom configuration with nodes spread equally (round-robin)
+    /// over all ten regions, as the paper does.
+    pub fn spread(kind: DeploymentKind, nodes: usize, instance: InstanceType) -> Self {
+        let machine = MachineSpec::new(instance);
+        let sites = (0..nodes)
+            .map(|i| NodeSite {
+                region: Region::ALL[i % Region::COUNT],
+                machine,
+            })
+            .collect();
+        DeploymentConfig { kind, sites }
+    }
+
+    /// Which scenario this deployment models.
+    pub fn kind(&self) -> DeploymentKind {
+        self.kind
+    }
+
+    /// The node sites, in node-id order.
+    pub fn sites(&self) -> &[NodeSite] {
+        &self.sites
+    }
+
+    /// Number of blockchain nodes.
+    pub fn node_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The machine class (uniform across a standard deployment).
+    pub fn machine(&self) -> MachineSpec {
+        self.sites
+            .first()
+            .map(|s| s.machine)
+            .unwrap_or(MachineSpec::new(InstanceType::C5Xlarge))
+    }
+
+    /// Number of distinct regions in use.
+    pub fn region_count(&self) -> usize {
+        let mut seen = [false; Region::COUNT];
+        for site in &self.sites {
+            seen[site.region.index()] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    }
+
+    /// Whether all nodes share a single availability zone.
+    pub fn is_local(&self) -> bool {
+        self.region_count() <= 1
+    }
+
+    /// Byzantine fault threshold `f` for `n = 3f + 1` nodes.
+    pub fn byzantine_f(&self) -> usize {
+        self.node_count().saturating_sub(1) / 3
+    }
+
+    /// BFT quorum size `2f + 1`.
+    pub fn quorum(&self) -> usize {
+        2 * self.byzantine_f() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_configs_match_table3() {
+        let dc = DeploymentConfig::standard(DeploymentKind::Datacenter);
+        assert_eq!(dc.node_count(), 10);
+        assert_eq!(dc.machine().vcpus(), 36);
+        assert!(dc.is_local());
+
+        let tn = DeploymentConfig::standard(DeploymentKind::Testnet);
+        assert_eq!(tn.node_count(), 10);
+        assert_eq!(tn.machine().vcpus(), 4);
+        assert!(tn.is_local());
+
+        let dn = DeploymentConfig::standard(DeploymentKind::Devnet);
+        assert_eq!(dn.node_count(), 10);
+        assert_eq!(dn.region_count(), 10);
+
+        let cm = DeploymentConfig::standard(DeploymentKind::Community);
+        assert_eq!(cm.node_count(), 200);
+        assert_eq!(cm.machine().memory_gib(), 8);
+        assert_eq!(cm.region_count(), 10);
+
+        let cs = DeploymentConfig::standard(DeploymentKind::Consortium);
+        assert_eq!(cs.node_count(), 200);
+        assert_eq!(cs.machine().vcpus(), 8);
+        assert_eq!(cs.region_count(), 10);
+    }
+
+    #[test]
+    fn spread_is_balanced() {
+        let cfg = DeploymentConfig::spread(DeploymentKind::Community, 200, InstanceType::C5Xlarge);
+        let mut per_region = [0usize; Region::COUNT];
+        for site in cfg.sites() {
+            per_region[site.region.index()] += 1;
+        }
+        assert!(per_region.iter().all(|&n| n == 20));
+    }
+
+    #[test]
+    fn quorum_math() {
+        let cfg = DeploymentConfig::standard(DeploymentKind::Datacenter);
+        assert_eq!(cfg.byzantine_f(), 3); // n=10 -> f=3
+        assert_eq!(cfg.quorum(), 7);
+        let big = DeploymentConfig::standard(DeploymentKind::Consortium);
+        assert_eq!(big.byzantine_f(), 66); // n=200 -> f=66
+        assert_eq!(big.quorum(), 133);
+    }
+
+    #[test]
+    fn kind_parse_roundtrip() {
+        for k in DeploymentKind::ALL {
+            assert_eq!(DeploymentKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(DeploymentKind::parse("mainnet"), None);
+    }
+}

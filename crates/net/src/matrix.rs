@@ -1,0 +1,142 @@
+//! The measured inter-region network matrices of the paper's Table 3.
+//!
+//! The paper reports, for each ordered pair of the ten AWS regions, the
+//! bandwidth (upper-right triangle, in Mbps) and the round-trip time
+//! (lower-left triangle, in ms) measured with `iperf3` on machines of the
+//! devnet configuration. We store the table verbatim and expose
+//! symmetric accessors: `rtt_ms(a, b)` reads the lower triangle entry for
+//! the unordered pair `{a, b}`, `bandwidth_mbps(a, b)` the upper one.
+
+use crate::region::Region;
+
+/// Table 3 verbatim: entry `[i][j]` with `i > j` is the RTT in ms between
+/// regions `i` and `j`; entry `[i][j]` with `i < j` is the bandwidth in
+/// Mbps. The diagonal is unused (same region ⇒ intra-datacenter model).
+const TABLE3: [[f64; 10]; 10] = [
+    // Cape Town
+    [0.0, 26.1, 36.0, 20.8, 59.8, 67.1, 33.6, 27.1, 43.6, 35.9],
+    // Tokyo
+    [354.0, 0.0, 89.3, 112.1, 42.1, 48.1, 66.8, 39.3, 85.8, 108.8],
+    // Mumbai
+    [
+        272.0, 127.2, 0.0, 75.9, 81.3, 103.2, 336.3, 30.8, 53.3, 48.5,
+    ],
+    // Sydney
+    [410.4, 102.3, 146.8, 0.0, 32.0, 42.4, 59.6, 31.2, 57.0, 80.8],
+    // Stockholm
+    [
+        179.7, 241.2, 138.9, 295.7, 0.0, 404.6, 81.8, 48.2, 94.7, 67.6,
+    ],
+    // Milan
+    [
+        162.4, 214.8, 110.8, 238.8, 30.2, 0.0, 105.7, 49.4, 104.9, 70.1,
+    ],
+    // Bahrain
+    [
+        287.0, 164.3, 36.4, 179.2, 137.9, 108.2, 0.0, 29.9, 49.4, 38.7,
+    ],
+    // Sao Paulo
+    [
+        340.5, 256.6, 305.6, 310.5, 214.9, 211.9, 320.0, 0.0, 92.3, 60.5,
+    ],
+    // Ohio
+    [
+        237.0, 131.8, 197.3, 187.9, 120.0, 109.2, 212.7, 121.9, 0.0, 105.0,
+    ],
+    // Oregon
+    [
+        276.6, 96.7, 215.8, 139.7, 162.0, 157.8, 251.4, 178.3, 55.2, 0.0,
+    ],
+];
+
+/// Round-trip time inside a single AWS availability zone, in ms
+/// (the paper quotes 1 ms for c5 instances in one datacenter).
+pub const INTRA_DC_RTT_MS: f64 = 1.0;
+
+/// Bandwidth inside a single AWS availability zone, in Mbps
+/// (the paper quotes 10 Gbps for the datacenter configuration).
+pub const INTRA_DC_BANDWIDTH_MBPS: f64 = 10_000.0;
+
+/// Round-trip time in milliseconds between two regions.
+///
+/// Same-region pairs use the intra-datacenter constant.
+pub fn rtt_ms(a: Region, b: Region) -> f64 {
+    if a == b {
+        return INTRA_DC_RTT_MS;
+    }
+    let (hi, lo) = if a.index() > b.index() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    TABLE3[hi.index()][lo.index()]
+}
+
+/// Bandwidth in Mbps between two regions.
+///
+/// Same-region pairs use the intra-datacenter constant.
+pub fn bandwidth_mbps(a: Region, b: Region) -> f64 {
+    if a == b {
+        return INTRA_DC_BANDWIDTH_MBPS;
+    }
+    let (lo, hi) = if a.index() < b.index() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    TABLE3[lo.index()][hi.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_is_symmetric_and_matches_paper_samples() {
+        // Spot-check against the printed Table 3.
+        assert_eq!(rtt_ms(Region::Tokyo, Region::CapeTown), 354.0);
+        assert_eq!(rtt_ms(Region::CapeTown, Region::Tokyo), 354.0);
+        assert_eq!(rtt_ms(Region::Sydney, Region::CapeTown), 410.4);
+        assert_eq!(rtt_ms(Region::Oregon, Region::Ohio), 55.2);
+        assert_eq!(rtt_ms(Region::Milan, Region::Stockholm), 30.2);
+    }
+
+    #[test]
+    fn bandwidth_is_symmetric_and_matches_paper_samples() {
+        assert_eq!(bandwidth_mbps(Region::CapeTown, Region::Tokyo), 26.1);
+        assert_eq!(bandwidth_mbps(Region::Tokyo, Region::CapeTown), 26.1);
+        assert_eq!(bandwidth_mbps(Region::Stockholm, Region::Milan), 404.6);
+        assert_eq!(bandwidth_mbps(Region::Ohio, Region::Oregon), 105.0);
+        assert_eq!(bandwidth_mbps(Region::Mumbai, Region::Bahrain), 336.3);
+    }
+
+    #[test]
+    fn same_region_uses_datacenter_constants() {
+        assert_eq!(rtt_ms(Region::Ohio, Region::Ohio), INTRA_DC_RTT_MS);
+        assert_eq!(
+            bandwidth_mbps(Region::Ohio, Region::Ohio),
+            INTRA_DC_BANDWIDTH_MBPS
+        );
+    }
+
+    #[test]
+    fn all_pairs_are_positive() {
+        for a in Region::ALL {
+            for b in Region::ALL {
+                assert!(rtt_ms(a, b) > 0.0, "rtt {a} {b}");
+                assert!(bandwidth_mbps(a, b) > 0.0, "bw {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn wan_rtts_exceed_lan() {
+        for a in Region::ALL {
+            for b in Region::ALL {
+                if a != b {
+                    assert!(rtt_ms(a, b) > INTRA_DC_RTT_MS);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Point-to-point message delay model.
+//!
+//! One-way delay between two sites is half the measured round-trip time,
+//! plus serialization time of the payload at the pair's bandwidth, plus a
+//! small log-normal-ish jitter. The jitter is drawn from the caller's
+//! deterministic RNG so simulations stay reproducible.
+
+use diablo_sim::{DetRng, SimDuration};
+
+use crate::matrix::{bandwidth_mbps, rtt_ms};
+use crate::region::Region;
+
+/// Network delay model over the Table 3 matrices.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkModel {
+    /// Relative jitter applied to the propagation delay (e.g. 0.05 for
+    /// ±5 % typical variation).
+    pub jitter: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel { jitter: 0.05 }
+    }
+}
+
+impl NetworkModel {
+    /// A model without jitter (useful for analytic tests).
+    pub const fn deterministic() -> Self {
+        NetworkModel { jitter: 0.0 }
+    }
+
+    /// One-way propagation delay (no payload) between two regions,
+    /// without jitter.
+    pub fn propagation(&self, from: Region, to: Region) -> SimDuration {
+        SimDuration::from_secs_f64(rtt_ms(from, to) / 2.0 / 1e3)
+    }
+
+    /// Serialization delay of `bytes` at the pair's bandwidth.
+    pub fn transmission(&self, from: Region, to: Region, bytes: u64) -> SimDuration {
+        let bits = bytes as f64 * 8.0;
+        let rate = bandwidth_mbps(from, to) * 1e6;
+        SimDuration::from_secs_f64(bits / rate)
+    }
+
+    /// Total one-way delay of a `bytes`-sized message, with jitter drawn
+    /// from `rng`.
+    pub fn delay(&self, rng: &mut DetRng, from: Region, to: Region, bytes: u64) -> SimDuration {
+        let base = self.propagation(from, to) + self.transmission(from, to, bytes);
+        if self.jitter == 0.0 {
+            return base;
+        }
+        // Multiplicative jitter, biased upwards (queueing only adds).
+        let j = 1.0 + self.jitter * rng.exponential(1.0);
+        SimDuration::from_secs_f64(base.as_secs_f64() * j)
+    }
+
+    /// Expected (jitter-mean) one-way delay of a `bytes`-sized message.
+    ///
+    /// The jitter term in [`NetworkModel::delay`] is an exponential with
+    /// mean 1, so the expectation is `base * (1 + jitter)`.
+    pub fn mean_delay(&self, from: Region, to: Region, bytes: u64) -> SimDuration {
+        let base = self.propagation(from, to) + self.transmission(from, to, bytes);
+        SimDuration::from_secs_f64(base.as_secs_f64() * (1.0 + self.jitter))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propagation_is_half_rtt() {
+        let m = NetworkModel::deterministic();
+        let d = m.propagation(Region::Tokyo, Region::CapeTown);
+        assert_eq!(d.as_micros(), 177_000); // 354 ms / 2
+    }
+
+    #[test]
+    fn transmission_scales_with_size() {
+        let m = NetworkModel::deterministic();
+        let one = m.transmission(Region::Ohio, Region::Oregon, 1_000_000);
+        let two = m.transmission(Region::Ohio, Region::Oregon, 2_000_000);
+        // Doubling the payload doubles the delay (up to µs rounding).
+        assert!((two.as_micros() as i64 - one.as_micros() as i64 * 2).abs() <= 1);
+        // 1 MB at 105 Mbps ~ 76 ms.
+        let secs = one.as_secs_f64();
+        assert!((secs - 8e6 / 105e6).abs() < 1e-6, "got {secs}");
+    }
+
+    #[test]
+    fn deterministic_model_has_no_jitter() {
+        let m = NetworkModel::deterministic();
+        let mut rng = DetRng::new(1);
+        let a = m.delay(&mut rng, Region::Milan, Region::Sydney, 512);
+        let b = m.delay(&mut rng, Region::Milan, Region::Sydney, 512);
+        assert_eq!(a, b);
+        assert_eq!(a, m.mean_delay(Region::Milan, Region::Sydney, 512));
+    }
+
+    #[test]
+    fn jitter_only_increases_delay() {
+        let m = NetworkModel { jitter: 0.1 };
+        let base = NetworkModel::deterministic().delay(
+            &mut DetRng::new(0),
+            Region::Ohio,
+            Region::Tokyo,
+            256,
+        );
+        let mut rng = DetRng::new(2);
+        for _ in 0..1000 {
+            let d = m.delay(&mut rng, Region::Ohio, Region::Tokyo, 256);
+            assert!(d >= base);
+        }
+    }
+
+    #[test]
+    fn mean_delay_matches_empirical_mean() {
+        let m = NetworkModel { jitter: 0.2 };
+        let mut rng = DetRng::new(3);
+        let n = 50_000;
+        let sum: f64 = (0..n)
+            .map(|_| {
+                m.delay(&mut rng, Region::Ohio, Region::Milan, 1024)
+                    .as_secs_f64()
+            })
+            .sum();
+        let mean = sum / n as f64;
+        let expected = m
+            .mean_delay(Region::Ohio, Region::Milan, 1024)
+            .as_secs_f64();
+        assert!(
+            (mean - expected).abs() / expected < 0.02,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn local_messages_are_fast() {
+        let m = NetworkModel::deterministic();
+        let d = m.delay(&mut DetRng::new(0), Region::Ohio, Region::Ohio, 1024);
+        assert!(d < SimDuration::from_millis(2));
+    }
+}

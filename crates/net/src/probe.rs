@@ -1,0 +1,129 @@
+//! Network measurement probes.
+//!
+//! The paper measured its Table 3 matrix "with iperf3 on machines from
+//! the devnet configuration". This module reproduces that measurement
+//! *methodology* against the simulated network: ping-style RTT probes
+//! (many small round trips, report the mean) and iperf-style bandwidth
+//! probes (a timed bulk transfer). Measured values land on the encoded
+//! matrix up to jitter — a consistency check between the model and its
+//! data, used by the `table3` binary and the tests below.
+
+use diablo_sim::DetRng;
+
+use crate::model::NetworkModel;
+use crate::region::Region;
+
+/// Result of one pairwise probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeResult {
+    /// Measured mean round-trip time, ms.
+    pub rtt_ms: f64,
+    /// Measured bulk bandwidth, Mbps.
+    pub bandwidth_mbps: f64,
+}
+
+/// Ping-style RTT probe: `count` empty round trips, mean of the samples.
+pub fn measure_rtt(
+    net: &NetworkModel,
+    rng: &mut DetRng,
+    from: Region,
+    to: Region,
+    count: usize,
+) -> f64 {
+    let mut total = 0.0;
+    for _ in 0..count.max(1) {
+        let out = net.delay(rng, from, to, 64);
+        let back = net.delay(rng, to, from, 64);
+        total += (out + back).as_secs_f64();
+    }
+    total / count.max(1) as f64 * 1e3
+}
+
+/// iperf3-style bandwidth probe: transfer `bytes` in one stream and
+/// divide by the serialization time (propagation subtracted, as iperf's
+/// steady-state window does).
+pub fn measure_bandwidth(
+    net: &NetworkModel,
+    rng: &mut DetRng,
+    from: Region,
+    to: Region,
+    bytes: u64,
+) -> f64 {
+    let total = net.delay(rng, from, to, bytes);
+    let propagation = net.delay(rng, from, to, 0);
+    let transfer = total.as_secs_f64() - propagation.as_secs_f64();
+    if transfer <= 0.0 {
+        return f64::INFINITY;
+    }
+    bytes as f64 * 8.0 / transfer / 1e6
+}
+
+/// Probes one region pair with defaults matching the paper's set-up.
+pub fn probe_pair(net: &NetworkModel, rng: &mut DetRng, a: Region, b: Region) -> ProbeResult {
+    ProbeResult {
+        rtt_ms: measure_rtt(net, rng, a, b, 20),
+        bandwidth_mbps: measure_bandwidth(net, rng, a, b, 8 * 1024 * 1024),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{bandwidth_mbps, rtt_ms};
+
+    #[test]
+    fn rtt_probe_recovers_the_matrix() {
+        let net = NetworkModel::deterministic();
+        let mut rng = DetRng::new(1);
+        for (a, b) in [
+            (Region::Ohio, Region::Oregon),
+            (Region::Tokyo, Region::CapeTown),
+            (Region::Milan, Region::Stockholm),
+        ] {
+            let measured = measure_rtt(&net, &mut rng, a, b, 10);
+            let truth = rtt_ms(a, b);
+            assert!(
+                (measured - truth).abs() / truth < 0.02,
+                "{a}-{b}: measured {measured}, matrix {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn bandwidth_probe_recovers_the_matrix() {
+        let net = NetworkModel::deterministic();
+        let mut rng = DetRng::new(2);
+        for (a, b) in [
+            (Region::Ohio, Region::Oregon),
+            (Region::CapeTown, Region::Tokyo),
+        ] {
+            let measured = measure_bandwidth(&net, &mut rng, a, b, 16 * 1024 * 1024);
+            let truth = bandwidth_mbps(a, b);
+            assert!(
+                (measured - truth).abs() / truth < 0.05,
+                "{a}-{b}: measured {measured}, matrix {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_biases_rtt_upward_only() {
+        let jittery = NetworkModel { jitter: 0.2 };
+        let mut rng = DetRng::new(3);
+        let measured = measure_rtt(&jittery, &mut rng, Region::Ohio, Region::Sydney, 200);
+        let truth = rtt_ms(Region::Ohio, Region::Sydney);
+        assert!(measured > truth, "queueing jitter only adds delay");
+        assert!(
+            measured < truth * 1.6,
+            "but not unboundedly: {measured} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn probe_pair_is_deterministic_per_seed() {
+        let net = NetworkModel::default();
+        let a = probe_pair(&net, &mut DetRng::new(9), Region::Mumbai, Region::Bahrain);
+        let b = probe_pair(&net, &mut DetRng::new(9), Region::Mumbai, Region::Bahrain);
+        assert_eq!(a, b);
+    }
+}

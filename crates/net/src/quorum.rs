@@ -1,0 +1,313 @@
+//! Analytic quorum-latency model for consensus protocols.
+//!
+//! Simulating every vote of a 200-node BFT protocol means O(n²) events
+//! per block; the commit latency of a phase, however, is exactly an order
+//! statistic over point-to-point delays. This module computes those order
+//! statistics from the Table 3 delay matrix:
+//!
+//! - *leader-based linear* protocols (HotStuff): a phase is leader → all,
+//!   then all → leader votes; the phase completes when the leader holds a
+//!   quorum of votes, i.e. at the `q`-th smallest of
+//!   `d(L, i) + d(i, L)`.
+//! - *leader-based all-to-all* protocols (IBFT/PBFT): after the leader's
+//!   pre-prepare, every node broadcasts; node `i` completes the phase at
+//!   the `q`-th smallest of `arrive_j + d(j, i)` over senders `j`.
+//! - *gossip* protocols (Algorand, Avalanche, Solana): diffusion over a
+//!   fanout-`k` overlay reaches all nodes in ~`log_k n` hops of the
+//!   median one-way delay.
+//!
+//! All figures use jitter-mean delays; the chain simulations add the
+//! stochastic component per block.
+
+use diablo_sim::SimDuration;
+
+use crate::config::DeploymentConfig;
+use crate::model::NetworkModel;
+
+/// Precomputed pairwise mean one-way delays (seconds) for a deployment.
+#[derive(Debug, Clone)]
+pub struct QuorumModel {
+    n: usize,
+    quorum: usize,
+    /// `delay[i][j]` = mean one-way delay i → j for a vote-sized message.
+    delay: Vec<Vec<f64>>,
+}
+
+/// Size of a consensus vote/ack message in bytes.
+const VOTE_BYTES: u64 = 256;
+
+impl QuorumModel {
+    /// Builds the model for a deployment under a network model.
+    pub fn new(config: &DeploymentConfig, net: &NetworkModel) -> Self {
+        let sites = config.sites();
+        let n = sites.len();
+        let mut delay = vec![vec![0.0; n]; n];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    delay[i][j] = net
+                        .mean_delay(sites[i].region, sites[j].region, VOTE_BYTES)
+                        .as_secs_f64();
+                }
+            }
+        }
+        QuorumModel {
+            n,
+            quorum: config.quorum(),
+            delay,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// BFT quorum size (2f + 1).
+    pub fn quorum(&self) -> usize {
+        self.quorum
+    }
+
+    /// Mean one-way vote delay from node `i` to node `j`, in seconds.
+    pub fn delay_secs(&self, i: usize, j: usize) -> f64 {
+        self.delay[i][j]
+    }
+
+    /// Extra one-way delay for a payload of `bytes` from `i` to `j`
+    /// relative to a vote-sized message (serialization only).
+    fn payload_extra(&self, _i: usize, _j: usize, bytes: u64) -> f64 {
+        // Serialization time beyond the vote baseline, at a conservative
+        // 100 Mbps WAN floor; propagation is already in `delay`.
+        (bytes.saturating_sub(VOTE_BYTES)) as f64 * 8.0 / 100e6
+    }
+
+    /// The `k`-th smallest value of a slice (1-indexed); `k` is clamped
+    /// to the slice length.
+    fn kth_smallest(mut values: Vec<f64>, k: usize) -> f64 {
+        assert!(!values.is_empty(), "kth_smallest needs values");
+        let k = k.clamp(1, values.len());
+        values.sort_by(|a, b| a.partial_cmp(b).expect("delays are not NaN"));
+        values[k - 1]
+    }
+
+    /// Time for a leader broadcast of `bytes` to reach all nodes.
+    pub fn broadcast_all(&self, leader: usize, bytes: u64) -> SimDuration {
+        let worst = (0..self.n)
+            .map(|i| {
+                if i == leader {
+                    0.0
+                } else {
+                    self.delay[leader][i] + self.payload_extra(leader, i, bytes)
+                }
+            })
+            .fold(0.0, f64::max);
+        SimDuration::from_secs_f64(worst)
+    }
+
+    /// Time for a leader broadcast of `bytes` to reach a quorum of nodes.
+    pub fn broadcast_quorum(&self, leader: usize, bytes: u64) -> SimDuration {
+        let arrivals: Vec<f64> = (0..self.n)
+            .map(|i| {
+                if i == leader {
+                    0.0
+                } else {
+                    self.delay[leader][i] + self.payload_extra(leader, i, bytes)
+                }
+            })
+            .collect();
+        SimDuration::from_secs_f64(Self::kth_smallest(arrivals, self.quorum))
+    }
+
+    /// One linear (HotStuff-style) phase: leader sends `bytes`, nodes
+    /// reply with votes, phase ends when the leader holds a quorum.
+    pub fn linear_phase(&self, leader: usize, bytes: u64) -> SimDuration {
+        let round_trips: Vec<f64> = (0..self.n)
+            .map(|i| {
+                if i == leader {
+                    0.0
+                } else {
+                    self.delay[leader][i]
+                        + self.payload_extra(leader, i, bytes)
+                        + self.delay[i][leader]
+                }
+            })
+            .collect();
+        SimDuration::from_secs_f64(Self::kth_smallest(round_trips, self.quorum))
+    }
+
+    /// HotStuff commit latency for a proposal of `bytes`: the three-chain
+    /// rule needs three linear phases (prepare, pre-commit, commit); only
+    /// the first carries the block payload.
+    pub fn hotstuff_commit(&self, leader: usize, bytes: u64) -> SimDuration {
+        self.linear_phase(leader, bytes)
+            + self.linear_phase(leader, VOTE_BYTES)
+            + self.linear_phase(leader, VOTE_BYTES)
+    }
+
+    /// IBFT/PBFT commit latency for a proposal of `bytes`: pre-prepare
+    /// (leader → all) followed by two all-to-all phases (prepare,
+    /// commit). Completion is measured at the leader (the node the
+    /// collocated Diablo Secondary polls).
+    pub fn ibft_commit(&self, leader: usize, bytes: u64) -> SimDuration {
+        // Pre-prepare arrival times.
+        let arrive: Vec<f64> = (0..self.n)
+            .map(|i| {
+                if i == leader {
+                    0.0
+                } else {
+                    self.delay[leader][i] + self.payload_extra(leader, i, bytes)
+                }
+            })
+            .collect();
+        // Prepare: node j broadcasts at arrive[j]; node i is "prepared"
+        // once it holds a quorum of prepares.
+        let prepared = self.all_to_all_round(&arrive);
+        // Commit: node j broadcasts commit at prepared[j]; the block is
+        // committed at node i once it holds a quorum of commits.
+        let committed = self.all_to_all_round(&prepared);
+        SimDuration::from_secs_f64(committed[leader])
+    }
+
+    /// One all-to-all round: every node `j` broadcasts at `start[j]`;
+    /// returns for each node `i` the time it holds a quorum of messages.
+    fn all_to_all_round(&self, start: &[f64]) -> Vec<f64> {
+        (0..self.n)
+            .map(|i| {
+                let arrivals: Vec<f64> = (0..self.n).map(|j| start[j] + self.delay[j][i]).collect();
+                Self::kth_smallest(arrivals, self.quorum)
+            })
+            .collect()
+    }
+
+    /// Gossip diffusion time from `origin` to (almost) all nodes over a
+    /// fanout-`k` overlay: `ceil(log_k n)` hops of the per-hop delay,
+    /// where a hop costs the `p75` one-way delay from the origin's view
+    /// of the network plus per-hop payload serialization.
+    pub fn gossip_all(&self, origin: usize, fanout: usize, bytes: u64) -> SimDuration {
+        if self.n <= 1 {
+            return SimDuration::ZERO;
+        }
+        let fanout = fanout.max(2) as f64;
+        let hops = (self.n as f64).ln() / fanout.ln();
+        let hops = hops.ceil().max(1.0);
+        let mut delays: Vec<f64> = (0..self.n)
+            .filter(|&i| i != origin)
+            .map(|i| self.delay[origin][i])
+            .collect();
+        delays.sort_by(|a, b| a.partial_cmp(b).expect("delays are not NaN"));
+        let p75 = delays[(delays.len() * 3) / 4];
+        let per_hop = p75 + self.payload_extra(origin, origin, bytes);
+        SimDuration::from_secs_f64(hops * per_hop)
+    }
+
+    /// Median one-way vote delay from a node's point of view, in seconds.
+    pub fn median_delay_from(&self, origin: usize) -> f64 {
+        let mut delays: Vec<f64> = (0..self.n)
+            .filter(|&i| i != origin)
+            .map(|i| self.delay[origin][i])
+            .collect();
+        if delays.is_empty() {
+            return 0.0;
+        }
+        delays.sort_by(|a, b| a.partial_cmp(b).expect("delays are not NaN"));
+        delays[delays.len() / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DeploymentConfig, DeploymentKind};
+    use crate::machine::InstanceType;
+    use crate::region::Region;
+
+    fn local(n: usize) -> QuorumModel {
+        let cfg = DeploymentConfig::single_region(
+            DeploymentKind::Datacenter,
+            n,
+            Region::Ohio,
+            InstanceType::C59xlarge,
+        );
+        QuorumModel::new(&cfg, &NetworkModel::deterministic())
+    }
+
+    fn geo(n: usize) -> QuorumModel {
+        let cfg = DeploymentConfig::spread(DeploymentKind::Devnet, n, InstanceType::C5Xlarge);
+        QuorumModel::new(&cfg, &NetworkModel::deterministic())
+    }
+
+    #[test]
+    fn local_phases_are_milliseconds() {
+        let m = local(10);
+        assert!(m.linear_phase(0, 1024) < SimDuration::from_millis(3));
+        assert!(m.ibft_commit(0, 1024) < SimDuration::from_millis(5));
+        assert!(m.hotstuff_commit(0, 1024) < SimDuration::from_millis(6));
+    }
+
+    #[test]
+    fn geo_phases_are_hundreds_of_milliseconds() {
+        let m = geo(10);
+        let phase = m.linear_phase(0, 1024);
+        assert!(phase > SimDuration::from_millis(100), "phase was {phase}");
+        assert!(phase < SimDuration::from_secs(1));
+        // HotStuff needs three phases, so it is strictly slower.
+        assert!(m.hotstuff_commit(0, 1024) > phase * 2);
+    }
+
+    #[test]
+    fn quorum_is_faster_than_all() {
+        let m = geo(10);
+        assert!(m.broadcast_quorum(0, 4096) <= m.broadcast_all(0, 4096));
+    }
+
+    #[test]
+    fn bigger_payload_is_slower() {
+        let m = geo(10);
+        assert!(m.broadcast_all(0, 1_000_000) > m.broadcast_all(0, 1_000));
+        assert!(m.ibft_commit(0, 1_000_000) > m.ibft_commit(0, 1_000));
+    }
+
+    #[test]
+    fn ibft_commit_depends_on_leader_placement() {
+        let m = geo(10);
+        let all: Vec<f64> = (0..10)
+            .map(|l| m.ibft_commit(l, 10_000).as_secs_f64())
+            .collect();
+        let min = all.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = all.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min, "leader placement should matter: {all:?}");
+    }
+
+    #[test]
+    fn gossip_scales_logarithmically() {
+        let small = geo(10).gossip_all(0, 8, 1024).as_secs_f64();
+        let large = {
+            let cfg =
+                DeploymentConfig::spread(DeploymentKind::Community, 200, InstanceType::C5Xlarge);
+            QuorumModel::new(&cfg, &NetworkModel::deterministic())
+                .gossip_all(0, 8, 1024)
+                .as_secs_f64()
+        };
+        // 200 nodes need at most one more hop tier than 10 at fanout 8.
+        assert!(large <= small * 3.0, "small {small} large {large}");
+        assert!(large >= small, "more nodes cannot be faster");
+    }
+
+    #[test]
+    fn single_node_deployment_is_instant() {
+        let m = local(1);
+        assert_eq!(m.broadcast_all(0, 1024), SimDuration::ZERO);
+        assert_eq!(m.gossip_all(0, 8, 1024), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn kth_smallest_selects_correctly() {
+        let v = vec![5.0, 1.0, 3.0];
+        assert_eq!(QuorumModel::kth_smallest(v.clone(), 1), 1.0);
+        assert_eq!(QuorumModel::kth_smallest(v.clone(), 2), 3.0);
+        assert_eq!(QuorumModel::kth_smallest(v.clone(), 3), 5.0);
+        // Clamped above.
+        assert_eq!(QuorumModel::kth_smallest(v, 10), 5.0);
+    }
+}

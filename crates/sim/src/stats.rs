@@ -1,0 +1,406 @@
+//! Streaming statistics, histograms, CDFs and per-second time series.
+//!
+//! These are the primitives the Diablo aggregator (paper §4, "Primary")
+//! uses to turn per-transaction submit/commit timestamps into the average
+//! throughput / average latency / commit-ratio numbers reported in the
+//! paper's figures, and into the latency CDFs of Figure 6.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Streaming summary statistics (Welford's online algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0 if fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation, or 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// An empirical cumulative distribution function over latency samples.
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from raw samples (takes ownership, sorts once).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) using nearest-rank, or `None`
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len()) - 1;
+        Some(self.sorted[idx])
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&s| s <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Iterates `(value, cumulative_fraction)` pairs for plotting.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (v, (i + 1) as f64 / n))
+    }
+
+    /// Downsamples the CDF to at most `max_points` evenly spaced points.
+    pub fn sampled_points(&self, max_points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || max_points == 0 {
+            return Vec::new();
+        }
+        let n = self.sorted.len();
+        if n <= max_points {
+            return self.points().collect();
+        }
+        let mut out = Vec::with_capacity(max_points);
+        for k in 1..=max_points {
+            let i = k * n / max_points - 1;
+            out.push((self.sorted[i], (i + 1) as f64 / n as f64));
+        }
+        out
+    }
+}
+
+/// A fixed-bucket histogram over non-negative values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bucket_width: f64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `buckets` buckets, each `bucket_width` wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is not positive or `buckets` is zero.
+    pub fn new(bucket_width: f64, buckets: usize) -> Self {
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation (negative values clamp to bucket 0).
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let idx = (x.max(0.0) / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of observations past the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Iterates `(bucket_start, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (i as f64 * self.bucket_width, c))
+    }
+}
+
+/// A per-second time series of counters, used for throughput-over-time
+/// plots like the workload graphs in the paper's Table 2.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    buckets: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries {
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Increments the bucket containing `at` by `n`.
+    pub fn record_at(&mut self, at: SimTime, n: u64) {
+        let idx = at.second_bucket() as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+    }
+
+    /// The value in second-bucket `sec` (0 if out of range).
+    pub fn get(&self, sec: usize) -> u64 {
+        self.buckets.get(sec).copied().unwrap_or(0)
+    }
+
+    /// Number of second buckets covered.
+    pub fn seconds(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Sum over all buckets.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Maximum one-second value.
+    pub fn peak(&self) -> u64 {
+        self.buckets.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean events per second over the covered window, or 0 if empty.
+    pub fn mean_rate(&self) -> f64 {
+        if self.buckets.is_empty() {
+            0.0
+        } else {
+            self.total() as f64 / self.buckets.len() as f64
+        }
+    }
+
+    /// Read-only view of the bucket values.
+    pub fn values(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+/// Converts a latency duration into seconds for statistics.
+pub fn latency_secs(d: SimDuration) -> f64 {
+    d.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_empty_is_zero() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn summary_merge_matches_single_stream() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        for &x in &data {
+            whole.record(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for (i, &x) in data.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn cdf_quantiles_and_fractions() {
+        let cdf = Cdf::from_samples(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(cdf.quantile(0.0), Some(1.0));
+        assert_eq!(cdf.quantile(0.5), Some(3.0));
+        assert_eq!(cdf.quantile(1.0), Some(5.0));
+        assert!((cdf.fraction_below(3.0) - 0.6).abs() < 1e-12);
+        assert_eq!(cdf.fraction_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_below(10.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_empty() {
+        let cdf = Cdf::from_samples(Vec::new());
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.quantile(0.5), None);
+        assert_eq!(cdf.fraction_below(1.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_sampled_points_monotone() {
+        let cdf = Cdf::from_samples((0..1000).map(|i| i as f64).collect());
+        let pts = cdf.sampled_points(10);
+        assert_eq!(pts.len(), 10);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(1.0, 4);
+        for x in [0.5, 1.5, 1.7, 3.9, 4.0, 100.0, -1.0] {
+            h.record(x);
+        }
+        let counts: Vec<u64> = h.iter().map(|(_, c)| c).collect();
+        assert_eq!(counts, vec![2, 2, 0, 1]); // -1 clamps to bucket 0
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn timeseries_buckets() {
+        let mut ts = TimeSeries::new();
+        ts.record_at(SimTime::from_millis(100), 1);
+        ts.record_at(SimTime::from_millis(900), 2);
+        ts.record_at(SimTime::from_secs(2), 5);
+        assert_eq!(ts.get(0), 3);
+        assert_eq!(ts.get(1), 0);
+        assert_eq!(ts.get(2), 5);
+        assert_eq!(ts.seconds(), 3);
+        assert_eq!(ts.total(), 8);
+        assert_eq!(ts.peak(), 5);
+        assert!((ts.mean_rate() - 8.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,260 @@
+//! Static analysis of VM programs: validation and disassembly.
+//!
+//! Contracts are deployed once and run millions of times in a benchmark;
+//! [`validate`] catches malformed programs (dangling jumps, fall-through
+//! past the end, unreachable entry points) at deploy time instead of
+//! mid-experiment, and [`disassemble`] renders programs for inspection —
+//! the closest thing a benchmark suite needs to a contract debugger.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::op::Op;
+use crate::program::Program;
+
+/// A static-validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A jump targets an instruction index outside the program.
+    JumpOutOfRange {
+        /// Offending instruction index.
+        pc: usize,
+        /// The bad target.
+        target: usize,
+    },
+    /// Execution can fall off the end of the program from this entry.
+    FallThrough {
+        /// The entry point whose flow reaches the end.
+        entry: String,
+    },
+    /// An entry point's index lies outside the program.
+    EntryOutOfRange {
+        /// The entry point name.
+        entry: String,
+    },
+    /// The program has no entry points at all.
+    NoEntryPoints,
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::JumpOutOfRange { pc, target } => {
+                write!(f, "jump at pc {pc} targets out-of-range index {target}")
+            }
+            ValidateError::FallThrough { entry } => {
+                write!(f, "entry `{entry}` can fall off the end of the program")
+            }
+            ValidateError::EntryOutOfRange { entry } => {
+                write!(f, "entry `{entry}` points outside the program")
+            }
+            ValidateError::NoEntryPoints => write!(f, "program has no entry points"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Statically validates a program: every jump lands inside the program
+/// and no instruction reachable from an entry point can fall off the
+/// end (every path ends in `Halt` or `Revert`).
+pub fn validate(program: &Program) -> Result<(), ValidateError> {
+    let n = program.len();
+    if program.entry_names().next().is_none() {
+        return Err(ValidateError::NoEntryPoints);
+    }
+    // Jump-range check over the whole program.
+    for (pc, &op) in program.ops().iter().enumerate() {
+        if let Op::Jump(t) | Op::JumpIfZero(t) | Op::JumpIfNotZero(t) = op {
+            if t >= n {
+                return Err(ValidateError::JumpOutOfRange { pc, target: t });
+            }
+        }
+    }
+    // Reachability per entry: breadth-first over the control-flow graph.
+    let entries: Vec<String> = program.entry_names().map(str::to_string).collect();
+    for entry in entries {
+        let Some(start) = program.entry(&entry) else {
+            return Err(ValidateError::EntryOutOfRange { entry });
+        };
+        if start >= n {
+            return Err(ValidateError::EntryOutOfRange { entry });
+        }
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::from([start]);
+        while let Some(pc) = queue.pop_front() {
+            if pc >= n {
+                return Err(ValidateError::FallThrough { entry });
+            }
+            if std::mem::replace(&mut seen[pc], true) {
+                continue;
+            }
+            match program.op(pc).expect("pc < n") {
+                Op::Halt | Op::Revert(_) => {}
+                Op::Jump(t) => queue.push_back(t),
+                Op::JumpIfZero(t) | Op::JumpIfNotZero(t) => {
+                    queue.push_back(t);
+                    queue.push_back(pc + 1);
+                }
+                _ => queue.push_back(pc + 1),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders a program as human-readable assembly, one instruction per
+/// line, with entry points annotated.
+pub fn disassemble(program: &Program) -> String {
+    let mut entries: Vec<(usize, &str)> = program
+        .entry_names()
+        .filter_map(|n| program.entry(n).map(|pc| (pc, n)))
+        .collect();
+    entries.sort_unstable();
+    let mut out = String::new();
+    for (pc, &op) in program.ops().iter().enumerate() {
+        for &(epc, name) in &entries {
+            if epc == pc {
+                let _ = writeln!(out, "{name}:");
+            }
+        }
+        let operand = match op {
+            Op::Push(v) => format!(" {v}"),
+            Op::Dup(n) | Op::Swap(n) => format!(" {n}"),
+            Op::Shl(n) | Op::Shr(n) => format!(" {n}"),
+            Op::Jump(t) | Op::JumpIfZero(t) | Op::JumpIfNotZero(t) => format!(" @{t}"),
+            Op::Load(i) | Op::Store(i) | Op::Arg(i) => format!(" {i}"),
+            Op::Emit { tag, arity } => format!(" tag={tag} arity={arity}"),
+            Op::Revert(code) => format!(" {code}"),
+            _ => String::new(),
+        };
+        let _ = writeln!(out, "  {pc:>5}  {}{operand}", op.mnemonic());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Asm;
+
+    fn halting() -> Program {
+        let mut asm = Asm::new();
+        asm.entry("main");
+        asm.op(Op::Push(1)).op(Op::Halt);
+        asm.finish()
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        assert_eq!(validate(&halting()), Ok(()));
+    }
+
+    #[test]
+    fn all_dapp_contracts_validate() {
+        use diablo_contracts_check::*;
+        // (See the contracts crate's own tests; here we validate the
+        // assembler building blocks directly.)
+        for program in sample_programs() {
+            assert_eq!(validate(&program), Ok(()));
+        }
+    }
+
+    /// Local stand-in module building representative programs (loops,
+    /// branches) without a dependency cycle on `diablo-contracts`.
+    mod diablo_contracts_check {
+        use super::*;
+
+        pub fn sample_programs() -> Vec<Program> {
+            let mut v = Vec::new();
+            v.push(super::halting());
+            // A loop with a conditional exit.
+            let mut asm = Asm::new();
+            asm.entry("loop");
+            asm.op(Op::Push(10)).op(Op::Store(0));
+            let top = asm.here();
+            let done = asm.new_label();
+            asm.op(Op::Load(0));
+            asm.jump_if_zero(done);
+            asm.op(Op::Load(0))
+                .op(Op::Push(1))
+                .op(Op::Sub)
+                .op(Op::Store(0));
+            asm.jump(top);
+            asm.bind(done);
+            asm.op(Op::Halt);
+            v.push(asm.finish());
+            // Multiple entries, one reverting.
+            let mut asm = Asm::new();
+            asm.entry("ok");
+            asm.op(Op::Halt);
+            asm.entry("fail");
+            asm.op(Op::Revert(9));
+            v.push(asm.finish());
+            v
+        }
+    }
+
+    #[test]
+    fn fall_through_is_rejected() {
+        let mut asm = Asm::new();
+        asm.entry("main");
+        asm.op(Op::Push(1)).op(Op::Pop);
+        // No terminator.
+        let program = asm.finish();
+        assert_eq!(
+            validate(&program),
+            Err(ValidateError::FallThrough {
+                entry: "main".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn conditional_fall_through_is_rejected() {
+        // The taken branch halts, the fall-through path runs off the end.
+        let mut asm = Asm::new();
+        asm.entry("main");
+        let end = asm.new_label();
+        asm.op(Op::Push(1));
+        asm.jump_if_zero(end);
+        asm.op(Op::Nop); // falls through past `end`'s Halt? No: end is after.
+        asm.bind(end);
+        asm.op(Op::Halt);
+        // This one is fine...
+        assert_eq!(validate(&asm.finish()), Ok(()));
+        // ...but dropping the final Halt is not.
+        let mut asm = Asm::new();
+        asm.entry("main");
+        let end = asm.new_label();
+        asm.op(Op::Push(1));
+        asm.jump_if_zero(end);
+        asm.op(Op::Halt);
+        asm.bind(end);
+        asm.op(Op::Nop);
+        let program = asm.finish();
+        assert!(matches!(
+            validate(&program),
+            Err(ValidateError::FallThrough { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_program_is_rejected() {
+        let program = Asm::new().finish();
+        assert_eq!(validate(&program), Err(ValidateError::NoEntryPoints));
+    }
+
+    #[test]
+    fn disassembly_mentions_entries_and_targets() {
+        let mut asm = Asm::new();
+        asm.entry("main");
+        let top = asm.here();
+        asm.op(Op::Push(5));
+        asm.jump(top);
+        let text = disassemble(&asm.finish());
+        assert!(text.contains("main:"), "{text}");
+        assert!(text.contains("push 5"), "{text}");
+        assert!(text.contains("jump @0"), "{text}");
+    }
+}

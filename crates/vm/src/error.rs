@@ -1,0 +1,130 @@
+//! VM execution errors.
+
+use core::fmt;
+
+/// Why an execution failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The flavor's hard per-transaction compute budget was exhausted.
+    ///
+    /// This is the "budget exceeded" / "computational budget exceeded"
+    /// error of the paper's §6.4 and artifact appendix E2. It cannot be
+    /// avoided by paying a larger fee.
+    BudgetExceeded {
+        /// Units consumed when the budget tripped.
+        used: u64,
+        /// The hard budget.
+        budget: u64,
+    },
+    /// The gas allowance supplied with the transaction ran out
+    /// (recoverable by paying for more gas — distinct from
+    /// [`ExecError::BudgetExceeded`]).
+    OutOfGas {
+        /// Units consumed when the allowance tripped.
+        used: u64,
+        /// The transaction's allowance.
+        limit: u64,
+    },
+    /// A pop on an empty stack.
+    StackUnderflow {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// The stack grew past the interpreter limit.
+    StackOverflow {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// Division or modulo by zero.
+    DivisionByZero {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// Checked arithmetic overflowed the machine word.
+    Overflow {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// A jump target outside the program.
+    InvalidJump {
+        /// The bad target.
+        target: usize,
+    },
+    /// The program fell off the end without `Halt`.
+    MissingTerminator,
+    /// The requested entry point does not exist.
+    UnknownEntry {
+        /// The requested function name.
+        name: String,
+    },
+    /// A storage write violated the flavor's state limits (e.g. the AVM
+    /// 128-byte key-value entries that made the YouTube DApp
+    /// unimplementable in TEAL).
+    StateLimitExceeded,
+    /// The contract executed `Revert` with this application-level code.
+    Reverted(u16),
+}
+
+impl ExecError {
+    /// Whether this failure is the hard, fee-independent kind that makes
+    /// a DApp impossible to run on the chain (paper §6.4).
+    pub fn is_hard_budget(&self) -> bool {
+        matches!(self, ExecError::BudgetExceeded { .. })
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::BudgetExceeded { used, budget } => {
+                write!(
+                    f,
+                    "computational budget exceeded ({used} used, hard budget {budget})"
+                )
+            }
+            ExecError::OutOfGas { used, limit } => {
+                write!(f, "out of gas ({used} used, limit {limit})")
+            }
+            ExecError::StackUnderflow { pc } => write!(f, "stack underflow at pc {pc}"),
+            ExecError::StackOverflow { pc } => write!(f, "stack overflow at pc {pc}"),
+            ExecError::DivisionByZero { pc } => write!(f, "division by zero at pc {pc}"),
+            ExecError::Overflow { pc } => write!(f, "arithmetic overflow at pc {pc}"),
+            ExecError::InvalidJump { target } => write!(f, "invalid jump target {target}"),
+            ExecError::MissingTerminator => write!(f, "program ended without halt"),
+            ExecError::UnknownEntry { name } => write!(f, "unknown entry point `{name}`"),
+            ExecError::StateLimitExceeded => write!(f, "contract state limit exceeded"),
+            ExecError::Reverted(code) => write!(f, "reverted with code {code}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_errors_are_hard() {
+        assert!(ExecError::BudgetExceeded {
+            used: 701,
+            budget: 700
+        }
+        .is_hard_budget());
+        assert!(!ExecError::OutOfGas {
+            used: 100,
+            limit: 90
+        }
+        .is_hard_budget());
+        assert!(!ExecError::Reverted(1).is_hard_budget());
+    }
+
+    #[test]
+    fn display_mentions_the_paper_error_string() {
+        let e = ExecError::BudgetExceeded {
+            used: 701,
+            budget: 700,
+        };
+        assert!(format!("{e}").contains("budget exceeded"));
+    }
+}

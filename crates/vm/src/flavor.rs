@@ -1,0 +1,134 @@
+//! The four execution engines of the paper's Table 4.
+
+use core::fmt;
+
+use crate::gas::GasSchedule;
+use crate::state::StateLimits;
+
+/// A virtual-machine flavor: cost schedule, hard per-transaction compute
+/// budget (if any) and contract-state limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VmFlavor {
+    /// go-ethereum EVM (Avalanche C-Chain, Ethereum, Quorum). Solidity
+    /// DApps. No hard per-transaction compute cap — only the block gas
+    /// limit applies, which is exactly why §6.4 finds that only the
+    /// geth-based chains can execute the Mobility DApp.
+    Geth,
+    /// Algorand AVM executing TEAL (written via PyTeal). Hard 700-op
+    /// application-call budget; key-value state limited to 128-byte
+    /// entries (which made the paper's YouTube DApp unimplementable).
+    Avm,
+    /// Diem MoveVM. Hard maximum gas per transaction.
+    MoveVm,
+    /// Solana eBPF/SBF runtime. Hard compute-unit budget per transaction.
+    Ebpf,
+}
+
+impl VmFlavor {
+    /// All four flavors.
+    pub const ALL: [VmFlavor; 4] = [
+        VmFlavor::Geth,
+        VmFlavor::Avm,
+        VmFlavor::MoveVm,
+        VmFlavor::Ebpf,
+    ];
+
+    /// The flavor's cost schedule.
+    pub const fn schedule(self) -> GasSchedule {
+        match self {
+            VmFlavor::Geth => GasSchedule::GETH,
+            VmFlavor::Avm => GasSchedule::AVM,
+            VmFlavor::MoveVm => GasSchedule::MOVE_VM,
+            VmFlavor::Ebpf => GasSchedule::EBPF,
+        }
+    }
+
+    /// Hard per-transaction compute budget, or `None` for geth.
+    ///
+    /// These limits are protocol constants that cannot be lifted by
+    /// paying a larger fee (§6.4: "This execution limit is hard-coded").
+    pub const fn per_tx_budget(self) -> Option<u64> {
+        match self {
+            VmFlavor::Geth => None,
+            // 700 TEAL ops per application call.
+            VmFlavor::Avm => Some(700),
+            // Maximum gas units per Diem transaction.
+            VmFlavor::MoveVm => Some(4_000_000),
+            // Solana compute units per transaction.
+            VmFlavor::Ebpf => Some(200_000),
+        }
+    }
+
+    /// Contract-state limits for this flavor.
+    pub const fn state_limits(self) -> StateLimits {
+        match self {
+            // Geth, MoveVM, eBPF: effectively unbounded for our DApps.
+            VmFlavor::Geth | VmFlavor::MoveVm | VmFlavor::Ebpf => StateLimits::unbounded(),
+            // Algorand: key-value store with 128 bytes per entry and a
+            // small number of entries per application.
+            VmFlavor::Avm => StateLimits {
+                max_blob_bytes: 128,
+                max_entries: 64,
+            },
+        }
+    }
+
+    /// The VM name as printed in the paper's Table 4.
+    pub const fn name(self) -> &'static str {
+        match self {
+            VmFlavor::Geth => "geth",
+            VmFlavor::Avm => "AVM",
+            VmFlavor::MoveVm => "MoveVM",
+            VmFlavor::Ebpf => "eBPF",
+        }
+    }
+
+    /// The DApp source language compiled to this VM (Table 4).
+    pub const fn dapp_language(self) -> &'static str {
+        match self {
+            VmFlavor::Geth => "Solidity",
+            VmFlavor::Avm => "PyTeal",
+            VmFlavor::MoveVm => "Move",
+            VmFlavor::Ebpf => "Solidity",
+        }
+    }
+}
+
+impl fmt::Display for VmFlavor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_geth_is_uncapped() {
+        assert_eq!(VmFlavor::Geth.per_tx_budget(), None);
+        for f in [VmFlavor::Avm, VmFlavor::MoveVm, VmFlavor::Ebpf] {
+            assert!(f.per_tx_budget().is_some(), "{f} must have a hard budget");
+        }
+    }
+
+    #[test]
+    fn avm_budget_is_700_ops() {
+        assert_eq!(VmFlavor::Avm.per_tx_budget(), Some(700));
+    }
+
+    #[test]
+    fn avm_state_is_tiny() {
+        let lim = VmFlavor::Avm.state_limits();
+        assert_eq!(lim.max_blob_bytes, 128);
+        assert!(VmFlavor::Geth.state_limits().max_blob_bytes > 1_000_000);
+    }
+
+    #[test]
+    fn names_match_table4() {
+        assert_eq!(VmFlavor::Geth.name(), "geth");
+        assert_eq!(VmFlavor::Avm.dapp_language(), "PyTeal");
+        assert_eq!(VmFlavor::MoveVm.dapp_language(), "Move");
+        assert_eq!(VmFlavor::Ebpf.name(), "eBPF");
+    }
+}

@@ -1,0 +1,218 @@
+//! Gas schedules.
+//!
+//! Each VM flavor charges different unit costs per instruction class.
+//! The geth schedule follows the relative weights of the EVM (cheap
+//! arithmetic, expensive storage); the AVM schedule is flat (TEAL counts
+//! opcodes against its 700-op budget); MoveVM and eBPF sit in between.
+
+use crate::op::Op;
+
+/// Per-instruction-class unit costs for one VM flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GasSchedule {
+    /// Stack manipulation and trivial ops.
+    pub base: u64,
+    /// Add/sub/compare/bitwise.
+    pub arith: u64,
+    /// Multiply.
+    pub mul: u64,
+    /// Divide/modulo.
+    pub div: u64,
+    /// Control flow.
+    pub jump: u64,
+    /// Local register access.
+    pub local: u64,
+    /// Persistent storage read.
+    pub sload: u64,
+    /// Persistent storage write.
+    pub sstore: u64,
+    /// Event emission, flat part.
+    pub emit_base: u64,
+    /// Event emission, per argument.
+    pub emit_per_arg: u64,
+    /// Payload storage, per byte.
+    pub blob_per_byte: u64,
+    /// Flat cost charged on top of execution for any transaction
+    /// (the EVM's 21,000 intrinsic gas; zero where the ledger prices
+    /// execution separately).
+    pub intrinsic: u64,
+    /// Cost per byte of call data.
+    pub calldata_per_byte: u64,
+}
+
+impl GasSchedule {
+    /// The go-ethereum (EVM) schedule, used by Avalanche, Ethereum and
+    /// Quorum. Relative weights follow the yellow paper: storage writes
+    /// cost three orders of magnitude more than arithmetic.
+    pub const GETH: GasSchedule = GasSchedule {
+        base: 2,
+        arith: 3,
+        mul: 5,
+        div: 5,
+        jump: 8,
+        local: 3,
+        sload: 800,
+        sstore: 5000,
+        emit_base: 375,
+        emit_per_arg: 375,
+        blob_per_byte: 20,
+        intrinsic: 21_000,
+        calldata_per_byte: 16,
+    };
+
+    /// The Algorand AVM schedule: every TEAL op counts one unit against
+    /// the application-call budget.
+    pub const AVM: GasSchedule = GasSchedule {
+        base: 1,
+        arith: 1,
+        mul: 1,
+        div: 1,
+        jump: 1,
+        local: 1,
+        sload: 1,
+        sstore: 1,
+        emit_base: 1,
+        emit_per_arg: 1,
+        blob_per_byte: 1,
+        intrinsic: 0,
+        calldata_per_byte: 0,
+    };
+
+    /// The Diem MoveVM schedule: metered gas units with storage access
+    /// markedly more expensive than computation.
+    pub const MOVE_VM: GasSchedule = GasSchedule {
+        base: 15,
+        arith: 25,
+        mul: 30,
+        div: 30,
+        jump: 25,
+        local: 20,
+        sload: 800,
+        sstore: 2_000,
+        emit_base: 500,
+        emit_per_arg: 100,
+        blob_per_byte: 10,
+        intrinsic: 600,
+        calldata_per_byte: 4,
+    };
+
+    /// The Solana eBPF (SBF) schedule: compute units, one-ish per
+    /// instruction with syscalls (storage, logging) costing more.
+    pub const EBPF: GasSchedule = GasSchedule {
+        base: 1,
+        arith: 1,
+        mul: 2,
+        div: 4,
+        jump: 1,
+        local: 1,
+        sload: 25,
+        sstore: 100,
+        emit_base: 100,
+        emit_per_arg: 10,
+        blob_per_byte: 1,
+        intrinsic: 0,
+        calldata_per_byte: 0,
+    };
+
+    /// Execution cost of one instruction (not counting per-transaction
+    /// intrinsics, which the ledger charges at admission).
+    pub fn cost(&self, op: Op) -> u64 {
+        match op {
+            Op::Push(_) | Op::Pop | Op::Dup(_) | Op::Swap(_) | Op::Nop => self.base,
+            Op::Add
+            | Op::Sub
+            | Op::Neg
+            | Op::Lt
+            | Op::Gt
+            | Op::Eq
+            | Op::IsZero
+            | Op::And
+            | Op::Or
+            | Op::Shl(_)
+            | Op::Shr(_) => self.arith,
+            Op::Mul => self.mul,
+            Op::Div | Op::Mod => self.div,
+            Op::Jump(_) | Op::JumpIfZero(_) | Op::JumpIfNotZero(_) => self.jump,
+            Op::Load(_) | Op::Store(_) | Op::Arg(_) | Op::Caller => self.local,
+            Op::SLoad => self.sload,
+            Op::SStore => self.sstore,
+            Op::Emit { arity, .. } => self.emit_base + self.emit_per_arg * arity as u64,
+            Op::StoreBlob => self.base, // per-byte part charged separately
+            Op::Halt | Op::Revert(_) => 0,
+        }
+    }
+
+    /// Cost of storing `len` payload bytes via [`Op::StoreBlob`].
+    pub fn blob_cost(&self, len: u64) -> u64 {
+        self.blob_per_byte.saturating_mul(len)
+    }
+
+    /// Intrinsic admission cost of a transaction carrying `calldata`
+    /// bytes of input.
+    pub fn intrinsic_cost(&self, calldata: u64) -> u64 {
+        self.intrinsic + self.calldata_per_byte.saturating_mul(calldata)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geth_storage_dwarfs_arithmetic() {
+        let g = GasSchedule::GETH;
+        assert!(g.cost(Op::SStore) > 1000 * g.cost(Op::Add) / 3);
+        assert!(g.cost(Op::SLoad) > 100 * g.cost(Op::Add));
+    }
+
+    #[test]
+    fn avm_is_flat() {
+        let a = GasSchedule::AVM;
+        for op in [
+            Op::Add,
+            Op::Mul,
+            Op::Div,
+            Op::SLoad,
+            Op::SStore,
+            Op::Jump(0),
+        ] {
+            assert_eq!(a.cost(op), 1);
+        }
+        assert_eq!(a.intrinsic_cost(100), 0);
+    }
+
+    #[test]
+    fn emit_scales_with_arity() {
+        let g = GasSchedule::GETH;
+        let e0 = g.cost(Op::Emit { tag: 1, arity: 0 });
+        let e3 = g.cost(Op::Emit { tag: 1, arity: 3 });
+        assert_eq!(e3, e0 + 3 * g.emit_per_arg);
+    }
+
+    #[test]
+    fn terminators_are_free() {
+        for sched in [
+            GasSchedule::GETH,
+            GasSchedule::AVM,
+            GasSchedule::MOVE_VM,
+            GasSchedule::EBPF,
+        ] {
+            assert_eq!(sched.cost(Op::Halt), 0);
+            assert_eq!(sched.cost(Op::Revert(1)), 0);
+        }
+    }
+
+    #[test]
+    fn intrinsic_includes_calldata() {
+        let g = GasSchedule::GETH;
+        assert_eq!(g.intrinsic_cost(0), 21_000);
+        assert_eq!(g.intrinsic_cost(10), 21_000 + 160);
+    }
+
+    #[test]
+    fn blob_cost_scales() {
+        let g = GasSchedule::GETH;
+        assert_eq!(g.blob_cost(32), 640);
+        assert_eq!(GasSchedule::EBPF.blob_cost(1000), 1000);
+    }
+}

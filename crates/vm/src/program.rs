@@ -1,0 +1,227 @@
+//! Programs and the assembler used to build them.
+//!
+//! The DApps in `diablo-contracts` are written against [`Asm`], a tiny
+//! two-pass assembler with named entry points and forward-referencing
+//! labels, then frozen into an immutable [`Program`].
+
+use std::collections::HashMap;
+
+use crate::op::Op;
+
+/// A label handle produced by [`Asm::new_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// An immutable, validated program with named entry points.
+#[derive(Debug, Clone)]
+pub struct Program {
+    ops: Vec<Op>,
+    entries: HashMap<String, usize>,
+}
+
+impl Program {
+    /// The instruction stream.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The instruction at `pc`, if in range.
+    pub fn op(&self, pc: usize) -> Option<Op> {
+        self.ops.get(pc).copied()
+    }
+
+    /// Program length in instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The program counter of a named entry point.
+    pub fn entry(&self, name: &str) -> Option<usize> {
+        self.entries.get(name).copied()
+    }
+
+    /// Iterates the entry point names.
+    pub fn entry_names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+}
+
+/// Two-pass assembler: emit instructions, bind labels, finish.
+#[derive(Debug, Default)]
+pub struct Asm {
+    ops: Vec<Op>,
+    entries: HashMap<String, usize>,
+    /// Resolved label positions (`usize::MAX` = unbound).
+    labels: Vec<usize>,
+    /// Instruction slots whose jump target is `Label(i)`.
+    fixups: Vec<(usize, usize)>,
+}
+
+impl Asm {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Declares a named entry point at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name was already declared (a programming error in
+    /// the contract source).
+    pub fn entry(&mut self, name: &str) -> &mut Self {
+        let prev = self.entries.insert(name.to_string(), self.ops.len());
+        assert!(prev.is_none(), "duplicate entry point `{name}`");
+        self
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(usize::MAX);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        assert_eq!(self.labels[label.0], usize::MAX, "label bound twice");
+        self.labels[label.0] = self.ops.len();
+        self
+    }
+
+    /// Convenience: allocates a label bound right here.
+    pub fn here(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    /// Emits one instruction.
+    pub fn op(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Emits several instructions.
+    pub fn ops(&mut self, ops: &[Op]) -> &mut Self {
+        self.ops.extend_from_slice(ops);
+        self
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jump(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.ops.len(), label.0));
+        self.ops.push(Op::Jump(usize::MAX));
+        self
+    }
+
+    /// Emits a jump-if-zero to `label`.
+    pub fn jump_if_zero(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.ops.len(), label.0));
+        self.ops.push(Op::JumpIfZero(usize::MAX));
+        self
+    }
+
+    /// Emits a jump-if-not-zero to `label`.
+    pub fn jump_if_not_zero(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.ops.len(), label.0));
+        self.ops.push(Op::JumpIfNotZero(usize::MAX));
+        self
+    }
+
+    /// Resolves labels and freezes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn finish(self) -> Program {
+        let mut ops = self.ops;
+        for (slot, label) in self.fixups {
+            let target = self.labels[label];
+            assert_ne!(target, usize::MAX, "label {label} used but never bound");
+            ops[slot] = match ops[slot] {
+                Op::Jump(_) => Op::Jump(target),
+                Op::JumpIfZero(_) => Op::JumpIfZero(target),
+                Op::JumpIfNotZero(_) => Op::JumpIfNotZero(target),
+                other => unreachable!("fixup on non-jump {other:?}"),
+            };
+        }
+        Program {
+            ops,
+            entries: self.entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_and_ops() {
+        let mut asm = Asm::new();
+        asm.entry("main");
+        asm.op(Op::Push(1)).op(Op::Halt);
+        asm.entry("other");
+        asm.op(Op::Push(2)).op(Op::Halt);
+        let p = asm.finish();
+        assert_eq!(p.entry("main"), Some(0));
+        assert_eq!(p.entry("other"), Some(2));
+        assert_eq!(p.entry("nope"), None);
+        assert_eq!(p.len(), 4);
+        let mut names: Vec<&str> = p.entry_names().collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["main", "other"]);
+    }
+
+    #[test]
+    fn forward_labels_resolve() {
+        let mut asm = Asm::new();
+        asm.entry("main");
+        let end = asm.new_label();
+        asm.op(Op::Push(0));
+        asm.jump_if_zero(end);
+        asm.op(Op::Push(99)); // skipped
+        asm.bind(end);
+        asm.op(Op::Halt);
+        let p = asm.finish();
+        assert_eq!(p.op(1), Some(Op::JumpIfZero(3)));
+    }
+
+    #[test]
+    fn backward_labels_resolve() {
+        let mut asm = Asm::new();
+        asm.entry("main");
+        let top = asm.here();
+        asm.op(Op::Nop);
+        asm.jump(top);
+        let p = asm.finish();
+        assert_eq!(p.op(1), Some(Op::Jump(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate entry point")]
+    fn duplicate_entry_panics() {
+        let mut asm = Asm::new();
+        asm.entry("main");
+        asm.entry("main");
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut asm = Asm::new();
+        asm.entry("main");
+        let l = asm.new_label();
+        asm.jump(l);
+        let _ = asm.finish();
+    }
+}

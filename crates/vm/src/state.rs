@@ -1,0 +1,151 @@
+//! Persistent contract state.
+//!
+//! A contract owns a word-keyed word store plus an accounting of opaque
+//! payload bytes (for the video-sharing DApp). Flavors impose
+//! [`StateLimits`]; exceeding them is a deploy-time or run-time error —
+//! which is how the paper's "we could not implement the video sharing
+//! DApp in TEAL" manifests in this reproduction.
+
+use std::collections::HashMap;
+
+use crate::Word;
+
+/// Per-flavor limits on contract state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateLimits {
+    /// Largest single opaque payload (bytes) the state can absorb.
+    pub max_blob_bytes: u64,
+    /// Maximum number of key-value entries.
+    pub max_entries: usize,
+}
+
+impl StateLimits {
+    /// Limits that our DApps can never hit.
+    pub const fn unbounded() -> StateLimits {
+        StateLimits {
+            max_blob_bytes: u64::MAX / 2,
+            max_entries: usize::MAX / 2,
+        }
+    }
+
+    /// Whether a blob of `len` bytes fits.
+    pub const fn blob_fits(&self, len: u64) -> bool {
+        len <= self.max_blob_bytes
+    }
+}
+
+/// The persistent state of one deployed contract.
+#[derive(Debug, Clone, Default)]
+pub struct ContractState {
+    entries: HashMap<Word, Word>,
+    blob_bytes: u64,
+    blob_count: u64,
+}
+
+impl ContractState {
+    /// Fresh, empty state.
+    pub fn new() -> Self {
+        ContractState::default()
+    }
+
+    /// Reads `key`, returning 0 when absent (EVM semantics).
+    pub fn load(&self, key: Word) -> Word {
+        self.entries.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Writes `key := value`. Returns `false` (and leaves the state
+    /// untouched) when the entry count limit would be exceeded.
+    pub fn store(&mut self, key: Word, value: Word, limits: &StateLimits) -> bool {
+        if !self.entries.contains_key(&key) && self.entries.len() >= limits.max_entries {
+            return false;
+        }
+        self.entries.insert(key, value);
+        true
+    }
+
+    /// Accounts for an opaque payload of `len` bytes. Returns `false`
+    /// when the flavor's blob limit rejects it.
+    pub fn store_blob(&mut self, len: u64, limits: &StateLimits) -> bool {
+        if !limits.blob_fits(len) {
+            return false;
+        }
+        self.blob_bytes = self.blob_bytes.saturating_add(len);
+        self.blob_count += 1;
+        true
+    }
+
+    /// Reverses one [`ContractState::store_blob`] of `len` bytes
+    /// (rollback support for the interpreter's journal).
+    pub fn unstore_blob(&mut self, len: u64) {
+        self.blob_bytes = self.blob_bytes.saturating_sub(len);
+        self.blob_count = self.blob_count.saturating_sub(1);
+    }
+
+    /// Number of key-value entries.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total opaque payload bytes absorbed.
+    pub fn blob_bytes(&self) -> u64 {
+        self.blob_bytes
+    }
+
+    /// Number of opaque payloads absorbed.
+    pub fn blob_count(&self) -> u64 {
+        self.blob_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_keys_read_zero() {
+        let s = ContractState::new();
+        assert_eq!(s.load(42), 0);
+    }
+
+    #[test]
+    fn store_and_load_roundtrip() {
+        let mut s = ContractState::new();
+        let lim = StateLimits::unbounded();
+        assert!(s.store(1, 10, &lim));
+        assert!(s.store(2, -5, &lim));
+        assert_eq!(s.load(1), 10);
+        assert_eq!(s.load(2), -5);
+        assert!(s.store(1, 11, &lim));
+        assert_eq!(s.load(1), 11);
+        assert_eq!(s.entry_count(), 2);
+    }
+
+    #[test]
+    fn entry_limit_rejects_new_keys_but_allows_updates() {
+        let mut s = ContractState::new();
+        let lim = StateLimits {
+            max_blob_bytes: 128,
+            max_entries: 2,
+        };
+        assert!(s.store(1, 1, &lim));
+        assert!(s.store(2, 2, &lim));
+        assert!(!s.store(3, 3, &lim));
+        assert_eq!(s.load(3), 0);
+        // Updating an existing key is still allowed.
+        assert!(s.store(2, 20, &lim));
+        assert_eq!(s.load(2), 20);
+    }
+
+    #[test]
+    fn blob_limit_enforced() {
+        let mut s = ContractState::new();
+        let avm = StateLimits {
+            max_blob_bytes: 128,
+            max_entries: 64,
+        };
+        assert!(s.store_blob(128, &avm));
+        assert!(!s.store_blob(129, &avm));
+        assert_eq!(s.blob_bytes(), 128);
+        assert_eq!(s.blob_count(), 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! Workload generation for the Diablo benchmark suite.
+//!
+//! Implements the realistic traces of the paper's Table 2 — NASDAQ GAFAM
+//! stock bursts, the Dota 2 constant hammering, the FIFA '98 world-cup
+//! final, the extrapolated Uber NYC demand and the extrapolated YouTube
+//! upload rate — plus the synthetic constant-rate workloads of §6.2/§6.3.
+//!
+//! A [`Workload`] is a per-second submission-rate curve; it can be
+//! inspected (peak, mean, duration: the numbers printed in Table 2),
+//! scaled, split across Diablo Secondaries and expanded into exact
+//! per-tick transaction counts with deterministic rounding.
+
+#![warn(missing_docs)]
+
+pub mod synth;
+pub mod traces;
+pub mod workload;
+
+pub use workload::Workload;

@@ -1,0 +1,179 @@
+//! Synthetic workload generators beyond constant rates.
+//!
+//! The paper's related work drives blockchains with synthetic curves
+//! (Caliper's rate controllers, Blockbench's micro-benchmarks,
+//! Chainhammer's continuous hammering); these generators let Diablo-rs
+//! users build the same families — ramps, spikes, square waves, diurnal
+//! curves and Poisson-jittered variants of any base curve — without
+//! leaving the workload type.
+
+use diablo_sim::DetRng;
+
+use crate::workload::Workload;
+
+/// A linear ramp from `from` TPS to `to` TPS over `secs` seconds.
+pub fn ramp(from: f64, to: f64, secs: u64) -> Workload {
+    assert!(secs > 0, "ramp needs a duration");
+    let rates = (0..secs)
+        .map(|s| {
+            let t = if secs == 1 {
+                0.0
+            } else {
+                s as f64 / (secs - 1) as f64
+            };
+            from + (to - from) * t
+        })
+        .collect();
+    Workload::from_rates(format!("ramp-{from}-{to}"), rates)
+}
+
+/// A baseline with one rectangular spike: `base` TPS everywhere, `peak`
+/// TPS during `[spike_at, spike_at + spike_secs)`.
+pub fn spike(base: f64, peak: f64, spike_at: u64, spike_secs: u64, secs: u64) -> Workload {
+    assert!(spike_at + spike_secs <= secs, "spike must fit the duration");
+    let rates = (0..secs)
+        .map(|s| {
+            if s >= spike_at && s < spike_at + spike_secs {
+                peak
+            } else {
+                base
+            }
+        })
+        .collect();
+    Workload::from_rates(format!("spike-{peak}at{spike_at}"), rates)
+}
+
+/// A square wave alternating between `low` and `high` every
+/// `half_period` seconds (Chainhammer-style stress with recovery gaps).
+pub fn square_wave(low: f64, high: f64, half_period: u64, secs: u64) -> Workload {
+    assert!(half_period > 0, "square wave needs a period");
+    let rates = (0..secs)
+        .map(|s| {
+            if (s / half_period).is_multiple_of(2) {
+                low
+            } else {
+                high
+            }
+        })
+        .collect();
+    Workload::from_rates("square-wave", rates)
+}
+
+/// A diurnal (sinusoidal) curve: mean `mean`, amplitude `amplitude`,
+/// one full cycle per `period_secs`.
+pub fn diurnal(mean: f64, amplitude: f64, period_secs: u64, secs: u64) -> Workload {
+    assert!(amplitude <= mean, "rates must stay non-negative");
+    assert!(period_secs > 0, "diurnal needs a period");
+    let rates = (0..secs)
+        .map(|s| {
+            let phase = s as f64 / period_secs as f64 * std::f64::consts::TAU;
+            mean + amplitude * phase.sin()
+        })
+        .collect();
+    Workload::from_rates("diurnal", rates)
+}
+
+/// Poisson-jitters a base curve: each second's rate is resampled as a
+/// Poisson draw with the base rate as its mean (clients are independent
+/// in the real world; exact per-second counts are a simplification).
+pub fn poissonize(base: &Workload, rng: &mut DetRng) -> Workload {
+    let rates = base
+        .rates()
+        .iter()
+        .map(|&rate| poisson(rng, rate) as f64)
+        .collect();
+    Workload::from_rates(format!("{}-poisson", base.name()), rates)
+}
+
+/// Draws a Poisson-distributed count with the given mean (Knuth's
+/// algorithm for small means, normal approximation for large ones).
+fn poisson(rng: &mut DetRng, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean > 64.0 {
+        // Normal approximation with continuity correction.
+        let x = rng.normal(mean, mean.sqrt());
+        return x.round().max(0.0) as u64;
+    }
+    let limit = (-mean).exp();
+    let mut product = rng.next_f64();
+    let mut count = 0;
+    while product > limit {
+        count += 1;
+        product *= rng.next_f64();
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_endpoints() {
+        let w = ramp(100.0, 500.0, 5);
+        assert_eq!(w.rate_at(0), 100.0);
+        assert_eq!(w.rate_at(4), 500.0);
+        assert!((w.mean_tps() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spike_shape() {
+        let w = spike(10.0, 1_000.0, 30, 2, 60);
+        assert_eq!(w.rate_at(29), 10.0);
+        assert_eq!(w.rate_at(30), 1_000.0);
+        assert_eq!(w.rate_at(31), 1_000.0);
+        assert_eq!(w.rate_at(32), 10.0);
+        assert_eq!(w.peak_tps(), 1_000.0);
+    }
+
+    #[test]
+    fn square_wave_alternates() {
+        let w = square_wave(0.0, 100.0, 10, 40);
+        assert_eq!(w.rate_at(5), 0.0);
+        assert_eq!(w.rate_at(15), 100.0);
+        assert_eq!(w.rate_at(25), 0.0);
+        assert_eq!(w.rate_at(35), 100.0);
+    }
+
+    #[test]
+    fn diurnal_oscillates_around_the_mean() {
+        let w = diurnal(1_000.0, 500.0, 60, 120);
+        assert!(
+            (w.mean_tps() - 1_000.0).abs() < 20.0,
+            "mean {}",
+            w.mean_tps()
+        );
+        assert!(w.peak_tps() > 1_400.0);
+        let min = w.rates().iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(min >= 499.0, "min {min}");
+    }
+
+    #[test]
+    fn poissonize_preserves_the_mean_roughly() {
+        let base = crate::traces::constant(200.0, 500);
+        let mut rng = DetRng::new(5);
+        let jittered = poissonize(&base, &mut rng);
+        assert_eq!(jittered.duration_secs(), 500);
+        let mean = jittered.mean_tps();
+        assert!((mean - 200.0).abs() < 5.0, "mean {mean}");
+        // It actually varies.
+        assert!(jittered.peak_tps() > 200.0);
+    }
+
+    #[test]
+    fn poisson_small_and_large_means() {
+        let mut rng = DetRng::new(6);
+        let n = 20_000;
+        for mean in [0.5, 5.0, 200.0] {
+            let total: u64 = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+            let empirical = total as f64 / n as f64;
+            assert!(
+                (empirical - mean).abs() / mean < 0.06,
+                "mean {mean}: empirical {empirical}"
+            );
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! The distributed Primary/Secondary deployment over real TCP.
+//!
+//! Starts a Diablo Primary on a localhost listener and three Secondaries
+//! (as the paper's §5.3 command lines do, with a location tag each),
+//! runs a native-transfer benchmark against a simulated Diem testnet
+//! and prints both the Secondaries' local statistics and the Primary's
+//! aggregate.
+//!
+//! Run with: `cargo run --release --example distributed_tcp`
+
+use std::net::TcpListener;
+use std::thread;
+
+use diablo::chains::Chain;
+use diablo::core::primary::BenchmarkOptions;
+use diablo::core::wire::{run_secondary, serve_primary};
+use diablo::net::DeploymentKind;
+
+const SPEC: &str = r#"
+let:
+  - &acc { sample: !account { number: 500 } }
+workloads:
+  - number: 6
+    client:
+      view: { sample: !endpoint [ ".*" ] }
+      behavior:
+        - interaction: !transfer
+            from: *acc
+          load:
+            0: 100
+            30: 0
+"#;
+
+fn main() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind localhost");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    println!("primary listening on {addr}, expecting 3 secondaries\n");
+
+    // Spawn the three Secondaries, tagged like the paper's AWS zones.
+    let tags = ["us-east-2", "eu-north-1", "ap-northeast-1"];
+    let secondaries: Vec<_> = tags
+        .iter()
+        .map(|tag| {
+            let addr = addr.clone();
+            let tag = tag.to_string();
+            thread::spawn(move || run_secondary(&addr, &tag))
+        })
+        .collect();
+
+    // The Primary coordinates the run.
+    let report = serve_primary(
+        &listener,
+        Chain::Diem,
+        DeploymentKind::Testnet,
+        SPEC,
+        "native-600",
+        &BenchmarkOptions::default(),
+        tags.len(),
+    )
+    .expect("primary run");
+
+    for handle in secondaries {
+        let stats = handle
+            .join()
+            .expect("secondary thread")
+            .expect("secondary run");
+        println!("{stats}");
+    }
+    println!();
+    print!("{}", report.stats_text());
+}

@@ -1,0 +1,57 @@
+//! The Exchange DApp under the NASDAQ market-open rush.
+//!
+//! Replays the Apple (AAPL) stock burst — 10,000 buy orders in the
+//! first second — through the `ExchangeContractGafam` contract on two
+//! chains with opposite mempool philosophies: Quorum (IBFT, never drops
+//! a request) and Solana (bounded pool, drops under pressure), then
+//! prints their latency CDFs side by side (the paper's Figure 6 story).
+//!
+//! Run with: `cargo run --release --example exchange_nasdaq`
+
+use diablo::chains::{Chain, Experiment, RunResult};
+use diablo::contracts::DApp;
+use diablo::net::DeploymentKind;
+use diablo::workloads::traces;
+
+fn run(chain: Chain) -> RunResult {
+    Experiment::new(chain, DeploymentKind::Consortium, traces::apple())
+        .with_dapp(DApp::Exchange)
+        .run()
+}
+
+fn main() {
+    println!("Exchange DApp / Apple burst (peak 10,000 TPS) on the consortium deployment\n");
+    let quorum = run(Chain::Quorum);
+    let solana = run(Chain::Solana);
+
+    for r in [&quorum, &solana] {
+        println!("{}", r.summary());
+    }
+
+    println!("\nLatency CDF (fraction of submitted orders committed within t):");
+    println!("{:>8} {:>10} {:>10}", "t", "Quorum", "Solana");
+    for t in [1.0, 2.0, 4.0, 8.0, 15.0, 30.0, 60.0, 120.0] {
+        let frac = |r: &RunResult| {
+            let cdf = r.latency_cdf();
+            cdf.fraction_below(t) * cdf.len() as f64 / r.submitted().max(1) as f64
+        };
+        println!(
+            "{:>7.0}s {:>9.1}% {:>9.1}%",
+            t,
+            frac(&quorum) * 100.0,
+            frac(&solana) * 100.0
+        );
+    }
+
+    println!(
+        "\nQuorum's IBFT never drops an admitted request: the burst is fully absorbed. \
+         Solana's bounded pool plateaus — the dropped orders never commit, exactly the \
+         availability trade-off of the paper's §6.5."
+    );
+    let dropped = solana.submitted() - solana.committed();
+    println!(
+        "Solana dropped {} of {} orders.",
+        dropped,
+        solana.submitted()
+    );
+}

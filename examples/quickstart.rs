@@ -1,0 +1,44 @@
+//! Quickstart: benchmark one blockchain with one workload.
+//!
+//! Mirrors the artifact's first experiment (`workload-native-10.yaml`):
+//! a light native-transfer workload against a simulated Algorand
+//! testnet, printing the primary's statistics block.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use diablo::chains::{Chain, Experiment};
+use diablo::net::DeploymentKind;
+use diablo::workloads::traces;
+
+fn main() {
+    // 10 transactions per second for 30 seconds — the artifact's
+    // "native-10" smoke workload.
+    let workload = traces::constant(10.0, 30);
+
+    println!(
+        "Running {} on a simulated Algorand {}...",
+        workload,
+        DeploymentKind::Testnet
+    );
+    let result = Experiment::new(Chain::Algorand, DeploymentKind::Testnet, workload).run();
+
+    println!("{}", result.summary());
+    println!(
+        "first transaction: submitted at {:.2}s, committed after {:.2}s",
+        result.records[0].submitted.as_secs_f64(),
+        result.records[0].latency_secs().unwrap_or(f64::NAN),
+    );
+
+    // The same experiment across all six chains, one line each.
+    println!("\nAll six chains, same workload:");
+    for chain in Chain::ALL {
+        let r = Experiment::new(chain, DeploymentKind::Testnet, traces::constant(10.0, 30)).run();
+        println!(
+            "  {:<10} throughput {:>5.1} TPS, latency {:>5.1}s, commits {:>5.1}%",
+            chain.name(),
+            r.avg_throughput(),
+            r.avg_latency_secs(),
+            r.commit_ratio() * 100.0
+        );
+    }
+}

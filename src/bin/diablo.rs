@@ -1,0 +1,278 @@
+//! The `diablo` command-line interface.
+//!
+//! Mirrors the paper's §5.3 invocation style:
+//!
+//! ```text
+//! diablo primary --port=5000 --chain=quorum --deployment=testnet \
+//!     --secondaries=2 --output=results.json --csv=results.csv --stat \
+//!     workload.yaml
+//! diablo secondary --primary=127.0.0.1:5000 --tag=us-east-2
+//! diablo run --chain=solana --deployment=devnet --stat workload.yaml
+//! ```
+//!
+//! `primary` serves the distributed TCP mode and waits for
+//! `--secondaries=N` connections; `secondary` connects to a primary;
+//! `run` executes the whole pipeline in-process (planning threads play
+//! the secondaries).
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use diablo::chains::Chain;
+use diablo::core::analysis::{latency_cdf_dat, throughput_series_dat};
+use diablo::core::json::read_result_stats;
+use diablo::core::output::{results_csv, results_json};
+use diablo::core::primary::run_with_setup;
+use diablo::core::wire::{run_secondary, serve_primary};
+use diablo::core::{run_local, BenchmarkOptions, Report, Setup};
+use diablo::net::DeploymentKind;
+
+struct Args {
+    flags: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Args {
+        let mut flags = Vec::new();
+        let mut positional = Vec::new();
+        for arg in argv {
+            if let Some(rest) = arg.strip_prefix("--") {
+                match rest.split_once('=') {
+                    Some((k, v)) => flags.push((k.to_string(), v.to_string())),
+                    None => flags.push((rest.to_string(), "true".to_string())),
+                }
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Args { flags, positional }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  diablo run --chain=<name> [--deployment=<name>] [--secondaries=N] \
+         [--seed=N] [--output=FILE] [--csv=FILE] [--series=FILE] [--cdf=FILE] [--stat] <workload.yaml>\n  \
+         diablo primary --secondaries=N --chain=<name> [--port=P] [--deployment=<name>] \
+         [--output=FILE] [--csv=FILE] [--stat] <workload.yaml>\n  \
+         diablo secondary --primary=<addr> [--tag=<zone>]\n  \
+         diablo compare <a.results.json> <b.results.json>\n\nchains: {}\ndeployments: {}",
+        Chain::ALL.map(|c| c.name().to_lowercase()).join(", "),
+        DeploymentKind::ALL.map(|d| d.name()).join(", ")
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_common(args: &Args) -> Result<(Chain, DeploymentKind, BenchmarkOptions, String), String> {
+    let chain = args
+        .get("chain")
+        .ok_or("missing --chain")
+        .and_then(|c| Chain::parse(c).ok_or("unknown chain"))?;
+    let deployment = match args.get("deployment") {
+        Some(d) => DeploymentKind::parse(d).ok_or("unknown deployment")?,
+        None => DeploymentKind::Testnet,
+    };
+    let mut options = BenchmarkOptions::default();
+    if let Some(n) = args.get("secondaries") {
+        options.secondaries = n.parse().map_err(|_| "bad --secondaries")?;
+    }
+    if let Some(s) = args.get("seed") {
+        options.seed = s.parse().map_err(|_| "bad --seed")?;
+    }
+    let spec_path = args
+        .positional
+        .get(1)
+        .ok_or("missing workload file")?
+        .clone();
+    Ok((chain, deployment, options, spec_path))
+}
+
+fn emit(report: &Report, args: &Args) -> Result<(), String> {
+    if let Some(path) = args.get("output") {
+        std::fs::write(path, results_json(&report.result)).map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.get("csv") {
+        std::fs::write(path, results_csv(&report.result)).map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.get("series") {
+        std::fs::write(path, throughput_series_dat(&report.result)).map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.get("cdf") {
+        std::fs::write(path, latency_cdf_dat(&report.result, 500)).map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+    }
+    if args.has("stat") {
+        print!("{}", report.stats_text());
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    // With --setup=FILE, the chain and deployment come from the setup
+    // file (the paper's two-file invocation); otherwise from flags.
+    if let Some(setup_path) = args.get("setup") {
+        let setup_text =
+            std::fs::read_to_string(setup_path).map_err(|e| format!("{setup_path}: {e}"))?;
+        let setup = Setup::parse(&setup_text).map_err(|e| e.to_string())?;
+        let mut options = BenchmarkOptions::default();
+        if let Some(n) = args.get("secondaries") {
+            options.secondaries = n.parse().map_err(|_| "bad --secondaries")?;
+        }
+        if let Some(seed) = args.get("seed") {
+            options.seed = seed.parse().map_err(|_| "bad --seed")?;
+        }
+        let spec_path = args
+            .positional
+            .get(1)
+            .ok_or("missing workload file")?
+            .clone();
+        let spec = std::fs::read_to_string(&spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+        let name = spec_path
+            .rsplit('/')
+            .next()
+            .unwrap_or(&spec_path)
+            .trim_end_matches(".yaml");
+        let report = run_with_setup(&setup, &spec, name, &options)?;
+        return emit(&report, args);
+    }
+    let (chain, deployment, options, spec_path) = parse_common(args)?;
+    let spec = std::fs::read_to_string(&spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let name = spec_path
+        .rsplit('/')
+        .next()
+        .unwrap_or(&spec_path)
+        .trim_end_matches(".yaml");
+    let report = run_local(chain, deployment, &spec, name, &options)?;
+    emit(&report, args)
+}
+
+fn cmd_primary(args: &Args) -> Result<(), String> {
+    let (chain, deployment, options, spec_path) = parse_common(args)?;
+    let spec = std::fs::read_to_string(&spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let name = spec_path
+        .rsplit('/')
+        .next()
+        .unwrap_or(&spec_path)
+        .trim_end_matches(".yaml");
+    let port: u16 = args
+        .get("port")
+        .unwrap_or("5000")
+        .parse()
+        .map_err(|_| "bad --port")?;
+    let listener =
+        TcpListener::bind(("0.0.0.0", port)).map_err(|e| format!("bind port {port}: {e}"))?;
+    eprintln!(
+        "primary listening on port {port}, waiting for {} secondaries",
+        options.secondaries
+    );
+    let report = serve_primary(
+        &listener,
+        chain,
+        deployment,
+        &spec,
+        name,
+        &options,
+        options.secondaries,
+    )?;
+    emit(&report, args)
+}
+
+fn cmd_secondary(args: &Args) -> Result<(), String> {
+    let addr = args.get("primary").ok_or("missing --primary=<addr>")?;
+    let tag = args.get("tag").unwrap_or("untagged");
+    let stats = run_secondary(addr, tag)?;
+    println!("{stats}");
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let a_path = args
+        .positional
+        .get(1)
+        .ok_or("compare needs two results.json files")?;
+    let b_path = args
+        .positional
+        .get(2)
+        .ok_or("compare needs two results.json files")?;
+    let read = |p: &str| -> Result<_, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+        read_result_stats(&text).map_err(|e| format!("{p}: {e}"))
+    };
+    let a = read(a_path)?;
+    let b = read(b_path)?;
+    println!("{:<16} {:>20} {:>20} {:>10}", "", a_path, b_path, "delta");
+    println!("{:<16} {:>20} {:>20}", "chain", a.chain, b.chain);
+    println!("{:<16} {:>20} {:>20}", "workload", a.workload, b.workload);
+    println!(
+        "{:<16} {:>20} {:>20} {:>+10}",
+        "sent",
+        a.sent,
+        b.sent,
+        b.sent as i64 - a.sent as i64
+    );
+    println!(
+        "{:<16} {:>20} {:>20} {:>+10}",
+        "committed",
+        a.committed,
+        b.committed,
+        b.committed as i64 - a.committed as i64
+    );
+    println!(
+        "{:<16} {:>20.1} {:>20.1} {:>+10.1}",
+        "throughput TPS",
+        a.avg_throughput,
+        b.avg_throughput,
+        b.avg_throughput - a.avg_throughput
+    );
+    println!(
+        "{:<16} {:>20.2} {:>20.2} {:>+10.2}",
+        "latency s",
+        a.avg_latency,
+        b.avg_latency,
+        b.avg_latency - a.avg_latency
+    );
+    for (path, stats) in [(a_path, &a), (b_path, &b)] {
+        if let Some(reason) = &stats.unable {
+            println!("note: {path} was unable to run ({reason})");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(&argv);
+    let Some(command) = args.positional.first().map(String::as_str) else {
+        return usage();
+    };
+    let result = match command {
+        "run" => cmd_run(&args),
+        "primary" => cmd_primary(&args),
+        "secondary" => cmd_secondary(&args),
+        "compare" => cmd_compare(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("diablo {command}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Diablo-rs: a Rust reproduction of *DIABLO: A Benchmark Suite for
+//! Blockchains* (EuroSys 2023).
+//!
+//! This facade crate re-exports the workspace crates so examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! - [`sim`] — deterministic discrete-event simulation kernel,
+//! - [`net`] — geo-distributed network and deployment configurations,
+//! - [`vm`] — gas-metered smart-contract virtual machine (4 flavors),
+//! - [`contracts`] — the five DApps of the paper plus native transfers,
+//! - [`chains`] — the six simulated blockchains,
+//! - [`workloads`] — realistic and synthetic workload generators,
+//! - [`core`] — the Diablo framework: primary/secondary roles, workload
+//!   specification language, blockchain abstraction and metrics.
+
+pub use diablo_chains as chains;
+pub use diablo_contracts as contracts;
+pub use diablo_core as core;
+pub use diablo_net as net;
+pub use diablo_sim as sim;
+pub use diablo_vm as vm;
+pub use diablo_workloads as workloads;

