@@ -4,64 +4,48 @@
 //! figure binary is made of. A 120-second, 1,000 TPS experiment should
 //! simulate in tens of milliseconds.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use diablo_testkit::bench::{black_box, Bench};
 
 use diablo_chains::{Chain, Experiment};
 use diablo_contracts::DApp;
 use diablo_net::DeploymentKind;
 use diablo_workloads::traces;
 
-fn native_runs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2e/native_1k_tps_120s");
-    group.sample_size(10);
+fn main() {
+    let mut b = Bench::suite("end_to_end");
+    b.samples(10);
+
     for chain in Chain::ALL {
-        group.bench_function(chain.name(), |b| {
-            b.iter(|| {
-                black_box(
-                    Experiment::new(
-                        chain,
-                        DeploymentKind::Testnet,
-                        traces::constant(1_000.0, 120),
-                    )
-                    .run()
-                    .committed(),
+        b.bench(&format!("e2e/native_1k_tps_120s/{}", chain.name()), || {
+            black_box(
+                Experiment::new(
+                    chain,
+                    DeploymentKind::Testnet,
+                    traces::constant(1_000.0, 120),
                 )
-            })
+                .run()
+                .committed(),
+            )
         });
     }
-    group.finish();
-}
 
-fn consortium_dapp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2e/consortium_dapp");
-    group.sample_size(10);
-    group.bench_function("quorum_exchange_gafam", |b| {
-        b.iter(|| {
-            black_box(
-                Experiment::new(Chain::Quorum, DeploymentKind::Consortium, traces::gafam())
-                    .with_dapp(DApp::Exchange)
-                    .run()
-                    .committed(),
-            )
-        })
+    b.bench("e2e/consortium_dapp/quorum_exchange_gafam", || {
+        black_box(
+            Experiment::new(Chain::Quorum, DeploymentKind::Consortium, traces::gafam())
+                .with_dapp(DApp::Exchange)
+                .run()
+                .committed(),
+        )
     });
-    group.bench_function("solana_fifa", |b| {
-        b.iter(|| {
-            black_box(
-                Experiment::new(Chain::Solana, DeploymentKind::Consortium, traces::fifa())
-                    .with_dapp(DApp::WebService)
-                    .run()
-                    .committed(),
-            )
-        })
+    b.bench("e2e/consortium_dapp/solana_fifa", || {
+        black_box(
+            Experiment::new(Chain::Solana, DeploymentKind::Consortium, traces::fifa())
+                .with_dapp(DApp::WebService)
+                .run()
+                .committed(),
+        )
     });
-    group.finish();
-}
 
-fn framework_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2e/framework");
-    group.sample_size(10);
     const SPEC: &str = r#"
 workloads:
   - number: 4
@@ -73,24 +57,20 @@ workloads:
             0: 250
             30: 0
 "#;
-    group.bench_function("run_local_quorum_30k_txs", |b| {
-        b.iter(|| {
-            black_box(
-                diablo_core::run_local(
-                    Chain::Quorum,
-                    DeploymentKind::Testnet,
-                    SPEC,
-                    "bench",
-                    &diablo_core::BenchmarkOptions::default(),
-                )
-                .expect("runs")
-                .result
-                .committed(),
+    b.bench("e2e/framework/run_local_quorum_30k_txs", || {
+        black_box(
+            diablo_core::run_local(
+                Chain::Quorum,
+                DeploymentKind::Testnet,
+                SPEC,
+                "bench",
+                &diablo_core::BenchmarkOptions::default(),
             )
-        })
+            .expect("runs")
+            .result
+            .committed(),
+        )
     });
-    group.finish();
-}
 
-criterion_group!(benches, native_runs, consortium_dapp, framework_pipeline);
-criterion_main!(benches);
+    b.finish();
+}

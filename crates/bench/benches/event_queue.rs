@@ -1,35 +1,8 @@
 //! Microbenchmark: the discrete-event kernel.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
+use diablo_testkit::bench::{black_box, Bench};
 
 use diablo_sim::{DetRng, EventQueue, Scheduler, SimDuration, SimTime, Simulation, World};
-
-fn queue_throughput(c: &mut Criterion) {
-    c.bench_function("sim/queue_schedule_pop_100k", |b| {
-        b.iter_batched(
-            || {
-                let mut rng = DetRng::new(1);
-                let times: Vec<SimTime> = (0..100_000)
-                    .map(|_| SimTime::from_micros(rng.next_below(1_000_000)))
-                    .collect();
-                times
-            },
-            |times| {
-                let mut q = EventQueue::with_capacity(times.len());
-                for (i, t) in times.iter().enumerate() {
-                    q.schedule(*t, i as u32);
-                }
-                let mut acc = 0u64;
-                while let Some((_, e)) = q.pop() {
-                    acc += e as u64;
-                }
-                black_box(acc)
-            },
-            BatchSize::LargeInput,
-        )
-    });
-}
 
 /// A world that reschedules itself `n` times (pure engine overhead).
 struct Chained {
@@ -47,28 +20,45 @@ impl World for Chained {
     }
 }
 
-fn engine_overhead(c: &mut Criterion) {
-    c.bench_function("sim/engine_chain_100k_events", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::new(Chained { remaining: 100_000 });
-            sim.schedule(SimTime::ZERO, ());
-            black_box(sim.run_to_completion())
-        })
-    });
-}
+fn main() {
+    let mut b = Bench::suite("event_queue");
 
-fn rng_throughput(c: &mut Criterion) {
-    c.bench_function("sim/rng_1m_draws", |b| {
-        b.iter(|| {
-            let mut rng = DetRng::new(7);
+    b.bench_batched(
+        "sim/queue_schedule_pop_100k",
+        || {
+            let mut rng = DetRng::new(1);
+            let times: Vec<SimTime> = (0..100_000)
+                .map(|_| SimTime::from_micros(rng.next_below(1_000_000)))
+                .collect();
+            times
+        },
+        |times| {
+            let mut q = EventQueue::with_capacity(times.len());
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(*t, i as u32);
+            }
             let mut acc = 0u64;
-            for _ in 0..1_000_000 {
-                acc = acc.wrapping_add(rng.next_u64());
+            while let Some((_, e)) = q.pop() {
+                acc += e as u64;
             }
             black_box(acc)
-        })
-    });
-}
+        },
+    );
 
-criterion_group!(benches, queue_throughput, engine_overhead, rng_throughput);
-criterion_main!(benches);
+    b.bench("sim/engine_chain_100k_events", || {
+        let mut sim = Simulation::new(Chained { remaining: 100_000 });
+        sim.schedule(SimTime::ZERO, ());
+        black_box(sim.run_to_completion())
+    });
+
+    b.bench("sim/rng_1m_draws", || {
+        let mut rng = DetRng::new(7);
+        let mut acc = 0u64;
+        for _ in 0..1_000_000 {
+            acc = acc.wrapping_add(rng.next_u64());
+        }
+        black_box(acc)
+    });
+
+    b.finish();
+}

@@ -4,8 +4,7 @@
 //! take-batch scan is also the mechanism behind Quorum's overload
 //! collapse, so its cost profile matters.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
+use diablo_testkit::bench::{black_box, Bench};
 
 use diablo_chains::{Mempool, MempoolPolicy, Payload, TxMeta};
 use diablo_sim::SimTime;
@@ -30,8 +29,9 @@ fn filled(policy: MempoolPolicy, n: u32) -> Mempool {
     pool
 }
 
-fn admission(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mempool/admit_10k");
+fn main() {
+    let mut b = Bench::suite("mempool");
+
     for (name, policy) in [
         ("unbounded", MempoolPolicy::UNBOUNDED),
         ("bounded", MempoolPolicy::bounded(5_000)),
@@ -43,50 +43,36 @@ fn admission(c: &mut Criterion) {
             },
         ),
     ] {
-        group.bench_function(name, |b| {
-            b.iter_batched(
-                || Mempool::new(policy),
-                |mut pool| {
-                    for i in 0..10_000u32 {
-                        let _ = pool.admit(tx(i, i % 130));
-                    }
-                    black_box(pool.len())
-                },
-                BatchSize::SmallInput,
-            )
-        });
-    }
-    group.finish();
-}
-
-fn take_batch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mempool/take_batch_1500");
-    for backlog in [2_000u32, 20_000, 200_000] {
-        group.bench_function(format!("backlog_{backlog}"), |b| {
-            b.iter_batched(
-                || filled(MempoolPolicy::UNBOUNDED, backlog),
-                |mut pool| black_box(pool.take_batch(1_500, u64::MAX, |_| true).len()),
-                BatchSize::LargeInput,
-            )
-        });
-    }
-    group.finish();
-}
-
-fn eviction(c: &mut Criterion) {
-    c.bench_function("mempool/evict_expired_50k", |b| {
-        b.iter_batched(
-            || filled(MempoolPolicy::bounded(100_000), 50_000),
+        b.bench_batched(
+            &format!("mempool/admit_10k/{name}"),
+            || Mempool::new(policy),
             |mut pool| {
-                black_box(
-                    pool.evict_where(|t| t.submitted < SimTime::from_micros(25_000))
-                        .len(),
-                )
+                for i in 0..10_000u32 {
+                    let _ = pool.admit(tx(i, i % 130));
+                }
+                black_box(pool.len())
             },
-            BatchSize::LargeInput,
-        )
-    });
-}
+        );
+    }
 
-criterion_group!(benches, admission, take_batch, eviction);
-criterion_main!(benches);
+    for backlog in [2_000u32, 20_000, 200_000] {
+        b.bench_batched(
+            &format!("mempool/take_batch_1500/backlog_{backlog}"),
+            || filled(MempoolPolicy::UNBOUNDED, backlog),
+            |mut pool| black_box(pool.take_batch(1_500, u64::MAX, |_| true).len()),
+        );
+    }
+
+    b.bench_batched(
+        "mempool/evict_expired_50k",
+        || filled(MempoolPolicy::bounded(100_000), 50_000),
+        |mut pool| {
+            black_box(
+                pool.evict_where(|t| t.submitted < SimTime::from_micros(25_000))
+                    .len(),
+            )
+        },
+    );
+
+    b.finish();
+}

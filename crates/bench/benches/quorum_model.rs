@@ -4,8 +4,7 @@
 //! all-to-all order-statistic rounds; this is computed once per block,
 //! so its cost bounds the block rate the simulator can sustain.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use diablo_testkit::bench::{black_box, Bench};
 
 use diablo_net::{DeploymentConfig, DeploymentKind, NetworkModel, QuorumModel};
 
@@ -14,32 +13,29 @@ fn model_for(kind: DeploymentKind) -> QuorumModel {
     QuorumModel::new(&cfg, &NetworkModel::deterministic())
 }
 
-fn construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("quorum/construct");
-    for kind in [DeploymentKind::Devnet, DeploymentKind::Consortium] {
-        group.bench_function(kind.name(), |b| b.iter(|| black_box(model_for(kind))));
-    }
-    group.finish();
-}
+fn main() {
+    let mut b = Bench::suite("quorum_model");
 
-fn phases(c: &mut Criterion) {
+    for kind in [DeploymentKind::Devnet, DeploymentKind::Consortium] {
+        b.bench(&format!("quorum/construct/{}", kind.name()), || {
+            black_box(model_for(kind))
+        });
+    }
+
     let devnet = model_for(DeploymentKind::Devnet);
     let consortium = model_for(DeploymentKind::Consortium);
-    let mut group = c.benchmark_group("quorum/phase");
-    group.bench_function("ibft_commit_10_nodes", |b| {
-        b.iter(|| black_box(devnet.ibft_commit(3, 250_000)))
+    b.bench("quorum/phase/ibft_commit_10_nodes", || {
+        black_box(devnet.ibft_commit(3, 250_000))
     });
-    group.bench_function("ibft_commit_200_nodes", |b| {
-        b.iter(|| black_box(consortium.ibft_commit(42, 250_000)))
+    b.bench("quorum/phase/ibft_commit_200_nodes", || {
+        black_box(consortium.ibft_commit(42, 250_000))
     });
-    group.bench_function("hotstuff_commit_200_nodes", |b| {
-        b.iter(|| black_box(consortium.hotstuff_commit(42, 250_000)))
+    b.bench("quorum/phase/hotstuff_commit_200_nodes", || {
+        black_box(consortium.hotstuff_commit(42, 250_000))
     });
-    group.bench_function("gossip_200_nodes", |b| {
-        b.iter(|| black_box(consortium.gossip_all(42, 8, 250_000)))
+    b.bench("quorum/phase/gossip_200_nodes", || {
+        black_box(consortium.gossip_all(42, 8, 250_000))
     });
-    group.finish();
-}
 
-criterion_group!(benches, construction, phases);
-criterion_main!(benches);
+    b.finish();
+}

@@ -1,33 +1,27 @@
 //! Microbenchmark: the workload-specification pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use diablo_testkit::bench::{black_box, Bench};
 
 use diablo_core::adapters;
 use diablo_core::secondary::{declare_resources, plan_range};
 use diablo_core::spec::{BenchmarkSpec, PAPER_DOTA_SPEC};
 
-fn parse(c: &mut Criterion) {
-    c.bench_function("spec/parse_paper_dota", |b| {
-        b.iter(|| black_box(BenchmarkSpec::parse(PAPER_DOTA_SPEC).expect("parses")))
-    });
-}
+fn main() {
+    let mut b = Bench::suite("spec_parsing");
 
-fn plan(c: &mut Criterion) {
+    b.bench("spec/parse_paper_dota", || {
+        black_box(BenchmarkSpec::parse(PAPER_DOTA_SPEC).expect("parses"))
+    });
+
     // Planning the paper's dota spec presigns ~1.6M interactions.
     let spec = BenchmarkSpec::parse(PAPER_DOTA_SPEC).expect("parses");
-    let mut group = c.benchmark_group("spec/plan_paper_dota");
-    group.sample_size(10);
-    group.bench_function("three_clients", |b| {
-        b.iter(|| {
-            let mut conn = adapters::connector(diablo_chains::Chain::Quorum);
-            declare_resources(&spec, &mut conn).expect("resources");
-            plan_range(&spec, (0, 3), &mut conn).expect("plan");
-            black_box(conn.take_plan().len())
-        })
+    b.samples(10);
+    b.bench("spec/plan_paper_dota/three_clients", || {
+        let mut conn = adapters::connector(diablo_chains::Chain::Quorum);
+        declare_resources(&spec, &mut conn).expect("resources");
+        plan_range(&spec, (0, 3), &mut conn).expect("plan");
+        black_box(conn.take_plan().len())
     });
-    group.finish();
-}
 
-criterion_group!(benches, parse, plan);
-criterion_main!(benches);
+    b.finish();
+}

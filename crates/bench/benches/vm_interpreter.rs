@@ -4,14 +4,14 @@
 //! flavor — the per-transaction CPU work that the chain models charge —
 //! plus the interpreter's raw instruction throughput.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
+use diablo_testkit::bench::{black_box, Bench};
 
 use diablo_contracts::{build, calls, DApp};
 use diablo_vm::{Interpreter, TxContext, VmFlavor};
 
-fn dapp_calls(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vm/dapp_call");
+fn main() {
+    let mut b = Bench::suite("vm_interpreter");
+
     for dapp in [
         DApp::Exchange,
         DApp::Gaming,
@@ -27,38 +27,8 @@ fn dapp_calls(c: &mut Criterion) {
             payload_bytes: call.payload_bytes,
             gas_limit: u64::MAX,
         };
-        group.bench_function(dapp.name(), |b| {
-            b.iter_batched(
-                || contract.initial_state.clone(),
-                |mut state| {
-                    black_box(
-                        vm.execute(&contract.program, call.entry, &ctx, &mut state)
-                            .expect("executes"),
-                    )
-                },
-                BatchSize::SmallInput,
-            )
-        });
-    }
-    group.finish();
-}
-
-fn mobility_call(c: &mut Criterion) {
-    // The 1.4M-instruction Mobility call gets its own group with fewer
-    // samples (it runs for milliseconds).
-    let mut group = c.benchmark_group("vm/mobility");
-    group.sample_size(10);
-    let contract = build(DApp::Mobility, VmFlavor::Geth).expect("buildable");
-    let call = calls::call_for(DApp::Mobility, 0);
-    let vm = Interpreter::new(VmFlavor::Geth);
-    let ctx = TxContext {
-        caller: 1,
-        args: call.args.clone(),
-        payload_bytes: 0,
-        gas_limit: u64::MAX,
-    };
-    group.bench_function("checkDistance_10k_drivers", |b| {
-        b.iter_batched(
+        b.bench_batched(
+            &format!("vm/dapp_call/{}", dapp.name()),
             || contract.initial_state.clone(),
             |mut state| {
                 black_box(
@@ -66,26 +36,48 @@ fn mobility_call(c: &mut Criterion) {
                         .expect("executes"),
                 )
             },
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
-}
+        );
+    }
 
-fn budget_rejection(c: &mut Criterion) {
+    // The 1.4M-instruction Mobility call gets its own group with fewer
+    // samples (it runs for milliseconds).
+    b.samples(10);
+    {
+        let contract = build(DApp::Mobility, VmFlavor::Geth).expect("buildable");
+        let call = calls::call_for(DApp::Mobility, 0);
+        let vm = Interpreter::new(VmFlavor::Geth);
+        let ctx = TxContext {
+            caller: 1,
+            args: call.args.clone(),
+            payload_bytes: 0,
+            gas_limit: u64::MAX,
+        };
+        b.bench_batched(
+            "vm/mobility/checkDistance_10k_drivers",
+            || contract.initial_state.clone(),
+            |mut state| {
+                black_box(
+                    vm.execute(&contract.program, call.entry, &ctx, &mut state)
+                        .expect("executes"),
+                )
+            },
+        );
+    }
+
     // How fast a hard-budget flavor rejects the Mobility DApp — this is
     // on the admission path for every probe.
-    let contract = build(DApp::Mobility, VmFlavor::Avm).expect("buildable");
-    let call = calls::call_for(DApp::Mobility, 0);
-    let vm = Interpreter::new(VmFlavor::Avm);
-    let ctx = TxContext {
-        caller: 1,
-        args: call.args.clone(),
-        payload_bytes: 0,
-        gas_limit: u64::MAX,
-    };
-    c.bench_function("vm/avm_budget_rejection", |b| {
-        b.iter_batched(
+    {
+        let contract = build(DApp::Mobility, VmFlavor::Avm).expect("buildable");
+        let call = calls::call_for(DApp::Mobility, 0);
+        let vm = Interpreter::new(VmFlavor::Avm);
+        let ctx = TxContext {
+            caller: 1,
+            args: call.args.clone(),
+            payload_bytes: 0,
+            gas_limit: u64::MAX,
+        };
+        b.bench_batched(
+            "vm/avm_budget_rejection",
             || contract.initial_state.clone(),
             |mut state| {
                 black_box(
@@ -93,10 +85,8 @@ fn budget_rejection(c: &mut Criterion) {
                         .unwrap_err(),
                 )
             },
-            BatchSize::SmallInput,
-        )
-    });
-}
+        );
+    }
 
-criterion_group!(benches, dapp_calls, mobility_call, budget_rejection);
-criterion_main!(benches);
+    b.finish();
+}

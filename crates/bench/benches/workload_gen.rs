@@ -1,37 +1,29 @@
 //! Microbenchmark: workload-trace generation and expansion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use diablo_testkit::bench::{black_box, Bench};
 
 use diablo_workloads::traces;
 
-fn generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workloads/generate");
-    group.bench_function("gafam", |b| b.iter(|| black_box(traces::gafam())));
-    group.bench_function("fifa", |b| b.iter(|| black_box(traces::fifa())));
-    group.bench_function("youtube", |b| b.iter(|| black_box(traces::youtube())));
-    group.finish();
-}
+fn main() {
+    let mut b = Bench::suite("workload_gen");
 
-fn expansion(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workloads/expand_ticks");
+    b.bench("workloads/generate/gafam", || black_box(traces::gafam()));
+    b.bench("workloads/generate/fifa", || black_box(traces::fifa()));
+    b.bench("workloads/generate/youtube", || black_box(traces::youtube()));
+
     let dota = traces::dota();
-    group.bench_function("dota_100ms", |b| {
-        b.iter(|| black_box(dota.ticks(100).iter().sum::<u64>()))
+    b.bench("workloads/expand_ticks/dota_100ms", || {
+        black_box(dota.ticks(100).iter().sum::<u64>())
     });
     let youtube = traces::youtube();
-    group.bench_function("youtube_100ms", |b| {
-        b.iter(|| black_box(youtube.ticks(100).iter().sum::<u64>()))
+    b.bench("workloads/expand_ticks/youtube_100ms", || {
+        black_box(youtube.ticks(100).iter().sum::<u64>())
     });
-    group.finish();
-}
 
-fn splitting(c: &mut Criterion) {
     let gafam = traces::gafam();
-    c.bench_function("workloads/split_200_secondaries", |b| {
-        b.iter(|| black_box(gafam.split(200).len()))
+    b.bench("workloads/split_200_secondaries", || {
+        black_box(gafam.split(200).len())
     });
-}
 
-criterion_group!(benches, generation, expansion, splitting);
-criterion_main!(benches);
+    b.finish();
+}

@@ -3,7 +3,7 @@
 //!
 //! `diablo-core`'s Secondaries plan transactions (presigning, §4); the
 //! harness injects those planned transactions into the chain simulation
-//! and returns one [`TxRecord`] per transaction, in input order. The
+//! and returns one [`crate::TxRecord`] per transaction, in input order. The
 //! higher-level [`crate::Experiment`] driver is a thin wrapper that
 //! plans transactions straight from a workload curve.
 

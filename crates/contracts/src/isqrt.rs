@@ -154,23 +154,28 @@ mod tests {
 
     mod property {
         use super::*;
-        use proptest::prelude::*;
+        use diablo_testkit::gen::i64s;
+        use diablo_testkit::{prop_assert, prop_assert_eq, Property};
 
-        proptest! {
-            /// Bytecode isqrt equals the oracle over the entire Mobility
-            /// DApp domain.
-            #[test]
-            fn matches_oracle_on_domain(n in 0i64..=200_000_000) {
+        /// Bytecode isqrt equals the oracle over the entire Mobility
+        /// DApp domain.
+        #[test]
+        fn matches_oracle_on_domain() {
+            Property::new("matches_oracle_on_domain").check(&i64s(0..=200_000_000), |&n| {
                 prop_assert_eq!(run_isqrt(n), isqrt_reference(n));
-            }
+                Ok(())
+            });
+        }
 
-            /// The oracle really is the floor square root.
-            #[test]
-            fn oracle_is_floor_sqrt(n in 0i64..=1_000_000_000_000) {
+        /// The oracle really is the floor square root.
+        #[test]
+        fn oracle_is_floor_sqrt() {
+            Property::new("oracle_is_floor_sqrt").check(&i64s(0..=1_000_000_000_000), |&n| {
                 let r = isqrt_reference(n);
                 prop_assert!(r * r <= n);
                 prop_assert!((r + 1) * (r + 1) > n);
-            }
+                Ok(())
+            });
         }
     }
 }

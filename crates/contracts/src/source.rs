@@ -280,13 +280,14 @@ mod tests {
 
     mod property {
         use super::*;
-        use proptest::prelude::*;
+        use diablo_testkit::gen::i64s;
+        use diablo_testkit::{prop_assert_eq, Property};
 
-        proptest! {
-            /// The structured-language isqrt equals the oracle over the
-            /// Mobility domain, like the hand-assembled one.
-            #[test]
-            fn lang_isqrt_matches_oracle(n in 0i64..=200_000_000) {
+        /// The structured-language isqrt equals the oracle over the
+        /// Mobility domain, like the hand-assembled one.
+        #[test]
+        fn lang_isqrt_matches_oracle() {
+            Property::new("lang_isqrt_matches_oracle").check(&i64s(0..=200_000_000), |&n| {
                 let p = isqrt_source();
                 let mut s = ContractState::new();
                 let got = Interpreter::new(VmFlavor::Geth)
@@ -295,7 +296,8 @@ mod tests {
                     .ret
                     .unwrap();
                 prop_assert_eq!(got, isqrt_reference(n));
-            }
+                Ok(())
+            });
         }
     }
 }

@@ -10,7 +10,7 @@
 //! "could not implement the video sharing DApp in TEAL as we needed data
 //! structures that were too large to be stored in the state whose space
 //! is limited by a key-value store with 128 bytes per key-value pair"
-//! (§5.2). [`crate::build`] surfaces that as [`crate::Unsupported`].
+//! (§5.2). [`crate::build()`] surfaces that as [`crate::Unsupported`].
 
 use diablo_vm::{Asm, ContractState, Op, Program, StateLimits, Word};
 

@@ -27,6 +27,7 @@
 pub mod abstraction;
 pub mod adapters;
 pub mod analysis;
+pub mod bytebuf;
 pub mod json;
 pub mod output;
 pub mod primary;
@@ -40,6 +41,7 @@ pub mod yaml;
 pub use abstraction::{
     ClientId, Connector, Encoded, Interaction, InteractionEvent, ResourceSpec, SimConnector,
 };
+pub use bytebuf::{ByteBuf, ByteReader};
 pub use primary::{run_local, BenchmarkOptions};
 pub use report::Report;
 pub use setup::Setup;

@@ -14,8 +14,6 @@
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 
-use bytes::{Buf, BufMut, BytesMut};
-
 use diablo_chains::tx::CallSel;
 use diablo_chains::{Chain, ChainHarness, HarnessOptions, Payload, PlannedTx, RunResult, TxStatus};
 use diablo_contracts::DApp;
@@ -23,6 +21,7 @@ use diablo_net::DeploymentKind;
 use diablo_sim::SimTime;
 
 use crate::adapters;
+use crate::bytebuf::{ByteBuf, ByteReader};
 use crate::output::status_name;
 use crate::primary::{partition_clients, BenchmarkOptions};
 use crate::report::Report;
@@ -111,27 +110,20 @@ pub enum Message {
     Done,
 }
 
-fn put_string(buf: &mut BytesMut, s: &str) {
+fn put_string(buf: &mut ByteBuf, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_string(buf: &mut &[u8]) -> Result<String, String> {
-    if buf.remaining() < 4 {
-        return Err("truncated string length".into());
-    }
-    let len = buf.get_u32_le() as usize;
-    if buf.remaining() < len {
-        return Err("truncated string body".into());
-    }
-    let s = String::from_utf8(buf[..len].to_vec()).map_err(|e| e.to_string())?;
-    buf.advance(len);
-    Ok(s)
+fn get_string(buf: &mut ByteReader) -> Result<String, String> {
+    let len = buf.get_u32_le().map_err(|_| "truncated string length")? as usize;
+    let bytes = buf.take(len).map_err(|_| "truncated string body")?;
+    String::from_utf8(bytes.to_vec()).map_err(|e| e.to_string())
 }
 
 /// Encodes a message into a framed byte buffer.
-pub fn encode(msg: &Message) -> BytesMut {
-    let mut body = BytesMut::with_capacity(64);
+pub fn encode(msg: &Message) -> ByteBuf {
+    let mut body = ByteBuf::with_capacity(64);
     match msg {
         Message::Hello { tag } => {
             body.put_u8(1);
@@ -181,18 +173,19 @@ pub fn encode(msg: &Message) -> BytesMut {
         }
         Message::Done => body.put_u8(8),
     }
-    let mut framed = BytesMut::with_capacity(body.len() + 4);
+    let mut framed = ByteBuf::with_capacity(body.len() + 4);
     framed.put_u32_le(body.len() as u32);
-    framed.extend_from_slice(&body);
+    framed.put_slice(&body);
     framed
 }
 
 /// Decodes one frame body (without the length prefix).
-pub fn decode(mut body: &[u8]) -> Result<Message, String> {
+pub fn decode(body: &[u8]) -> Result<Message, String> {
     if body.is_empty() {
         return Err("empty frame".into());
     }
-    let tag = body.get_u8();
+    let mut body = ByteReader::new(body);
+    let tag = body.get_u8()?;
     match tag {
         1 => Ok(Message::Hello {
             tag: get_string(&mut body)?,
@@ -203,8 +196,8 @@ pub fn decode(mut body: &[u8]) -> Result<Message, String> {
             if body.remaining() < 8 {
                 return Err("truncated assign".into());
             }
-            let first = body.get_u32_le();
-            let last = body.get_u32_le();
+            let first = body.get_u32_le()?;
+            let last = body.get_u32_le()?;
             Ok(Message::Assign {
                 chain,
                 spec,
@@ -213,43 +206,37 @@ pub fn decode(mut body: &[u8]) -> Result<Message, String> {
             })
         }
         3 => {
-            if body.remaining() < 4 {
-                return Err("truncated plan".into());
-            }
-            let n = body.get_u32_le() as usize;
+            let n = body.get_u32_le().map_err(|_| "truncated plan")? as usize;
             if body.remaining() < n * 32 {
                 return Err("truncated plan body".into());
             }
             let mut txs = Vec::with_capacity(n);
             for _ in 0..n {
                 txs.push(WireTx {
-                    at_us: body.get_u64_le(),
-                    sender: body.get_u32_le(),
-                    kind: body.get_u8(),
-                    dapp: body.get_u8(),
-                    seq: body.get_u64_le(),
-                    entry: body.get_u8(),
-                    args: [body.get_i32_le(), body.get_i32_le()],
-                    argc: body.get_u8(),
+                    at_us: body.get_u64_le()?,
+                    sender: body.get_u32_le()?,
+                    kind: body.get_u8()?,
+                    dapp: body.get_u8()?,
+                    seq: body.get_u64_le()?,
+                    entry: body.get_u8()?,
+                    args: [body.get_i32_le()?, body.get_i32_le()?],
+                    argc: body.get_u8()?,
                 });
             }
             Ok(Message::Plan { txs })
         }
         4 => Ok(Message::PlanDone),
         5 => {
-            if body.remaining() < 4 {
-                return Err("truncated outcomes".into());
-            }
-            let n = body.get_u32_le() as usize;
+            let n = body.get_u32_le().map_err(|_| "truncated outcomes")? as usize;
             if body.remaining() < n * 17 {
                 return Err("truncated outcomes body".into());
             }
             let mut txs = Vec::with_capacity(n);
             for _ in 0..n {
                 txs.push(WireOutcome {
-                    status: body.get_u8(),
-                    submit_us: body.get_u64_le(),
-                    decide_us: body.get_u64_le(),
+                    status: body.get_u8()?,
+                    submit_us: body.get_u64_le()?,
+                    decide_us: body.get_u64_le()?,
                 });
             }
             Ok(Message::Outcomes { txs })
@@ -663,7 +650,7 @@ mod tests {
         assert!(decode(&[]).is_err());
         assert!(decode(&[99]).is_err());
         // Truncated plan: claims one tx, provides none.
-        let mut body = BytesMut::new();
+        let mut body = ByteBuf::new();
         body.put_u8(3);
         body.put_u32_le(1);
         assert!(decode(&body).is_err());

@@ -1,0 +1,127 @@
+//! Property coverage for the wire codec: every message type round-trips
+//! through `encode`/`decode`, and `decode` is total on arbitrary bytes.
+
+use diablo_core::wire::{decode, encode, Message, WireOutcome, WireTx};
+use diablo_testkit::gen::{
+    ascii_strings, choice, i32s, just, u32s, u64s, u8s, vecs, BoxedGen, Gen,
+};
+use diablo_testkit::{prop_assert, prop_assert_eq, Property};
+
+/// Arbitrary planned transactions, covering all three payload kinds.
+fn arb_wiretx() -> BoxedGen<WireTx> {
+    (
+        (u64s(0..=u64::MAX), u32s(0..=u32::MAX), u8s(0..=2), u8s(0..=255)),
+        (u64s(0..=u64::MAX), u8s(0..=255), i32s(i32::MIN..=i32::MAX)),
+        (i32s(i32::MIN..=i32::MAX), u8s(0..=2)),
+    )
+        .map(|((at_us, sender, kind, dapp), (seq, entry, arg0), (arg1, argc))| WireTx {
+            at_us,
+            sender,
+            kind,
+            dapp,
+            seq,
+            entry,
+            args: [arg0, arg1],
+            argc,
+        })
+        .boxed()
+}
+
+/// Arbitrary outcomes, including the undecided sentinel.
+fn arb_outcome() -> BoxedGen<WireOutcome> {
+    (
+        u8s(0..=255),
+        u64s(0..=u64::MAX),
+        choice(vec![u64s(0..=u64::MAX).boxed(), just(u64::MAX).boxed()]),
+    )
+        .map(|(status, submit_us, decide_us)| WireOutcome {
+            status,
+            submit_us,
+            decide_us,
+        })
+        .boxed()
+}
+
+/// Arbitrary protocol messages: every variant, arbitrary contents.
+fn arb_message() -> BoxedGen<Message> {
+    choice(vec![
+        ascii_strings(0..=64).map(|tag| Message::Hello { tag }).boxed(),
+        (
+            ascii_strings(0..=32),
+            ascii_strings(0..=200),
+            u32s(0..=u32::MAX),
+            u32s(0..=u32::MAX),
+        )
+            .map(|(chain, spec, first, last)| Message::Assign {
+                chain,
+                spec,
+                first,
+                last,
+            })
+            .boxed(),
+        vecs(arb_wiretx(), 0..=20)
+            .map(|txs| Message::Plan { txs })
+            .boxed(),
+        just(Message::PlanDone).boxed(),
+        vecs(arb_outcome(), 0..=20)
+            .map(|txs| Message::Outcomes { txs })
+            .boxed(),
+        just(Message::OutcomesDone).boxed(),
+        ascii_strings(0..=128).map(|text| Message::Stats { text }).boxed(),
+        just(Message::Done).boxed(),
+    ])
+    .boxed()
+}
+
+/// Every message survives a framed encode/decode round trip, and the
+/// frame header matches the body length.
+#[test]
+fn messages_roundtrip() {
+    Property::new("messages_roundtrip")
+        .cases(256)
+        .check(&arb_message(), |msg| {
+            let framed = encode(msg);
+            prop_assert!(framed.len() >= 4, "frame shorter than its header");
+            let len = u32::from_le_bytes(framed[..4].try_into().unwrap()) as usize;
+            prop_assert_eq!(len + 4, framed.len());
+            let decoded = decode(&framed[4..]).map_err(|e| format!("decode failed: {e}"))?;
+            prop_assert_eq!(&decoded, msg);
+            Ok(())
+        });
+}
+
+/// Decoding never panics on arbitrary bytes — truncated, oversized or
+/// garbage frames all yield `Err`, never a crash.
+#[test]
+fn decode_is_total_on_garbage() {
+    Property::new("decode_is_total_on_garbage")
+        .cases(512)
+        .check(&vecs(u8s(0..=255), 0..=300), |bytes| {
+            let _ = decode(bytes);
+            Ok(())
+        });
+}
+
+/// Truncating a valid frame anywhere never panics, and truncating a
+/// non-empty body strictly (dropping the tail) fails or decodes — but
+/// decoding a prefix of a `Plan` body must not fabricate transactions.
+#[test]
+fn truncated_frames_fail_cleanly() {
+    Property::new("truncated_frames_fail_cleanly")
+        .cases(128)
+        .check(
+            &(vecs(arb_wiretx(), 1..=8), u64s(0..=u64::MAX)),
+            |(txs, cut_seed)| {
+                let msg = Message::Plan { txs: txs.clone() };
+                let framed = encode(&msg);
+                let body = &framed[4..];
+                let cut = 1 + (*cut_seed as usize % (body.len().saturating_sub(1).max(1)));
+                let result = decode(&body[..cut.min(body.len() - 1)]);
+                prop_assert!(
+                    result.is_err(),
+                    "a strict prefix of a Plan body decoded: {result:?}"
+                );
+                Ok(())
+            },
+        );
+}

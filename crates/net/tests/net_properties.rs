@@ -1,6 +1,8 @@
-//! Property tests of the network and quorum models.
+//! Property tests of the network and quorum models, on the in-tree
+//! `diablo-testkit` harness.
 
-use proptest::prelude::*;
+use diablo_testkit::gen::{u64s, usizes};
+use diablo_testkit::{prop_assert, prop_assert_eq, Property};
 
 use diablo_net::{
     bandwidth_mbps, rtt_ms, DeploymentConfig, DeploymentKind, InstanceType, NetworkModel,
@@ -12,52 +14,73 @@ fn region(idx: usize) -> Region {
     Region::ALL[idx % Region::COUNT]
 }
 
-proptest! {
-    /// The Table 3 accessors are symmetric for every pair.
-    #[test]
-    fn matrices_are_symmetric(a in 0usize..10, b in 0usize..10) {
-        let (a, b) = (region(a), region(b));
-        prop_assert_eq!(rtt_ms(a, b), rtt_ms(b, a));
-        prop_assert_eq!(bandwidth_mbps(a, b), bandwidth_mbps(b, a));
-    }
+/// The Table 3 accessors are symmetric for every pair.
+#[test]
+fn matrices_are_symmetric() {
+    Property::new("matrices_are_symmetric").check(
+        &(usizes(0..=9), usizes(0..=9)),
+        |&(a, b)| {
+            let (a, b) = (region(a), region(b));
+            prop_assert_eq!(rtt_ms(a, b), rtt_ms(b, a));
+            prop_assert_eq!(bandwidth_mbps(a, b), bandwidth_mbps(b, a));
+            Ok(())
+        },
+    );
+}
 
-    /// Message delay is monotone in payload size.
-    #[test]
-    fn delay_monotone_in_bytes(
-        a in 0usize..10,
-        b in 0usize..10,
-        small in 0u64..100_000,
-        extra in 1u64..1_000_000,
-    ) {
-        let net = NetworkModel::deterministic();
-        let mut rng = DetRng::new(0);
-        let d_small = net.delay(&mut rng, region(a), region(b), small);
-        let d_large = net.delay(&mut rng, region(a), region(b), small + extra);
-        prop_assert!(d_large >= d_small);
-    }
+/// Message delay is monotone in payload size.
+#[test]
+fn delay_monotone_in_bytes() {
+    Property::new("delay_monotone_in_bytes").check(
+        &(
+            usizes(0..=9),
+            usizes(0..=9),
+            u64s(0..=99_999),
+            u64s(1..=999_999),
+        ),
+        |&(a, b, small, extra)| {
+            let net = NetworkModel::deterministic();
+            let mut rng = DetRng::new(0);
+            let d_small = net.delay(&mut rng, region(a), region(b), small);
+            let d_large = net.delay(&mut rng, region(a), region(b), small + extra);
+            prop_assert!(
+                d_large >= d_small,
+                "{:?} < {:?} despite {extra} extra bytes",
+                d_large,
+                d_small
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// Quorum collection is never slower than full collection, and both
-    /// grow with the payload.
-    #[test]
-    fn quorum_bounds(
-        nodes in 4usize..40,
-        leader in 0usize..40,
-        bytes in 0u64..2_000_000,
-    ) {
-        let cfg = DeploymentConfig::spread(DeploymentKind::Devnet, nodes, InstanceType::C5Xlarge);
-        let model = QuorumModel::new(&cfg, &NetworkModel::deterministic());
-        let leader = leader % nodes;
-        prop_assert!(model.broadcast_quorum(leader, bytes) <= model.broadcast_all(leader, bytes));
-        prop_assert!(model.broadcast_all(leader, bytes + 1_000_000) >= model.broadcast_all(leader, bytes));
-        // A three-phase commit is at least as slow as one linear phase.
-        prop_assert!(model.hotstuff_commit(leader, bytes) >= model.linear_phase(leader, bytes));
-        // IBFT adds two all-to-all rounds on top of the pre-prepare.
-        prop_assert!(model.ibft_commit(leader, bytes) >= model.broadcast_quorum(leader, bytes));
-    }
+/// Quorum collection is never slower than full collection, and both grow
+/// with the payload.
+#[test]
+fn quorum_bounds() {
+    Property::new("quorum_bounds").check(
+        &(usizes(4..=39), usizes(0..=39), u64s(0..=1_999_999)),
+        |&(nodes, leader, bytes)| {
+            let cfg = DeploymentConfig::spread(DeploymentKind::Devnet, nodes, InstanceType::C5Xlarge);
+            let model = QuorumModel::new(&cfg, &NetworkModel::deterministic());
+            let leader = leader % nodes;
+            prop_assert!(model.broadcast_quorum(leader, bytes) <= model.broadcast_all(leader, bytes));
+            prop_assert!(
+                model.broadcast_all(leader, bytes + 1_000_000) >= model.broadcast_all(leader, bytes)
+            );
+            // A three-phase commit is at least as slow as one linear phase.
+            prop_assert!(model.hotstuff_commit(leader, bytes) >= model.linear_phase(leader, bytes));
+            // IBFT adds two all-to-all rounds on top of the pre-prepare.
+            prop_assert!(model.ibft_commit(leader, bytes) >= model.broadcast_quorum(leader, bytes));
+            Ok(())
+        },
+    );
+}
 
-    /// Deployment partitioning invariants hold for any size.
-    #[test]
-    fn deployment_invariants(nodes in 1usize..300) {
+/// Deployment partitioning invariants hold for any size.
+#[test]
+fn deployment_invariants() {
+    Property::new("deployment_invariants").check(&usizes(1..=299), |&nodes| {
         let cfg = DeploymentConfig::spread(DeploymentKind::Community, nodes, InstanceType::C5Xlarge);
         prop_assert_eq!(cfg.node_count(), nodes);
         prop_assert!(cfg.region_count() <= Region::COUNT.min(nodes));
@@ -66,19 +89,25 @@ proptest! {
         prop_assert!(nodes > 3 * f);
         prop_assert!(cfg.quorum() <= nodes);
         prop_assert_eq!(cfg.quorum(), 2 * f + 1);
-    }
+        Ok(())
+    });
+}
 
-    /// Jittered delays are deterministic per seed and never faster than
-    /// the deterministic base.
-    #[test]
-    fn jitter_determinism_and_bias(a in 0usize..10, b in 0usize..10, seed in 0u64..1_000) {
-        let net = NetworkModel { jitter: 0.1 };
-        let base = NetworkModel::deterministic().delay(
-            &mut DetRng::new(0), region(a), region(b), 512,
-        );
-        let d1 = net.delay(&mut DetRng::new(seed), region(a), region(b), 512);
-        let d2 = net.delay(&mut DetRng::new(seed), region(a), region(b), 512);
-        prop_assert_eq!(d1, d2);
-        prop_assert!(d1 >= base);
-    }
+/// Jittered delays are deterministic per seed and never faster than the
+/// deterministic base.
+#[test]
+fn jitter_determinism_and_bias() {
+    Property::new("jitter_determinism_and_bias").check(
+        &(usizes(0..=9), usizes(0..=9), u64s(0..=999)),
+        |&(a, b, seed)| {
+            let net = NetworkModel { jitter: 0.1 };
+            let base =
+                NetworkModel::deterministic().delay(&mut DetRng::new(0), region(a), region(b), 512);
+            let d1 = net.delay(&mut DetRng::new(seed), region(a), region(b), 512);
+            let d2 = net.delay(&mut DetRng::new(seed), region(a), region(b), 512);
+            prop_assert_eq!(d1, d2);
+            prop_assert!(d1 >= base);
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,562 @@
+//! Random-input generators with greedy value shrinking.
+//!
+//! A [`Gen`] produces values from a [`DetRng`] and, for the built-in
+//! combinators, knows how to propose *smaller* variants of a failing
+//! value ([`Gen::shrink`]). Shrinking is value-based and greedy: the
+//! property runner keeps the first candidate that still fails and
+//! recurses, so integers shrink toward the low end of their range,
+//! vectors lose elements, and tuples shrink one component at a time.
+//!
+//! Mapped generators ([`Gen::map`]) cannot invert the mapping and
+//! therefore do not shrink; container-level shrinking (shorter vectors,
+//! smaller tuples) still applies above them.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use diablo_sim::DetRng;
+
+/// A generator of test inputs.
+pub trait Gen {
+    /// The generated value type.
+    type Value: Debug + Clone;
+
+    /// Draws one value from the generator.
+    fn generate(&self, rng: &mut DetRng) -> Self::Value;
+
+    /// Proposes strictly "smaller" variants of `value` to try during
+    /// shrinking. Every candidate must itself be a value the generator
+    /// could have produced. The default shrinks nothing.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Maps generated values through `f` (no shrinking through the map).
+    fn map<U, F>(self, f: F) -> Mapped<Self, F>
+    where
+        Self: Sized,
+        U: Debug + Clone,
+        F: Fn(Self::Value) -> U,
+    {
+        Mapped { inner: self, f }
+    }
+
+    /// Type-erases the generator so heterogeneous generators of the same
+    /// value type can be collected (see [`choice`]).
+    fn boxed(self) -> BoxedGen<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased generator.
+pub type BoxedGen<T> = Box<dyn Gen<Value = T>>;
+
+impl<T: Debug + Clone> Gen for BoxedGen<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut DetRng) -> T {
+        (**self).generate(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (**self).shrink(value)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Constants and slices
+// ---------------------------------------------------------------------
+
+/// A generator that always yields `value`.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+/// Always generates the given value.
+pub fn just<T: Debug + Clone>(value: T) -> Just<T> {
+    Just(value)
+}
+
+impl<T: Debug + Clone> Gen for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut DetRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A generator picking uniformly from a fixed set of values.
+#[derive(Debug, Clone)]
+pub struct FromSlice<T> {
+    values: Vec<T>,
+}
+
+/// Picks uniformly from `values`; shrinks toward earlier entries.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn from_slice<T: Debug + Clone>(values: &[T]) -> FromSlice<T> {
+    assert!(!values.is_empty(), "from_slice requires at least one value");
+    FromSlice {
+        values: values.to_vec(),
+    }
+}
+
+impl<T: Debug + Clone + PartialEq> Gen for FromSlice<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut DetRng) -> T {
+        self.values[rng.next_below(self.values.len() as u64) as usize].clone()
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        // Earlier entries are "smaller".
+        match self.values.iter().position(|v| v == value) {
+            Some(0) | None => Vec::new(),
+            Some(i) => vec![self.values[0].clone(), self.values[i / 2].clone()],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Integers
+// ---------------------------------------------------------------------
+
+/// A uniform integer generator over an inclusive range.
+#[derive(Debug, Clone)]
+pub struct IntGen<T> {
+    lo: T,
+    hi: T,
+}
+
+/// Shrink candidates for an integer in `[lo, hi]`: the origin (zero when
+/// the range contains it, else `lo`), the midpoint toward the origin and
+/// the predecessor — all distinct from `value`.
+fn int_shrink_i128(lo: i128, value: i128) -> Vec<i128> {
+    let origin = if lo <= 0 { lo.max(0) } else { lo };
+    let mut out = Vec::new();
+    if value != origin {
+        out.push(origin);
+        let mid = origin + (value - origin) / 2;
+        if mid != origin && mid != value {
+            out.push(mid);
+        }
+        let step = if value > origin { value - 1 } else { value + 1 };
+        if step != origin && !out.contains(&step) {
+            out.push(step);
+        }
+    }
+    out
+}
+
+macro_rules! int_gen {
+    ($fn_name:ident, $ty:ty, $doc:expr) => {
+        #[doc = $doc]
+        ///
+        /// Values shrink toward zero when the range contains it, else
+        /// toward the low bound.
+        pub fn $fn_name(range: RangeInclusive<$ty>) -> IntGen<$ty> {
+            assert!(
+                range.start() <= range.end(),
+                "empty range for {}",
+                stringify!($fn_name)
+            );
+            IntGen {
+                lo: *range.start(),
+                hi: *range.end(),
+            }
+        }
+
+        impl Gen for IntGen<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut DetRng) -> $ty {
+                let span = (self.hi as i128 - self.lo as i128) as u128;
+                if span == 0 {
+                    return self.lo;
+                }
+                // Spans above u64::MAX are drawn from two words.
+                let draw = if span >= u64::MAX as u128 {
+                    let hi64 = rng.next_u64() as u128;
+                    let lo64 = rng.next_u64() as u128;
+                    ((hi64 << 64) | lo64) % (span + 1)
+                } else {
+                    rng.next_below(span as u64 + 1) as u128
+                };
+                (self.lo as i128 + draw as i128) as $ty
+            }
+
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                int_shrink_i128(self.lo as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $ty)
+                    .collect()
+            }
+        }
+    };
+}
+
+int_gen!(u8s, u8, "Uniform `u8` in the inclusive range.");
+int_gen!(u16s, u16, "Uniform `u16` in the inclusive range.");
+int_gen!(u32s, u32, "Uniform `u32` in the inclusive range.");
+int_gen!(u64s, u64, "Uniform `u64` in the inclusive range.");
+int_gen!(usizes, usize, "Uniform `usize` in the inclusive range.");
+int_gen!(i32s, i32, "Uniform `i32` in the inclusive range.");
+int_gen!(i64s, i64, "Uniform `i64` in the inclusive range.");
+
+// ---------------------------------------------------------------------
+// Floats
+// ---------------------------------------------------------------------
+
+/// A uniform `f64` generator over a half-open range.
+#[derive(Debug, Clone)]
+pub struct F64Gen {
+    lo: f64,
+    hi: f64,
+}
+
+/// Uniform `f64` in `[lo, hi)`; shrinks toward the low bound.
+///
+/// # Panics
+///
+/// Panics if the range is empty or not finite.
+pub fn f64s(range: Range<f64>) -> F64Gen {
+    assert!(
+        range.start.is_finite() && range.end.is_finite() && range.start < range.end,
+        "f64s requires a finite, non-empty range"
+    );
+    F64Gen {
+        lo: range.start,
+        hi: range.end,
+    }
+}
+
+impl Gen for F64Gen {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut DetRng) -> f64 {
+        self.lo + rng.next_f64() * (self.hi - self.lo)
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if *value != self.lo {
+            out.push(self.lo);
+            let mid = self.lo + (*value - self.lo) / 2.0;
+            if mid != self.lo && mid != *value {
+                out.push(mid);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------
+
+/// A generator of strings with parser-fuzzing character coverage.
+#[derive(Debug, Clone)]
+pub struct StringGen {
+    min: usize,
+    max: usize,
+}
+
+/// Strings of `len` characters drawn mostly from printable ASCII, with
+/// occasional whitespace, control and multi-byte characters — the mix a
+/// text-format parser must survive. Shrinks by dropping characters.
+pub fn ascii_strings(len: RangeInclusive<usize>) -> StringGen {
+    StringGen {
+        min: *len.start(),
+        max: *len.end(),
+    }
+}
+
+impl Gen for StringGen {
+    type Value = String;
+
+    fn generate(&self, rng: &mut DetRng) -> String {
+        let len = rng.range_inclusive(self.min as u64, self.max as u64) as usize;
+        let mut s = String::with_capacity(len);
+        for _ in 0..len {
+            let c = match rng.next_below(20) {
+                0 => '\n',
+                1 => '\t',
+                2 => ' ',
+                3 => char::from_u32(rng.next_below(0xD7FF) as u32 + 1).unwrap_or('?'),
+                _ => (0x20 + rng.next_below(0x5F) as u8) as char, // printable ASCII
+            };
+            s.push(c);
+        }
+        s
+    }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let chars: Vec<char> = value.chars().collect();
+        if chars.len() <= self.min {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        // Half-length prefix, then single-character removals.
+        let half = (chars.len() / 2).max(self.min);
+        if half < chars.len() {
+            out.push(chars[..half].iter().collect());
+        }
+        for i in 0..chars.len().min(8) {
+            let mut shorter = chars.clone();
+            shorter.remove(i);
+            out.push(shorter.into_iter().collect());
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Vectors
+// ---------------------------------------------------------------------
+
+/// A generator of vectors of generated elements.
+#[derive(Debug, Clone)]
+pub struct VecGen<G> {
+    element: G,
+    min: usize,
+    max: usize,
+}
+
+/// Vectors with `len` elements, each drawn from `element`. Shrinks by
+/// removing elements (never below the minimum length), then by shrinking
+/// individual elements.
+pub fn vecs<G: Gen>(element: G, len: RangeInclusive<usize>) -> VecGen<G> {
+    VecGen {
+        element,
+        min: *len.start(),
+        max: *len.end(),
+    }
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut DetRng) -> Vec<G::Value> {
+        let len = rng.range_inclusive(self.min as u64, self.max as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        // Structural shrinks first: half-length prefix, single removals.
+        if value.len() > self.min {
+            let half = (value.len() / 2).max(self.min);
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            for i in 0..value.len().min(16) {
+                let mut shorter = value.clone();
+                shorter.remove(i);
+                out.push(shorter);
+            }
+        }
+        // Element-wise shrinks, a few candidates per position.
+        for i in 0..value.len().min(16) {
+            for candidate in self.element.shrink(&value[i]).into_iter().take(4) {
+                let mut smaller = value.clone();
+                smaller[i] = candidate;
+                out.push(smaller);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Choice
+// ---------------------------------------------------------------------
+
+/// A generator picking uniformly among alternative generators.
+pub struct Choice<T> {
+    options: Vec<BoxedGen<T>>,
+}
+
+/// Draws each value from one of `options`, chosen uniformly — the
+/// equivalent of a `one_of` combinator. Alternatives do not shrink
+/// across branches (a failing value shrinks only via its container).
+///
+/// # Panics
+///
+/// Panics if `options` is empty.
+pub fn choice<T: Debug + Clone>(options: Vec<BoxedGen<T>>) -> Choice<T> {
+    assert!(!options.is_empty(), "choice requires at least one option");
+    Choice { options }
+}
+
+impl<T: Debug + Clone> Gen for Choice<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut DetRng) -> T {
+        let i = rng.next_below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Map
+// ---------------------------------------------------------------------
+
+/// A generator applying a function to another generator's output.
+pub struct Mapped<G, F> {
+    inner: G,
+    f: F,
+}
+
+impl<G, U, F> Gen for Mapped<G, F>
+where
+    G: Gen,
+    U: Debug + Clone,
+    F: Fn(G::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut DetRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------
+
+macro_rules! tuple_gen {
+    ($($g:ident / $v:ident / $idx:tt),+) => {
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut DetRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx).into_iter().take(6) {
+                        let mut smaller = value.clone();
+                        smaller.$idx = candidate;
+                        out.push(smaller);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_gen!(G0 / V0 / 0);
+tuple_gen!(G0 / V0 / 0, G1 / V1 / 1);
+tuple_gen!(G0 / V0 / 0, G1 / V1 / 1, G2 / V2 / 2);
+tuple_gen!(G0 / V0 / 0, G1 / V1 / 1, G2 / V2 / 2, G3 / V3 / 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::new(99)
+    }
+
+    #[test]
+    fn ints_stay_in_range() {
+        let g = i64s(-50..=75);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let v = g.generate(&mut r);
+            assert!((-50..=75).contains(&v));
+        }
+    }
+
+    #[test]
+    fn huge_spans_cover_both_halves() {
+        let g = i64s(0..=1_000_000_000_000);
+        let mut r = rng();
+        let mut high = false;
+        for _ in 0..1_000 {
+            if g.generate(&mut r) > 500_000_000_000 {
+                high = true;
+            }
+        }
+        assert!(high, "never drew from the upper half of a wide range");
+    }
+
+    #[test]
+    fn int_shrink_moves_toward_origin() {
+        let g = i64s(-100..=100);
+        for candidate in g.shrink(&64) {
+            assert!(candidate.abs() < 64 || candidate == 63);
+        }
+        assert!(g.shrink(&0).is_empty());
+        // Positive-only range shrinks toward its low bound.
+        let g = u64s(10..=1000);
+        assert!(g.shrink(&10).is_empty());
+        assert!(g.shrink(&500).contains(&10));
+    }
+
+    #[test]
+    fn vec_lengths_and_shrinks_respect_min() {
+        let g = vecs(u8s(0..=255), 2..=5);
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let v = g.generate(&mut r);
+            assert!((2..=5).contains(&v.len()));
+        }
+        for candidate in g.shrink(&vec![9, 8, 7]) {
+            assert!(candidate.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn tuples_shrink_one_component_at_a_time() {
+        let g = (u64s(0..=100), u64s(0..=100));
+        for (a, b) in g.shrink(&(50, 60)) {
+            assert!((a, b) != (50, 60));
+            assert!(a == 50 || b == 60, "both components changed at once");
+        }
+    }
+
+    #[test]
+    fn choice_covers_all_branches() {
+        let g = choice(vec![
+            just(1u8).boxed(),
+            just(2u8).boxed(),
+            u8s(10..=20).boxed(),
+        ]);
+        let mut r = rng();
+        let mut seen = [false; 3];
+        for _ in 0..1_000 {
+            match g.generate(&mut r) {
+                1 => seen[0] = true,
+                2 => seen[1] = true,
+                10..=20 => seen[2] = true,
+                other => panic!("impossible value {other}"),
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn strings_respect_length_bounds() {
+        let g = ascii_strings(0..=40);
+        let mut r = rng();
+        for _ in 0..500 {
+            assert!(g.generate(&mut r).chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g = vecs(i64s(-1000..=1000), 0..=20);
+        let a = g.generate(&mut DetRng::new(7));
+        let b = g.generate(&mut DetRng::new(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,159 +1,196 @@
 //! Property tests of the interpreter: total on arbitrary (valid-jump)
-//! programs, monotone gas accounting, journaled rollback.
+//! programs, monotone gas accounting, journaled rollback. Runs on the
+//! in-tree `diablo-testkit` harness.
 
-use proptest::prelude::*;
+use diablo_testkit::gen::{choice, i64s, just, u16s, u64s, u8s, usizes, vecs, BoxedGen, Gen};
+use diablo_testkit::{prop_assert, prop_assert_eq, Property};
 
 use diablo_vm::{
     validate, Asm, ContractState, ExecError, Interpreter, Op, Program, StateLimits, TxContext,
     VmFlavor, Word,
 };
 
-/// Strategy: one instruction with jump targets confined to `len`.
-fn arb_op(len: usize) -> impl Strategy<Value = Op> {
-    let target = 0..len.max(1);
-    prop_oneof![
-        (-1_000_000i64..1_000_000).prop_map(Op::Push),
-        Just(Op::Pop),
-        (0u8..4).prop_map(Op::Dup),
-        (0u8..4).prop_map(Op::Swap),
-        Just(Op::Add),
-        Just(Op::Sub),
-        Just(Op::Mul),
-        Just(Op::Div),
-        Just(Op::Mod),
-        Just(Op::Neg),
-        Just(Op::Lt),
-        Just(Op::Gt),
-        Just(Op::Eq),
-        Just(Op::IsZero),
-        Just(Op::And),
-        Just(Op::Or),
-        (0u8..32).prop_map(Op::Shl),
-        (0u8..32).prop_map(Op::Shr),
-        target.clone().prop_map(Op::Jump),
-        target.clone().prop_map(Op::JumpIfZero),
-        target.prop_map(Op::JumpIfNotZero),
-        (0u8..8).prop_map(Op::Load),
-        (0u8..8).prop_map(Op::Store),
-        Just(Op::SLoad),
-        Just(Op::SStore),
-        (0u8..4).prop_map(Op::Arg),
-        Just(Op::Caller),
-        Just(Op::Nop),
-        Just(Op::Halt),
-        (0u16..8).prop_map(Op::Revert),
-    ]
+/// Generator: one instruction with jump targets confined to `len`.
+fn arb_op(len: usize) -> BoxedGen<Op> {
+    let target = usizes(0..=len.max(1) - 1);
+    choice(vec![
+        i64s(-1_000_000..=999_999).map(Op::Push).boxed(),
+        just(Op::Pop).boxed(),
+        u8s(0..=3).map(Op::Dup).boxed(),
+        u8s(0..=3).map(Op::Swap).boxed(),
+        just(Op::Add).boxed(),
+        just(Op::Sub).boxed(),
+        just(Op::Mul).boxed(),
+        just(Op::Div).boxed(),
+        just(Op::Mod).boxed(),
+        just(Op::Neg).boxed(),
+        just(Op::Lt).boxed(),
+        just(Op::Gt).boxed(),
+        just(Op::Eq).boxed(),
+        just(Op::IsZero).boxed(),
+        just(Op::And).boxed(),
+        just(Op::Or).boxed(),
+        u8s(0..=31).map(Op::Shl).boxed(),
+        u8s(0..=31).map(Op::Shr).boxed(),
+        target.clone().map(Op::Jump).boxed(),
+        target.clone().map(Op::JumpIfZero).boxed(),
+        target.map(Op::JumpIfNotZero).boxed(),
+        u8s(0..=7).map(Op::Load).boxed(),
+        u8s(0..=7).map(Op::Store).boxed(),
+        just(Op::SLoad).boxed(),
+        just(Op::SStore).boxed(),
+        u8s(0..=3).map(Op::Arg).boxed(),
+        just(Op::Caller).boxed(),
+        just(Op::Nop).boxed(),
+        just(Op::Halt).boxed(),
+        u16s(0..=7).map(Op::Revert).boxed(),
+    ])
+    .boxed()
 }
 
 /// Builds a program from raw ops, padding with `Halt` up to the
-/// strategy's jump-target bound so every generated jump is in range and
+/// generator's jump-target bound so every generated jump is in range and
 /// every path ends in a terminator.
-fn program_from(ops: Vec<Op>) -> Program {
+fn program_from(ops: &[Op]) -> Program {
     let mut asm = Asm::new();
     asm.entry("main");
-    let len = ops.len();
     for op in ops {
-        asm.op(op);
+        asm.op(*op);
     }
-    for _ in len..=64 {
+    for _ in ops.len()..=64 {
         asm.op(Op::Halt);
     }
     asm.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// The interpreter never panics and always terminates on arbitrary
+/// programs whose jumps are in range (the budget bounds loops).
+#[test]
+fn interpreter_is_total() {
+    Property::new("interpreter_is_total").cases(256).check(
+        &(
+            vecs(arb_op(64), 0..=63),
+            vecs(i64s(-1000..=999), 0..=3),
+            usizes(0..=3),
+        ),
+        |(ops, args, flavor_idx)| {
+            let program = program_from(ops);
+            let flavor = VmFlavor::ALL[*flavor_idx];
+            let mut state = ContractState::new();
+            let ctx = TxContext {
+                caller: 7,
+                args: args.clone(),
+                payload_bytes: 0,
+                gas_limit: 100_000,
+            };
+            let _ = Interpreter::new(flavor).execute(&program, "main", &ctx, &mut state);
+            Ok(())
+        },
+    );
+}
 
-    /// The interpreter never panics and always terminates on arbitrary
-    /// programs whose jumps are in range (the budget bounds loops).
-    #[test]
-    fn interpreter_is_total(
-        ops in proptest::collection::vec(arb_op(64), 0..64),
-        args in proptest::collection::vec(-1000i64..1000, 0..4),
-        flavor_idx in 0usize..4,
-    ) {
-        let program = program_from(ops);
-        let flavor = VmFlavor::ALL[flavor_idx];
-        let mut state = ContractState::new();
-        let ctx = TxContext { caller: 7, args, payload_bytes: 0, gas_limit: 100_000 };
-        let _ = Interpreter::new(flavor).execute(&program, "main", &ctx, &mut state);
-    }
-
-    /// Gas consumed never exceeds the smaller of the transaction limit
-    /// and the flavor's hard budget (plus the cost of the tripping
-    /// instruction).
-    #[test]
-    fn gas_respects_limits(
-        ops in proptest::collection::vec(arb_op(32), 0..32),
-        gas_limit in 1u64..5_000,
-    ) {
-        let program = program_from(ops);
-        let mut state = ContractState::new();
-        let ctx = TxContext { caller: 1, args: vec![], payload_bytes: 0, gas_limit };
-        match Interpreter::new(VmFlavor::Geth).execute(&program, "main", &ctx, &mut state) {
-            Ok(receipt) => prop_assert!(receipt.gas_used <= gas_limit),
-            Err(ExecError::OutOfGas { used, limit }) => {
-                prop_assert_eq!(limit, gas_limit);
-                prop_assert!(used > gas_limit);
+/// Gas consumed never exceeds the smaller of the transaction limit and
+/// the flavor's hard budget (plus the cost of the tripping instruction).
+#[test]
+fn gas_respects_limits() {
+    Property::new("gas_respects_limits").cases(256).check(
+        &(vecs(arb_op(32), 0..=31), u64s(1..=4_999)),
+        |(ops, gas_limit)| {
+            let program = program_from(ops);
+            let mut state = ContractState::new();
+            let ctx = TxContext {
+                caller: 1,
+                args: vec![],
+                payload_bytes: 0,
+                gas_limit: *gas_limit,
+            };
+            match Interpreter::new(VmFlavor::Geth).execute(&program, "main", &ctx, &mut state) {
+                Ok(receipt) => prop_assert!(receipt.gas_used <= *gas_limit),
+                Err(ExecError::OutOfGas { used, limit }) => {
+                    prop_assert_eq!(limit, *gas_limit);
+                    prop_assert!(used > *gas_limit);
+                }
+                Err(_) => {}
             }
-            Err(_) => {}
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Any failed execution leaves the contract state untouched
-    /// (journal rollback).
-    #[test]
-    fn failures_roll_back_state(
-        ops in proptest::collection::vec(arb_op(32), 0..32),
-        seed_key in 0i64..16,
-        seed_val in -100i64..100,
-    ) {
-        let program = program_from(ops);
-        let mut state = ContractState::new();
-        state.store(seed_key, seed_val, &StateLimits::unbounded());
-        let snapshot: Vec<(Word, Word)> = (0..16).map(|k| (k, state.load(k))).collect();
-        let ctx = TxContext { caller: 1, args: vec![], payload_bytes: 0, gas_limit: 2_000 };
-        if Interpreter::new(VmFlavor::Geth)
-            .execute(&program, "main", &ctx, &mut state)
-            .is_err()
-        {
-            for (k, v) in snapshot {
-                prop_assert_eq!(state.load(k), v, "key {} changed after a failure", k);
+/// Any failed execution leaves the contract state untouched (journal
+/// rollback).
+#[test]
+fn failures_roll_back_state() {
+    Property::new("failures_roll_back_state").cases(256).check(
+        &(
+            vecs(arb_op(32), 0..=31),
+            i64s(0..=15),
+            i64s(-100..=99),
+        ),
+        |(ops, seed_key, seed_val)| {
+            let program = program_from(ops);
+            let mut state = ContractState::new();
+            state.store(*seed_key, *seed_val, &StateLimits::unbounded());
+            let snapshot: Vec<(Word, Word)> = (0..16).map(|k| (k, state.load(k))).collect();
+            let ctx = TxContext {
+                caller: 1,
+                args: vec![],
+                payload_bytes: 0,
+                gas_limit: 2_000,
+            };
+            if Interpreter::new(VmFlavor::Geth)
+                .execute(&program, "main", &ctx, &mut state)
+                .is_err()
+            {
+                for (k, v) in snapshot {
+                    prop_assert_eq!(state.load(k), v, "key {} changed after a failure", k);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Execution is deterministic: same program, same inputs, same
-    /// receipt and same state.
-    #[test]
-    fn execution_is_deterministic(
-        ops in proptest::collection::vec(arb_op(48), 0..48),
-        args in proptest::collection::vec(-50i64..50, 0..3),
-    ) {
-        let program = program_from(ops);
-        let ctx = TxContext { caller: 3, args, payload_bytes: 0, gas_limit: 50_000 };
-        let mut s1 = ContractState::new();
-        let mut s2 = ContractState::new();
-        let r1 = Interpreter::new(VmFlavor::Geth).execute(&program, "main", &ctx, &mut s1);
-        let r2 = Interpreter::new(VmFlavor::Geth).execute(&program, "main", &ctx, &mut s2);
-        prop_assert_eq!(r1, r2);
-        for k in -4i64..16 {
-            prop_assert_eq!(s1.load(k), s2.load(k));
-        }
-    }
+/// Execution is deterministic: same program, same inputs, same receipt
+/// and same state.
+#[test]
+fn execution_is_deterministic() {
+    Property::new("execution_is_deterministic").cases(256).check(
+        &(vecs(arb_op(48), 0..=47), vecs(i64s(-50..=49), 0..=2)),
+        |(ops, args)| {
+            let program = program_from(ops);
+            let ctx = TxContext {
+                caller: 3,
+                args: args.clone(),
+                payload_bytes: 0,
+                gas_limit: 50_000,
+            };
+            let mut s1 = ContractState::new();
+            let mut s2 = ContractState::new();
+            let r1 = Interpreter::new(VmFlavor::Geth).execute(&program, "main", &ctx, &mut s1);
+            let r2 = Interpreter::new(VmFlavor::Geth).execute(&program, "main", &ctx, &mut s2);
+            prop_assert_eq!(r1, r2);
+            for k in -4i64..16 {
+                prop_assert_eq!(s1.load(k), s2.load(k));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Programs built by the strategy always pass static validation
-    /// (jumps in range, terminator present): validate() agrees with the
-    /// builder's guarantees.
-    #[test]
-    fn generated_programs_validate_jump_ranges(
-        ops in proptest::collection::vec(arb_op(48), 0..48),
-    ) {
-        let program = program_from(ops);
-        match validate(&program) {
-            // Fall-through can never be a jump-range issue here.
-            Ok(()) | Err(diablo_vm::ValidateError::FallThrough { .. }) => {}
-            Err(other) => prop_assert!(false, "unexpected validation error: {other}"),
-        }
-    }
+/// Programs built by the generator always pass static validation (jumps
+/// in range, terminator present): validate() agrees with the builder's
+/// guarantees.
+#[test]
+fn generated_programs_validate_jump_ranges() {
+    Property::new("generated_programs_validate_jump_ranges")
+        .cases(256)
+        .check(&vecs(arb_op(48), 0..=47), |ops| {
+            let program = program_from(ops);
+            match validate(&program) {
+                // Fall-through can never be a jump-range issue here.
+                Ok(()) | Err(diablo_vm::ValidateError::FallThrough { .. }) => Ok(()),
+                Err(other) => Err(format!("unexpected validation error: {other}")),
+            }
+        });
 }

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Offline CI gate: the workspace is hermetic (all deps are in-tree path
+# crates), so everything below must pass from a cold registry.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline --workspace --all-targets"
+cargo build --release --offline --workspace --all-targets
+
+echo "==> cargo test -q --offline (tier-1)"
+cargo test -q --offline
+
+echo "==> cargo test -q --release --offline --workspace"
+cargo test -q --release --offline --workspace
+
+echo "==> cargo doc --no-deps --offline --workspace (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
+echo "CI OK"

@@ -1,98 +1,116 @@
-//! Cross-crate property tests.
+//! Cross-crate property tests, on the in-tree `diablo-testkit` harness.
 
 use diablo::chains::{Chain, Experiment};
 use diablo::core::yaml;
 use diablo::net::DeploymentKind;
 use diablo::workloads::Workload;
-use proptest::prelude::*;
+use diablo_testkit::gen::{ascii_strings, f64s, from_slice, u64s, usizes, vecs};
+use diablo_testkit::{prop_assert, prop_assert_eq, Property};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The YAML-subset parser never panics on arbitrary input.
-    #[test]
-    fn yaml_parser_is_total(input in "\\PC{0,200}") {
-        let _ = yaml::parse(&input);
-    }
-
-    /// Tick expansion conserves the workload total at every tick size.
-    #[test]
-    fn workload_ticks_conserve_totals(
-        rates in proptest::collection::vec(0.0f64..2_000.0, 1..60),
-        tick in prop_oneof![Just(100u64), Just(200u64), Just(500u64), Just(1000u64)],
-    ) {
-        let w = Workload::from_rates("prop", rates);
-        let sum: u64 = w.ticks(tick).iter().sum();
-        prop_assert_eq!(sum, w.total_txs());
-    }
-
-    /// Splitting a workload across secondaries conserves per-second load.
-    #[test]
-    fn workload_split_conserves_rates(
-        rates in proptest::collection::vec(0.0f64..5_000.0, 1..30),
-        parts in 1usize..8,
-    ) {
-        let w = Workload::from_rates("prop", rates);
-        let split = w.split(parts);
-        for sec in 0..w.duration_secs() {
-            let sum: f64 = split.iter().map(|p| p.rate_at(sec)).sum();
-            prop_assert!((sum - w.rate_at(sec)).abs() < 1e-6);
-        }
-    }
+/// The YAML-subset parser never panics on arbitrary input.
+#[test]
+fn yaml_parser_is_total() {
+    Property::new("yaml_parser_is_total")
+        .cases(64)
+        .check(&ascii_strings(0..=200), |input| {
+            let _ = yaml::parse(input);
+            Ok(())
+        });
 }
 
-proptest! {
-    // Chain runs are comparatively expensive; keep the case count low.
-    #![proptest_config(ProptestConfig::with_cases(8))]
+/// Tick expansion conserves the workload total at every tick size.
+#[test]
+fn workload_ticks_conserve_totals() {
+    Property::new("workload_ticks_conserve_totals").cases(64).check(
+        &(
+            vecs(f64s(0.0..2_000.0), 1..=59),
+            from_slice(&[100u64, 200, 500, 1000]),
+        ),
+        |(rates, tick)| {
+            let w = Workload::from_rates("prop", rates.clone());
+            let sum: u64 = w.ticks(*tick).iter().sum();
+            prop_assert_eq!(sum, w.total_txs());
+            Ok(())
+        },
+    );
+}
 
-    /// Whatever the load and seed, a chain run conserves transactions:
-    /// every submitted transaction ends in exactly one terminal state
-    /// and committed ≤ submitted.
-    #[test]
-    fn chain_runs_conserve_transactions(
-        tps in 10.0f64..2_000.0,
-        seed in 0u64..1_000,
-        chain_idx in 0usize..6,
-    ) {
-        let chain = Chain::ALL[chain_idx];
-        let workload = diablo::workloads::traces::constant(tps, 10);
-        let expected = workload.total_txs();
-        let r = Experiment::new(chain, DeploymentKind::Testnet, workload)
-            .with_seed(seed)
+/// Splitting a workload across secondaries conserves per-second load.
+#[test]
+fn workload_split_conserves_rates() {
+    Property::new("workload_split_conserves_rates").cases(64).check(
+        &(vecs(f64s(0.0..5_000.0), 1..=29), usizes(1..=7)),
+        |(rates, parts)| {
+            let w = Workload::from_rates("prop", rates.clone());
+            let split = w.split(*parts);
+            for sec in 0..w.duration_secs() {
+                let sum: f64 = split.iter().map(|p| p.rate_at(sec)).sum();
+                prop_assert!(
+                    (sum - w.rate_at(sec)).abs() < 1e-6,
+                    "rates diverge at second {sec}: split {sum}, whole {}",
+                    w.rate_at(sec)
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Whatever the load and seed, a chain run conserves transactions:
+/// every submitted transaction ends in exactly one terminal state and
+/// committed ≤ submitted. (Chain runs are comparatively expensive;
+/// keep the case count low.)
+#[test]
+fn chain_runs_conserve_transactions() {
+    Property::new("chain_runs_conserve_transactions").cases(8).check(
+        &(f64s(10.0..2_000.0), u64s(0..=999), usizes(0..=5)),
+        |(tps, seed, chain_idx)| {
+            let chain = Chain::ALL[*chain_idx];
+            let workload = diablo::workloads::traces::constant(*tps, 10);
+            let expected = workload.total_txs();
+            let r = Experiment::new(chain, DeploymentKind::Testnet, workload)
+                .with_seed(*seed)
+                .run();
+            prop_assert_eq!(r.submitted(), expected);
+            prop_assert!(r.committed() <= r.submitted());
+            // Latencies are non-negative and only committed txs have them.
+            let lat_count = r
+                .records
+                .iter()
+                .filter(|rec| rec.latency_secs().is_some())
+                .count();
+            prop_assert_eq!(lat_count as u64, r.committed());
+            for rec in &r.records {
+                if let Some(l) = rec.latency_secs() {
+                    prop_assert!(l >= 0.0);
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The simulator never commits a transaction before it was submitted,
+/// whatever the offered load or chain (inverted chains break rate
+/// monotonicity under collapse, but causality always holds).
+#[test]
+fn commits_never_precede_submission() {
+    Property::new("commits_never_precede_submission").cases(8).check(
+        &(f64s(100.0..5_000.0), usizes(0..=5)),
+        |(tps, chain_idx)| {
+            let chain = Chain::ALL[*chain_idx];
+            let r = Experiment::new(
+                chain,
+                DeploymentKind::Testnet,
+                diablo::workloads::traces::constant(*tps, 8),
+            )
             .run();
-        prop_assert_eq!(r.submitted(), expected);
-        prop_assert!(r.committed() <= r.submitted());
-        // Latencies are non-negative and only committed txs have them.
-        let lat_count = r.records.iter().filter(|rec| rec.latency_secs().is_some()).count();
-        prop_assert_eq!(lat_count as u64, r.committed());
-        for rec in &r.records {
-            if let Some(l) = rec.latency_secs() {
-                prop_assert!(l >= 0.0);
+            for rec in &r.records {
+                if let Some(d) = rec.decided {
+                    prop_assert!(d >= rec.submitted);
+                }
             }
-        }
-    }
-
-    /// Offered load monotonicity: submitting more never commits fewer
-    /// transactions per second than a trivially small load... inverted
-    /// chains (collapse) break rate monotonicity, but the commit COUNT
-    /// within a fixed window never exceeds the submitted count and the
-    /// simulator never commits a transaction before it was submitted.
-    #[test]
-    fn commits_never_precede_submission(
-        tps in 100.0f64..5_000.0,
-        chain_idx in 0usize..6,
-    ) {
-        let chain = Chain::ALL[chain_idx];
-        let r = Experiment::new(
-            chain,
-            DeploymentKind::Testnet,
-            diablo::workloads::traces::constant(tps, 8),
-        )
-        .run();
-        for rec in &r.records {
-            if let Some(d) = rec.decided {
-                prop_assert!(d >= rec.submitted);
-            }
-        }
-    }
+            Ok(())
+        },
+    );
 }
