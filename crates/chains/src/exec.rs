@@ -45,6 +45,29 @@ pub struct ExecCost {
     pub ok: bool,
 }
 
+/// Coarse argument class for the profiled cache. Calls of one entry
+/// point are assumed to cost the same only when they share an argument
+/// count and a payload-size magnitude; entries invoked with different
+/// shapes (e.g. `update()` vs `update(1, 1)`) get distinct cache slots
+/// instead of silently replaying each other's cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ArgClass {
+    /// Number of call arguments.
+    argc: u8,
+    /// Bit length of the payload size (0 for no payload), so payloads
+    /// within a factor of two share a class.
+    payload_pow2: u8,
+}
+
+impl ArgClass {
+    fn of(call: &calls::CallSpec) -> ArgClass {
+        ArgClass {
+            argc: call.args.len() as u8,
+            payload_pow2: (u64::BITS - call.payload_bytes.leading_zeros()) as u8,
+        }
+    }
+}
+
 /// Executes transactions for one chain's VM flavor.
 #[derive(Debug)]
 pub struct ExecutionEngine {
@@ -53,8 +76,9 @@ pub struct ExecutionEngine {
     mode: ExecMode,
     /// The deployed contract for the experiment's DApp (if any).
     contract: Option<Contract>,
-    /// Profiled-mode cache: entry name → (cost, replays since refresh).
-    cache: HashMap<&'static str, (ExecCost, u64)>,
+    /// Profiled-mode cache: (entry, arg class) → (cost, replays since
+    /// refresh).
+    cache: HashMap<(&'static str, ArgClass), (ExecCost, u64)>,
 }
 
 /// Gas cost of a native transfer on each flavor (the EVM intrinsic for
@@ -140,17 +164,18 @@ impl ExecutionEngine {
 
     fn execute_invoke(&mut self, dapp: DApp, seq: u64, sel: Option<CallSel>) -> ExecCost {
         let call = Self::resolve(dapp, seq, sel);
+        let key = (call.entry, ArgClass::of(&call));
         if self.mode == ExecMode::Profiled {
-            if let Some(&(cost, age)) = self.cache.get(call.entry) {
+            if let Some(&(cost, age)) = self.cache.get(&key) {
                 if age < PROFILE_REFRESH {
-                    self.cache.insert(call.entry, (cost, age + 1));
+                    self.cache.insert(key, (cost, age + 1));
                     return cost;
                 }
             }
         }
         let cost = self.interpret(dapp, seq, sel);
         if self.mode == ExecMode::Profiled {
-            self.cache.insert(call.entry, (cost, 0));
+            self.cache.insert(key, (cost, 0));
         }
         cost
     }
@@ -173,12 +198,25 @@ impl ExecutionEngine {
             payload_bytes: call.payload_bytes,
             gas_limit: u64::MAX,
         };
-        match self.interpreter.execute(
-            &contract.program,
-            call.entry,
-            &ctx,
-            &mut contract.initial_state,
-        ) {
+        // Every committed transaction goes through the prepared fast
+        // path; the name-keyed execute() remains only as the fallback
+        // for entries the prepared program does not know (none today —
+        // preparation interns every entry at build time).
+        let result = match contract.prepared.entry_id(call.entry) {
+            Some(entry) => self.interpreter.execute_prepared(
+                &contract.prepared,
+                entry,
+                &ctx,
+                &mut contract.initial_state,
+            ),
+            None => self.interpreter.execute(
+                &contract.program,
+                call.entry,
+                &ctx,
+                &mut contract.initial_state,
+            ),
+        };
+        match result {
             Ok(receipt) => ExecCost {
                 gas: receipt.gas_used + intrinsic,
                 ops: receipt.ops_executed,
@@ -280,6 +318,49 @@ mod tests {
             });
             assert_eq!(c.ops, first.ops);
         }
+    }
+
+    #[test]
+    fn profiled_cache_distinguishes_arg_classes() {
+        // Two shapes of the same entry: the default gaming call
+        // update(1, 1) and an explicit zero-argument update(). Their
+        // intrinsic calldata costs differ, so a cache keyed by entry
+        // name alone would replay whichever shape ran first for both.
+        let mut prof =
+            ExecutionEngine::with_dapp(VmFlavor::Geth, ExecMode::Profiled, DApp::Gaming).unwrap();
+        let mut exact =
+            ExecutionEngine::with_dapp(VmFlavor::Geth, ExecMode::Exact, DApp::Gaming).unwrap();
+        let two_args = Payload::Invoke {
+            dapp: DApp::Gaming,
+            seq: 0,
+            call: None, // resolves to update(1, 1)
+        };
+        let no_args = Payload::Invoke {
+            dapp: DApp::Gaming,
+            seq: 1,
+            call: Some(CallSel {
+                entry: 0, // "update"
+                args: [0, 0],
+                argc: 0,
+            }),
+        };
+        let a = prof.execute(two_args);
+        let b = prof.execute(no_args);
+        assert_ne!(a.gas, b.gas, "distinct arg classes must not share a cached cost");
+        // Each class replays its own cost and matches exact execution's
+        // intrinsic difference.
+        let a2 = prof.execute(Payload::Invoke {
+            dapp: DApp::Gaming,
+            seq: 2,
+            call: None,
+        });
+        assert_eq!(a.gas, a2.gas);
+        let ea = exact.execute(Payload::Invoke {
+            dapp: DApp::Gaming,
+            seq: 0,
+            call: None,
+        });
+        assert_eq!(a.gas, ea.gas);
     }
 
     #[test]

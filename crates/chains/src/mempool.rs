@@ -134,12 +134,15 @@ impl Mempool {
         max_bytes: u64,
         mut eligible: impl FnMut(&TxMeta) -> bool,
     ) -> Vec<TxMeta> {
+        // Work from the front in place: a block drains a few hundred
+        // transactions, so the cost must scale with the batch, not with
+        // the (possibly unbounded — Quorum) pool occupancy.
         let mut taken = Vec::new();
-        let mut kept = VecDeque::new();
+        let mut skipped: Vec<TxMeta> = Vec::new();
         let mut bytes = 0u64;
         while let Some(tx) = self.queue.pop_front() {
             if taken.len() >= max || bytes + tx.wire_bytes as u64 > max_bytes {
-                kept.push_back(tx);
+                self.queue.push_front(tx);
                 break;
             }
             if eligible(&tx) {
@@ -154,14 +157,14 @@ impl Mempool {
                 }
                 taken.push(tx);
             } else {
-                kept.push_back(tx);
+                skipped.push(tx);
             }
         }
-        // Put back everything we skipped or did not reach, in order.
-        while let Some(tx) = self.queue.pop_front() {
-            kept.push_back(tx);
+        // Splice the skipped (still-pending) transactions back in front
+        // of the untouched tail, preserving FIFO order among them.
+        for tx in skipped.into_iter().rev() {
+            self.queue.push_front(tx);
         }
-        self.queue = kept;
         taken
     }
 
@@ -169,23 +172,22 @@ impl Mempool {
     /// (Solana's 120 s recent-blockhash expiry).
     pub fn evict_where(&mut self, mut expired: impl FnMut(&TxMeta) -> bool) -> Vec<TxId> {
         let mut evicted = Vec::new();
-        let mut kept = VecDeque::with_capacity(self.queue.len());
-        while let Some(tx) = self.queue.pop_front() {
-            if expired(&tx) {
-                let count = self
-                    .per_sender
+        let per_sender = &mut self.per_sender;
+        self.queue.retain(|tx| {
+            if expired(tx) {
+                let count = per_sender
                     .get_mut(&tx.sender)
                     .expect("queued tx must have a sender count");
                 *count -= 1;
                 if *count == 0 {
-                    self.per_sender.remove(&tx.sender);
+                    per_sender.remove(&tx.sender);
                 }
                 evicted.push(tx.id);
+                false
             } else {
-                kept.push_back(tx);
+                true
             }
-        }
-        self.queue = kept;
+        });
         evicted
     }
 
@@ -299,6 +301,41 @@ mod tests {
         // Eviction released one slot per sender (tx 2 and tx 3 remain).
         pool.admit(tx(10, 0)).unwrap();
         assert_eq!(pool.admit(tx(11, 0)), Err(AdmitError::PerSenderLimit));
+    }
+
+    #[test]
+    fn large_pool_batches_preserve_order_and_counters() {
+        // A Quorum-style backlog: 100k pending transactions drained a
+        // few hundred per block. take_batch must not touch the tail, and
+        // the per-sender accounting must stay exact across many batches
+        // with skipped (ineligible) transactions interleaved.
+        let n: u32 = 100_000;
+        let mut pool = Mempool::new(MempoolPolicy::UNBOUNDED);
+        for i in 0..n {
+            pool.admit(tx(i, i % 97)).unwrap();
+        }
+        let mut drained: Vec<TxId> = Vec::new();
+        // Ids divisible by 7 only become eligible on a later pass.
+        let mut deferred_pass = false;
+        while !pool.is_empty() {
+            let pass = deferred_pass;
+            let batch = pool.take_batch(500, u64::MAX, |t| pass || t.id % 7 != 0);
+            if batch.is_empty() {
+                deferred_pass = true;
+                continue;
+            }
+            drained.extend(batch.iter().map(|t| t.id));
+        }
+        assert_eq!(drained.len() as u32, n);
+        // Within each eligibility class, FIFO order is preserved.
+        let not_sevens: Vec<TxId> = drained.iter().copied().filter(|id| id % 7 != 0).collect();
+        assert!(not_sevens.windows(2).all(|w| w[0] < w[1]));
+        let sevens: Vec<TxId> = drained.iter().copied().filter(|id| id % 7 == 0).collect();
+        assert!(sevens.windows(2).all(|w| w[0] < w[1]));
+        // Every sender slot was released.
+        for sender in 0..97 {
+            pool.admit(tx(n + sender, sender)).unwrap();
+        }
     }
 
     #[test]

@@ -7,7 +7,9 @@
 
 use core::fmt;
 
-use diablo_vm::{validate, ContractState, Interpreter, Program, TxContext, VmFlavor};
+use diablo_vm::{
+    prepare, ContractState, EntryId, Interpreter, PreparedProgram, Program, TxContext, VmFlavor,
+};
 
 use crate::{exchange, gaming, mobility, videosharing, webservice, DApp};
 
@@ -20,6 +22,10 @@ pub struct Contract {
     pub flavor: VmFlavor,
     /// The executable program.
     pub program: Program,
+    /// The program lowered once for this flavor (jump targets verified,
+    /// basic-block gas folded) — the fast path every per-transaction
+    /// execution should take.
+    pub prepared: PreparedProgram,
     /// The deploy-time state.
     pub initial_state: ContractState,
 }
@@ -75,13 +81,18 @@ pub fn build(dapp: DApp, flavor: VmFlavor) -> Result<Contract, Unsupported> {
             )
         }
     };
-    // Every lowered program must pass static validation: all jumps in
-    // range, every path from every entry terminated.
-    validate(&program).unwrap_or_else(|e| panic!("{dapp}/{flavor} failed validation: {e}"));
+    // Every lowered program must pass static validation (all jumps in
+    // range, every path from every entry terminated, locals in range);
+    // preparation runs it and then folds the flavor's gas schedule into
+    // basic blocks, so each deployed contract carries its fast-path
+    // representation from day one.
+    let prepared =
+        prepare(&program, flavor).unwrap_or_else(|e| panic!("{dapp}/{flavor} failed validation: {e}"));
     Ok(Contract {
         dapp,
         flavor,
         program,
+        prepared,
         initial_state,
     })
 }
@@ -90,6 +101,12 @@ impl Contract {
     /// The entry point a workload transaction of this DApp invokes.
     pub fn default_entry(&self) -> &'static str {
         crate::calls::default_entry(self.dapp)
+    }
+
+    /// Resolves an entry-point name against the prepared program
+    /// (binary search over interned names — no hashing per call).
+    pub fn entry_id(&self, name: &str) -> Option<EntryId> {
+        self.prepared.entry_id(name)
     }
 
     /// Dry-runs one representative call and classifies the DApp as
@@ -103,7 +120,12 @@ impl Contract {
             payload_bytes: call.payload_bytes,
             gas_limit: u64::MAX,
         };
-        Interpreter::new(self.flavor).dry_run(&self.program, call.entry, &ctx, &self.initial_state)
+        let Some(entry) = self.entry_id(call.entry) else {
+            return Err(diablo_vm::ExecError::UnknownEntry {
+                name: call.entry.to_string(),
+            });
+        };
+        Interpreter::new(self.flavor).dry_run_prepared(&self.prepared, entry, &ctx, &self.initial_state)
     }
 }
 
@@ -143,8 +165,48 @@ mod tests {
         for dapp in DApp::ALL {
             for flavor in VmFlavor::ALL {
                 if let Ok(c) = build(dapp, flavor) {
-                    assert_eq!(validate(&c.program), Ok(()), "{dapp}/{flavor}");
+                    assert_eq!(diablo_vm::validate(&c.program), Ok(()), "{dapp}/{flavor}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_program_interns_every_entry() {
+        for dapp in DApp::ALL {
+            for flavor in VmFlavor::ALL {
+                if let Ok(c) = build(dapp, flavor) {
+                    for name in c.program.entry_names() {
+                        assert!(c.entry_id(name).is_some(), "{dapp}/{flavor}: {name}");
+                    }
+                    assert!(c.entry_id("no_such_entry").is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_probe_matches_unprepared_dry_run() {
+        // The probe runs through the prepared fast path; it must agree
+        // exactly with the unprepared interpreter on every buildable
+        // pair — including the hard-budget failures of Figure 5.
+        for dapp in DApp::ALL {
+            for flavor in VmFlavor::ALL {
+                let Ok(c) = build(dapp, flavor) else { continue };
+                let call = crate::calls::call_for(dapp, 0);
+                let ctx = TxContext {
+                    caller: 1,
+                    args: call.args,
+                    payload_bytes: call.payload_bytes,
+                    gas_limit: u64::MAX,
+                };
+                let baseline = Interpreter::new(flavor).dry_run(
+                    &c.program,
+                    call.entry,
+                    &ctx,
+                    &c.initial_state,
+                );
+                assert_eq!(c.probe(), baseline, "{dapp}/{flavor}");
             }
         }
     }

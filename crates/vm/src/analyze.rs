@@ -9,6 +9,7 @@
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 
+use crate::interp::MAX_LOCALS;
 use crate::op::Op;
 use crate::program::Program;
 
@@ -34,6 +35,15 @@ pub enum ValidateError {
     },
     /// The program has no entry points at all.
     NoEntryPoints,
+    /// A `Load`/`Store` addresses a register outside the register file
+    /// (`>= MAX_LOCALS`). Historically the interpreter wrapped the index
+    /// modulo the file size, silently masking contract bugs.
+    LocalOutOfRange {
+        /// Offending instruction index.
+        pc: usize,
+        /// The out-of-range register index.
+        index: u8,
+    },
 }
 
 impl std::fmt::Display for ValidateError {
@@ -49,6 +59,13 @@ impl std::fmt::Display for ValidateError {
                 write!(f, "entry `{entry}` points outside the program")
             }
             ValidateError::NoEntryPoints => write!(f, "program has no entry points"),
+            ValidateError::LocalOutOfRange { pc, index } => {
+                write!(
+                    f,
+                    "instruction at pc {pc} addresses local register {index} \
+                     (register file has {MAX_LOCALS})"
+                )
+            }
         }
     }
 }
@@ -63,12 +80,20 @@ pub fn validate(program: &Program) -> Result<(), ValidateError> {
     if program.entry_names().next().is_none() {
         return Err(ValidateError::NoEntryPoints);
     }
-    // Jump-range check over the whole program.
+    // Jump-range and local-register checks over the whole program.
     for (pc, &op) in program.ops().iter().enumerate() {
-        if let Op::Jump(t) | Op::JumpIfZero(t) | Op::JumpIfNotZero(t) = op {
-            if t >= n {
-                return Err(ValidateError::JumpOutOfRange { pc, target: t });
+        match op {
+            Op::Jump(t) | Op::JumpIfZero(t) | Op::JumpIfNotZero(t) => {
+                if t >= n {
+                    return Err(ValidateError::JumpOutOfRange { pc, target: t });
+                }
             }
+            Op::Load(i) | Op::Store(i) => {
+                if i as usize >= MAX_LOCALS {
+                    return Err(ValidateError::LocalOutOfRange { pc, index: i });
+                }
+            }
+            _ => {}
         }
     }
     // Reachability per entry: breadth-first over the control-flow graph.
@@ -101,6 +126,59 @@ pub fn validate(program: &Program) -> Result<(), ValidateError> {
         }
     }
     Ok(())
+}
+
+/// Discovers the basic-block leaders of a program: the sorted list of
+/// instruction indices at which a block starts. Blocks partition
+/// `[0, len)`; each block runs from its leader to the instruction
+/// before the next leader (or the program end).
+///
+/// Leaders are:
+/// - instruction 0 and every entry point (execution can start there),
+/// - every jump target (control can arrive there from elsewhere),
+/// - the instruction after any jump, conditional jump or terminator
+///   (the fall-through / resume point ends the previous block),
+/// - the instruction after [`Op::StoreBlob`]. A blob store charges
+///   *dynamic* gas (per payload byte), so gas pre-charging must stop at
+///   it for the dynamic meter check to observe the same cumulative gas
+///   as unprepared execution (see [`crate::prepared`]).
+pub fn basic_blocks(program: &Program) -> Vec<usize> {
+    let n = program.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut leader = vec![false; n];
+    leader[0] = true;
+    for name in program.entry_names() {
+        if let Some(pc) = program.entry(name) {
+            if pc < n {
+                leader[pc] = true;
+            }
+        }
+    }
+    for (pc, &op) in program.ops().iter().enumerate() {
+        match op {
+            Op::Jump(t) | Op::JumpIfZero(t) | Op::JumpIfNotZero(t) => {
+                if t < n {
+                    leader[t] = true;
+                }
+                if pc + 1 < n {
+                    leader[pc + 1] = true;
+                }
+            }
+            Op::Halt | Op::Revert(_) | Op::StoreBlob => {
+                if pc + 1 < n {
+                    leader[pc + 1] = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    leader
+        .iter()
+        .enumerate()
+        .filter_map(|(pc, &is_leader)| is_leader.then_some(pc))
+        .collect()
 }
 
 /// Renders a program as human-readable assembly, one instruction per
@@ -237,6 +315,64 @@ mod tests {
             validate(&program),
             Err(ValidateError::FallThrough { .. })
         ));
+    }
+
+    #[test]
+    fn out_of_range_locals_are_rejected_at_deploy_time() {
+        let mut asm = Asm::new();
+        asm.entry("main");
+        asm.op(Op::Push(1)).op(Op::Store(99)).op(Op::Halt);
+        assert_eq!(
+            validate(&asm.finish()),
+            Err(ValidateError::LocalOutOfRange { pc: 1, index: 99 })
+        );
+        let mut asm = Asm::new();
+        asm.entry("main");
+        asm.op(Op::Load(32)).op(Op::Halt);
+        assert_eq!(
+            validate(&asm.finish()),
+            Err(ValidateError::LocalOutOfRange { pc: 0, index: 32 })
+        );
+        // The highest valid register passes.
+        let mut asm = Asm::new();
+        asm.entry("main");
+        asm.op(Op::Load(31)).op(Op::Halt);
+        assert_eq!(validate(&asm.finish()), Ok(()));
+    }
+
+    #[test]
+    fn basic_blocks_split_at_jumps_targets_and_terminators() {
+        // 0: push 10     <- leader (pc 0, entry)
+        // 1: store 0
+        // 2: load 0      <- leader (target of jump at 8)
+        // 3: jz @9
+        // 4: load 0      <- leader (fall-through of jz)
+        // 5: push 1
+        // 6: sub
+        // 7: store 0
+        // 8: jump @2
+        // 9: halt        <- leader (target of jz, after jump)
+        let mut asm = Asm::new();
+        asm.entry("main");
+        asm.op(Op::Push(10)).op(Op::Store(0));
+        let top = asm.here();
+        let done = asm.new_label();
+        asm.op(Op::Load(0));
+        asm.jump_if_zero(done);
+        asm.op(Op::Load(0)).op(Op::Push(1)).op(Op::Sub).op(Op::Store(0));
+        asm.jump(top);
+        asm.bind(done);
+        asm.op(Op::Halt);
+        assert_eq!(basic_blocks(&asm.finish()), vec![0, 2, 4, 9]);
+    }
+
+    #[test]
+    fn basic_blocks_split_after_storeblob() {
+        let mut asm = Asm::new();
+        asm.entry("main");
+        asm.ops(&[Op::Push(64), Op::StoreBlob, Op::Push(1), Op::Halt]);
+        // StoreBlob's dynamic gas forces a block boundary after pc 1.
+        assert_eq!(basic_blocks(&asm.finish()), vec![0, 2]);
     }
 
     #[test]

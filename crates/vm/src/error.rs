@@ -52,6 +52,15 @@ pub enum ExecError {
     },
     /// The program fell off the end without `Halt`.
     MissingTerminator,
+    /// A local-register index outside the register file (caught at
+    /// deploy time by `validate`; a runtime fault only for programs
+    /// executed without deploy-time validation).
+    InvalidLocal {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+        /// The out-of-range register index.
+        index: u8,
+    },
     /// The requested entry point does not exist.
     UnknownEntry {
         /// The requested function name.
@@ -91,6 +100,9 @@ impl fmt::Display for ExecError {
             ExecError::Overflow { pc } => write!(f, "arithmetic overflow at pc {pc}"),
             ExecError::InvalidJump { target } => write!(f, "invalid jump target {target}"),
             ExecError::MissingTerminator => write!(f, "program ended without halt"),
+            ExecError::InvalidLocal { pc, index } => {
+                write!(f, "local register {index} out of range at pc {pc}")
+            }
             ExecError::UnknownEntry { name } => write!(f, "unknown entry point `{name}`"),
             ExecError::StateLimitExceeded => write!(f, "contract state limit exceeded"),
             ExecError::Reverted(code) => write!(f, "reverted with code {code}"),

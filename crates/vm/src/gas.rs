@@ -142,6 +142,15 @@ impl GasSchedule {
         }
     }
 
+    /// Total static cost of a straight-line run of instructions
+    /// (saturating). This is the amount a prepared basic block
+    /// pre-charges on entry; [`Op::StoreBlob`]'s per-byte part stays
+    /// dynamic and is charged at the instruction.
+    pub fn block_cost(&self, ops: &[Op]) -> u64 {
+        ops.iter()
+            .fold(0u64, |acc, &op| acc.saturating_add(self.cost(op)))
+    }
+
     /// Cost of storing `len` payload bytes via [`Op::StoreBlob`].
     pub fn blob_cost(&self, len: u64) -> u64 {
         self.blob_per_byte.saturating_mul(len)
@@ -207,6 +216,15 @@ mod tests {
         let g = GasSchedule::GETH;
         assert_eq!(g.intrinsic_cost(0), 21_000);
         assert_eq!(g.intrinsic_cost(10), 21_000 + 160);
+    }
+
+    #[test]
+    fn block_cost_is_the_sum_of_op_costs() {
+        let g = GasSchedule::GETH;
+        let ops = [Op::Push(1), Op::Push(2), Op::Add, Op::SStore, Op::Halt];
+        let expected: u64 = ops.iter().map(|&op| g.cost(op)).sum();
+        assert_eq!(g.block_cost(&ops), expected);
+        assert_eq!(g.block_cost(&[]), 0);
     }
 
     #[test]

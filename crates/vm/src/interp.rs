@@ -14,11 +14,16 @@ use crate::state::ContractState;
 use crate::Word;
 
 /// Maximum operand stack depth (matches the EVM's 1024).
-const MAX_STACK: usize = 1024;
+pub const MAX_STACK: usize = 1024;
 
 /// Safety valve against non-terminating programs: no DApp of the suite
 /// comes close to this many instructions in one call.
-const MAX_OPS: u64 = 50_000_000;
+pub const MAX_OPS: u64 = 50_000_000;
+
+/// Size of the local register file addressed by [`Op::Load`] and
+/// [`Op::Store`]. Larger indices are rejected at deploy time by
+/// [`crate::analyze::validate`] and fault at run time.
+pub const MAX_LOCALS: usize = 32;
 
 /// Per-transaction inputs to an execution.
 #[derive(Debug, Clone)]
@@ -63,11 +68,25 @@ pub struct Receipt {
 }
 
 /// A journaled undo record for one storage write.
-enum Undo {
+pub(crate) enum Undo {
     /// Key previously held this value.
     Entry(Word, Word),
     /// A blob of this many bytes was recorded.
     Blob(u64),
+}
+
+/// Rolls a journal back against `state`, newest write first. Shared by
+/// [`Interpreter::execute`] and the prepared fast path.
+pub(crate) fn rollback(journal: Vec<Undo>, state: &mut ContractState) {
+    for undo in journal.into_iter().rev() {
+        match undo {
+            Undo::Entry(key, old) => {
+                let ok = state.store(key, old, &crate::state::StateLimits::unbounded());
+                debug_assert!(ok, "rollback writes cannot exceed limits");
+            }
+            Undo::Blob(len) => state.unstore_blob(len),
+        }
+    }
 }
 
 /// The interpreter for one VM flavor.
@@ -107,7 +126,7 @@ impl Interpreter {
         let budget = self.flavor.per_tx_budget();
 
         let mut stack: Vec<Word> = Vec::with_capacity(32);
-        let mut locals = [0 as Word; 32];
+        let mut locals = [0 as Word; MAX_LOCALS];
         let mut gas: u64 = 0;
         let mut ops: u64 = 0;
         let mut events: Vec<(u16, Vec<Word>)> = Vec::new();
@@ -264,10 +283,16 @@ impl Interpreter {
                         next_pc = t;
                     }
                 }
-                Op::Load(i) => push!(locals[i as usize % locals.len()]),
+                Op::Load(i) => match locals.get(i as usize) {
+                    Some(&v) => push!(v),
+                    None => break Err(ExecError::InvalidLocal { pc, index: i }),
+                },
                 Op::Store(i) => {
                     let v = pop!();
-                    locals[i as usize % locals.len()] = v;
+                    match locals.get_mut(i as usize) {
+                        Some(slot) => *slot = v,
+                        None => break Err(ExecError::InvalidLocal { pc, index: i }),
+                    }
                 }
                 Op::SLoad => {
                     let key = pop!();
@@ -329,16 +354,7 @@ impl Interpreter {
         };
 
         if result.is_err() {
-            // Roll the state back, newest write first.
-            for undo in journal.into_iter().rev() {
-                match undo {
-                    Undo::Entry(key, old) => {
-                        let ok = state.store(key, old, &crate::state::StateLimits::unbounded());
-                        debug_assert!(ok, "rollback writes cannot exceed limits");
-                    }
-                    Undo::Blob(len) => state.unstore_blob(len),
-                }
-            }
+            rollback(journal, state);
         }
         result
     }
@@ -555,6 +571,33 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, ExecError::Overflow { .. }));
+    }
+
+    #[test]
+    fn out_of_range_locals_fault_instead_of_wrapping() {
+        // Register 40 is outside the 32-register file; historically this
+        // wrapped to register 8 and silently hid the contract bug.
+        let err = run(VmFlavor::Geth, |a| {
+            a.ops(&[Op::Load(40), Op::Halt]);
+        })
+        .unwrap_err();
+        assert_eq!(err, ExecError::InvalidLocal { pc: 0, index: 40 });
+        let err = run(VmFlavor::Geth, |a| {
+            a.ops(&[Op::Push(1), Op::Store(255), Op::Halt]);
+        })
+        .unwrap_err();
+        assert_eq!(err, ExecError::InvalidLocal { pc: 1, index: 255 });
+        // The highest valid register still works.
+        let r = run(VmFlavor::Geth, |a| {
+            a.ops(&[
+                Op::Push(9),
+                Op::Store(MAX_LOCALS as u8 - 1),
+                Op::Load(MAX_LOCALS as u8 - 1),
+                Op::Halt,
+            ]);
+        })
+        .unwrap();
+        assert_eq!(r.ret, Some(9));
     }
 
     #[test]

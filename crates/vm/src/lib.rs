@@ -26,15 +26,17 @@ pub mod gas;
 pub mod interp;
 pub mod lang;
 pub mod op;
+pub mod prepared;
 pub mod program;
 pub mod state;
 
-pub use analyze::{disassemble, validate, ValidateError};
+pub use analyze::{basic_blocks, disassemble, validate, ValidateError};
 pub use error::ExecError;
 pub use flavor::VmFlavor;
 pub use gas::GasSchedule;
-pub use interp::{Interpreter, Receipt, TxContext};
+pub use interp::{Interpreter, Receipt, TxContext, MAX_LOCALS, MAX_OPS, MAX_STACK};
 pub use op::Op;
+pub use prepared::{prepare, EntryId, PreparedProgram};
 pub use program::{Asm, Label, Program};
 pub use state::{ContractState, StateLimits};
 

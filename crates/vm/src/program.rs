@@ -49,6 +49,19 @@ impl Program {
     pub fn entry_names(&self) -> impl Iterator<Item = &str> {
         self.entries.keys().map(String::as_str)
     }
+
+    /// Entry points as `(name, pc)` pairs in a deterministic (sorted by
+    /// name) order — the interning order of prepared-program
+    /// [`EntryId`](crate::prepared::EntryId)s.
+    pub fn entries_sorted(&self) -> Vec<(&str, usize)> {
+        let mut v: Vec<(&str, usize)> = self
+            .entries
+            .iter()
+            .map(|(name, &pc)| (name.as_str(), pc))
+            .collect();
+        v.sort_unstable();
+        v
+    }
 }
 
 /// Two-pass assembler: emit instructions, bind labels, finish.

@@ -16,4 +16,12 @@ cargo test -q --release --offline --workspace
 echo "==> cargo doc --no-deps --offline --workspace (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
+# Bench smoke: every bench binary must run end to end. Two samples per
+# benchmark keeps this to seconds; it guards the harness wiring and the
+# in-bench assertions (e.g. baseline and prepared agreeing on success),
+# not the numbers.
+echo "==> cargo bench --offline (smoke, DIABLO_BENCH_SAMPLES=2)"
+DIABLO_BENCH_SAMPLES=2 DIABLO_BENCH_JSON="${DIABLO_BENCH_JSON:-target/bench-smoke}" \
+    cargo bench -q --offline --workspace
+
 echo "CI OK"
