@@ -1,0 +1,80 @@
+//! Benchmark: committed-block execution, serial vs deterministic parallel.
+//!
+//! Measures [`ExecutionEngine::execute_block`] over whole committed
+//! blocks at 1, 2, 4 and 8 worker threads. Two block shapes bracket the
+//! scheduler:
+//!
+//! - a 10k-transaction Exchange block: the workload rotates five stocks,
+//!   so static read/write-set analysis decomposes the block into five
+//!   independent components and the parallel executor genuinely runs
+//!   multi-threaded (the `.../serial` vs `.../parallel4` pair in
+//!   `BENCH_block_execution.json` records the speedup — bounded by
+//!   min(threads, components, CPU cores), so a single-core runner shows
+//!   parity while a 4-core machine approaches the 2.5× component-balance
+//!   ceiling);
+//! - a Gaming block: every `update` call has a dynamic footprint, so the
+//!   executor must fall back to ordered serial execution — this pair
+//!   bounds the cost of planning a block that cannot be parallelized.
+//!
+//! Every timed sample re-runs the block from a freshly deployed contract
+//! and asserts the costs are bit-identical to a serial reference run, so
+//! the ci.sh smoke pass doubles as a wiring check.
+
+use diablo_testkit::bench::{black_box, Bench};
+
+use diablo_chains::{Concurrency, ExecMode, ExecutionEngine, Payload};
+use diablo_contracts::DApp;
+use diablo_vm::VmFlavor;
+
+/// A freshly deployed Exact-mode engine for `dapp` on geth.
+fn engine(dapp: DApp, concurrency: Concurrency) -> ExecutionEngine {
+    ExecutionEngine::with_dapp(VmFlavor::Geth, ExecMode::Exact, dapp)
+        .expect("dapp builds on geth")
+        .with_concurrency(concurrency)
+}
+
+/// Benchmarks one `n_txs`-transaction block of `dapp` workload calls at
+/// every thread count, checking each run against the serial reference.
+fn bench_block(b: &mut Bench, dapp: DApp, n_txs: usize) {
+    let payloads: Vec<Payload> = (0..n_txs as u64)
+        .map(|seq| Payload::Invoke {
+            dapp,
+            seq,
+            call: None,
+        })
+        .collect();
+    // Reference costs of a first committed block; every sample starts
+    // from a fresh deployment, so all configurations must reproduce
+    // these bit-for-bit.
+    let expected = engine(dapp, Concurrency::Serial).execute_block(&payloads);
+
+    let configs = [
+        ("serial", Concurrency::Serial),
+        ("parallel2", Concurrency::Parallel(2)),
+        ("parallel4", Concurrency::Parallel(4)),
+        ("parallel8", Concurrency::Parallel(8)),
+    ];
+    for (name, concurrency) in configs {
+        b.bench_batched(
+            &format!("block/{}_{}tx/{}", dapp.name(), n_txs, name),
+            || engine(dapp, concurrency),
+            |mut e| {
+                let costs = e.execute_block(&payloads);
+                assert_eq!(costs, expected, "parallel block diverged from serial");
+                black_box(costs.len())
+            },
+        );
+    }
+}
+
+fn main() {
+    let mut b = Bench::suite("block_execution");
+    b.samples(15);
+
+    // Conflict-light: five independent conflict components.
+    bench_block(&mut b, DApp::Exchange, 10_000);
+    // Dynamic footprints: the planner bails out, ordered serial fallback.
+    bench_block(&mut b, DApp::Gaming, 2_000);
+
+    b.finish();
+}

@@ -6,7 +6,7 @@
 //! the paper reports. This library holds the common experiment drivers
 //! and plain-text rendering.
 
-use diablo_chains::{Chain, Experiment, RunResult};
+use diablo_chains::{Chain, Concurrency, Experiment, RunResult};
 use diablo_contracts::DApp;
 use diablo_net::DeploymentKind;
 use diablo_workloads::{traces, Workload};
@@ -17,6 +17,38 @@ pub fn quick_factor() -> f64 {
     match std::env::var("DIABLO_QUICK") {
         Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => 0.25,
         _ => 1.0,
+    }
+}
+
+/// Worker-thread count for committed-block execution: `--threads N` (or
+/// `--threads=N`) on the command line, else `DIABLO_THREADS=N` in the
+/// environment, else 1 (serial, the paper's baseline).
+pub fn thread_knob() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            if let Ok(n) = v.parse() {
+                return n;
+            }
+        }
+    }
+    std::env::var("DIABLO_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// The block-commit concurrency [`thread_knob`] resolves to: 0 or 1
+/// worker means serial execution, anything larger enables the
+/// deterministic parallel executor with that many workers.
+pub fn concurrency() -> Concurrency {
+    match thread_knob() {
+        0 | 1 => Concurrency::Serial,
+        n => Concurrency::Parallel(n),
     }
 }
 
@@ -33,16 +65,19 @@ pub fn maybe_quick(w: Workload) -> Workload {
     )
 }
 
-/// Runs one native-transfer experiment.
+/// Runs one native-transfer experiment (honors the `--threads` knob).
 pub fn run_native(chain: Chain, deployment: DeploymentKind, workload: Workload) -> RunResult {
-    Experiment::new(chain, deployment, maybe_quick(workload)).run()
+    Experiment::new(chain, deployment, maybe_quick(workload))
+        .with_concurrency(concurrency())
+        .run()
 }
 
-/// Runs one DApp experiment.
+/// Runs one DApp experiment (honors the `--threads` knob).
 pub fn run_dapp(chain: Chain, deployment: DeploymentKind, dapp: DApp) -> RunResult {
     let workload = traces::for_dapp(dapp.name()).expect("every dapp has a trace");
     Experiment::new(chain, deployment, maybe_quick(workload))
         .with_dapp(dapp)
+        .with_concurrency(concurrency())
         .run()
 }
 
@@ -103,6 +138,16 @@ mod tests {
         // Unless the environment says otherwise, workloads are full-length.
         if std::env::var("DIABLO_QUICK").is_err() {
             assert_eq!(quick_factor(), 1.0);
+        }
+    }
+
+    #[test]
+    fn thread_knob_defaults_to_serial() {
+        // Without `--threads` / `DIABLO_THREADS`, block commits stay
+        // serial (the paper's baseline).
+        if std::env::var("DIABLO_THREADS").is_err() {
+            assert_eq!(thread_knob(), 1);
+            assert_eq!(concurrency(), Concurrency::Serial);
         }
     }
 

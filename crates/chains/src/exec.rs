@@ -17,8 +17,9 @@
 use std::collections::HashMap;
 
 use diablo_contracts::{build, calls, Contract, DApp, Unsupported};
-use diablo_vm::{ExecError, Interpreter, TxContext, VmFlavor};
+use diablo_vm::{ExecError, Interpreter, Receipt, TxContext, VmFlavor};
 
+use crate::parallel::ParallelExecutor;
 use crate::tx::{CallSel, Payload};
 
 /// How often profiled mode re-runs a real execution per cache entry.
@@ -31,6 +32,30 @@ pub enum ExecMode {
     Exact,
     /// Interpret once per call class, replay cached costs after.
     Profiled,
+}
+
+/// Block-commit concurrency, orthogonal to [`ExecMode`]: how many
+/// worker threads [`ExecutionEngine::execute_block`] may use. Parallel
+/// execution is bit-identical to serial by construction (see
+/// [`crate::parallel`]); `Profiled` refresh executions always take the
+/// serial path regardless of this setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Concurrency {
+    /// One transaction at a time, in canonical order.
+    #[default]
+    Serial,
+    /// Up to this many scoped worker threads per committed block.
+    Parallel(usize),
+}
+
+impl Concurrency {
+    /// The worker count this setting allows (≥ 1).
+    pub fn threads(self) -> usize {
+        match self {
+            Concurrency::Serial => 1,
+            Concurrency::Parallel(n) => n.max(1),
+        }
+    }
 }
 
 /// The cost and outcome of executing one transaction.
@@ -74,6 +99,7 @@ pub struct ExecutionEngine {
     flavor: VmFlavor,
     interpreter: Interpreter,
     mode: ExecMode,
+    concurrency: Concurrency,
     /// The deployed contract for the experiment's DApp (if any).
     contract: Option<Contract>,
     /// Profiled-mode cache: (entry, arg class) → (cost, replays since
@@ -99,6 +125,7 @@ impl ExecutionEngine {
             flavor,
             interpreter: Interpreter::new(flavor),
             mode,
+            concurrency: Concurrency::Serial,
             contract: None,
             cache: HashMap::new(),
         }
@@ -113,9 +140,21 @@ impl ExecutionEngine {
             flavor,
             interpreter: Interpreter::new(flavor),
             mode,
+            concurrency: Concurrency::Serial,
             contract: Some(contract),
             cache: HashMap::new(),
         })
+    }
+
+    /// Sets the block-commit concurrency (builder style).
+    pub fn with_concurrency(mut self, concurrency: Concurrency) -> Self {
+        self.concurrency = concurrency;
+        self
+    }
+
+    /// The configured block-commit concurrency.
+    pub fn concurrency(&self) -> Concurrency {
+        self.concurrency
     }
 
     /// The engine's VM flavor.
@@ -163,27 +202,28 @@ impl ExecutionEngine {
     }
 
     fn execute_invoke(&mut self, dapp: DApp, seq: u64, sel: Option<CallSel>) -> ExecCost {
+        // Resolve once; the resolved call is passed down so `interpret`
+        // never re-materializes the argument vector.
         let call = Self::resolve(dapp, seq, sel);
-        let key = (call.entry, ArgClass::of(&call));
         if self.mode == ExecMode::Profiled {
-            if let Some(&(cost, age)) = self.cache.get(&key) {
-                if age < PROFILE_REFRESH {
-                    self.cache.insert(key, (cost, age + 1));
-                    return cost;
+            let key = (call.entry, ArgClass::of(&call));
+            if let Some((cost, age)) = self.cache.get_mut(&key) {
+                if *age < PROFILE_REFRESH {
+                    // A hit only bumps the age in place: one hash lookup.
+                    *age += 1;
+                    return *cost;
                 }
             }
-        }
-        let cost = self.interpret(dapp, seq, sel);
-        if self.mode == ExecMode::Profiled {
+            let cost = self.interpret(seq, call);
             self.cache.insert(key, (cost, 0));
+            cost
+        } else {
+            self.interpret(seq, call)
         }
-        cost
     }
 
-    fn interpret(&mut self, dapp: DApp, seq: u64, sel: Option<CallSel>) -> ExecCost {
-        let call = Self::resolve(dapp, seq, sel);
-        let schedule = self.flavor.schedule();
-        let intrinsic = schedule.intrinsic_cost(8 * call.args.len() as u64 + call.payload_bytes);
+    fn interpret(&mut self, seq: u64, call: calls::CallSpec) -> ExecCost {
+        let intrinsic = intrinsic_cost(self.flavor, &call);
         let Some(contract) = self.contract.as_mut() else {
             // No contract deployed: treat as a transfer-priced no-op.
             return ExecCost {
@@ -192,12 +232,7 @@ impl ExecutionEngine {
                 ok: true,
             };
         };
-        let ctx = TxContext {
-            caller: (seq % 10_000) as i64 + 1,
-            args: call.args,
-            payload_bytes: call.payload_bytes,
-            gas_limit: u64::MAX,
-        };
+        let ctx = tx_context(seq, call.args, call.payload_bytes);
         // Every committed transaction goes through the prepared fast
         // path; the name-keyed execute() remains only as the fallback
         // for entries the prepared program does not know (none today —
@@ -216,26 +251,122 @@ impl ExecutionEngine {
                 &mut contract.initial_state,
             ),
         };
-        match result {
-            Ok(receipt) => ExecCost {
-                gas: receipt.gas_used + intrinsic,
-                ops: receipt.ops_executed,
-                ok: true,
-            },
-            Err(ExecError::BudgetExceeded { used, .. }) => {
-                // The hard budget was consumed before the abort.
-                ExecCost {
-                    gas: used + intrinsic,
-                    ops: used,
-                    ok: false,
+        cost_of(result, intrinsic)
+    }
+
+    /// Executes one committed batch, returning per-transaction costs in
+    /// canonical order.
+    ///
+    /// With [`Concurrency::Parallel`] and [`ExecMode::Exact`], invokes
+    /// are scheduled across a [`ParallelExecutor`] using the contract's
+    /// static read/write sets — bit-identical to the serial loop (same
+    /// costs, same final state), just faster on conflict-light blocks.
+    /// Everything else (serial config, profiled mode, native workloads,
+    /// single-transaction blocks) takes the plain serial loop.
+    pub fn execute_block(&mut self, payloads: &[Payload]) -> Vec<ExecCost> {
+        let threads = self.concurrency.threads();
+        if self.mode != ExecMode::Exact
+            || threads < 2
+            || payloads.len() < 2
+            || self.contract.is_none()
+        {
+            return payloads.iter().map(|&p| self.execute(p)).collect();
+        }
+
+        // Resolve every invoke up front. Transfers don't touch contract
+        // state, so their (constant) cost is filled in positionally.
+        let flavor = self.flavor;
+        let mut costs: Vec<ExecCost> = Vec::with_capacity(payloads.len());
+        let mut slots: Vec<usize> = Vec::new(); // invoke → payload position
+        let mut intrinsics: Vec<u64> = Vec::new(); // aligned with `txs`
+        let mut txs: Vec<crate::parallel::BlockTx> = Vec::new();
+        {
+            let contract = self.contract.as_ref().expect("checked above");
+            for (slot, &payload) in payloads.iter().enumerate() {
+                match payload {
+                    Payload::Transfer => costs.push(ExecCost {
+                        gas: transfer_gas(flavor),
+                        ops: 10,
+                        ok: true,
+                    }),
+                    Payload::Invoke { dapp, seq, call } => {
+                        let call = Self::resolve(dapp, seq, call);
+                        let Some(entry) = contract.prepared.entry_id(call.entry) else {
+                            // An entry preparation does not know would
+                            // need the name-keyed interpreter; keep the
+                            // whole block on the serial loop.
+                            return payloads.iter().map(|&p| self.execute(p)).collect();
+                        };
+                        slots.push(slot);
+                        intrinsics.push(intrinsic_cost(flavor, &call));
+                        txs.push((entry, tx_context(seq, call.args, call.payload_bytes)));
+                        costs.push(ExecCost {
+                            gas: 0,
+                            ops: 0,
+                            ok: false,
+                        });
+                    }
                 }
             }
-            Err(_) => ExecCost {
-                gas: intrinsic,
-                ops: 100,
-                ok: false,
-            },
         }
+
+        let vm = self.interpreter;
+        let contract = self.contract.as_mut().expect("checked above");
+        // The mapper condenses each receipt to its cost on the worker
+        // that produced it, so event payloads never outlive their
+        // transaction.
+        let results = ParallelExecutor::new(threads).execute(
+            &vm,
+            &contract.prepared,
+            &mut contract.initial_state,
+            &txs,
+            |k, result| cost_of(result, intrinsics[k]),
+        );
+        for (slot, cost) in slots.into_iter().zip(results) {
+            costs[slot] = cost;
+        }
+        costs
+    }
+}
+
+/// The flavor's intrinsic admission cost for one resolved call.
+fn intrinsic_cost(flavor: VmFlavor, call: &calls::CallSpec) -> u64 {
+    flavor
+        .schedule()
+        .intrinsic_cost(8 * call.args.len() as u64 + call.payload_bytes)
+}
+
+/// The transaction context a committed invoke executes under.
+fn tx_context(seq: u64, args: Vec<i64>, payload_bytes: u64) -> TxContext {
+    TxContext {
+        caller: (seq % 10_000) as i64 + 1,
+        args,
+        payload_bytes,
+        gas_limit: u64::MAX,
+    }
+}
+
+/// Maps an interpreter outcome to the cost the chain charges for it.
+fn cost_of(result: Result<Receipt, ExecError>, intrinsic: u64) -> ExecCost {
+    match result {
+        Ok(receipt) => ExecCost {
+            gas: receipt.gas_used + intrinsic,
+            ops: receipt.ops_executed,
+            ok: true,
+        },
+        Err(ExecError::BudgetExceeded { used, .. }) => {
+            // The hard budget was consumed before the abort.
+            ExecCost {
+                gas: used + intrinsic,
+                ops: used,
+                ok: false,
+            }
+        }
+        Err(_) => ExecCost {
+            gas: intrinsic,
+            ops: 100,
+            ok: false,
+        },
     }
 }
 
@@ -384,6 +515,39 @@ mod tests {
         assert!(probe.is_err());
         let native = ExecutionEngine::native(VmFlavor::MoveVm, ExecMode::Exact);
         assert!(native.probe().is_none());
+    }
+
+    #[test]
+    fn parallel_block_execution_matches_serial() {
+        let payloads: Vec<Payload> = (0..200)
+            .map(|seq| {
+                if seq % 9 == 0 {
+                    Payload::Transfer
+                } else {
+                    Payload::Invoke {
+                        dapp: DApp::Exchange,
+                        seq,
+                        call: None,
+                    }
+                }
+            })
+            .collect();
+        let mut serial =
+            ExecutionEngine::with_dapp(VmFlavor::Geth, ExecMode::Exact, DApp::Exchange).unwrap();
+        let want = serial.execute_block(&payloads);
+        for threads in [2, 4, 8] {
+            let mut par =
+                ExecutionEngine::with_dapp(VmFlavor::Geth, ExecMode::Exact, DApp::Exchange)
+                    .unwrap()
+                    .with_concurrency(Concurrency::Parallel(threads));
+            let got = par.execute_block(&payloads);
+            assert_eq!(want, got, "{threads} threads");
+            assert_eq!(
+                serial.contract().unwrap().initial_state,
+                par.contract().unwrap().initial_state,
+                "{threads} threads"
+            );
+        }
     }
 
     #[test]

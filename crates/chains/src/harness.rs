@@ -11,7 +11,7 @@ use diablo_contracts::DApp;
 use diablo_net::{DeploymentConfig, DeploymentKind, NetworkModel, QuorumModel};
 use diablo_sim::{SimDuration, SimTime, Simulation};
 
-use crate::exec::{ExecMode, ExecutionEngine};
+use crate::exec::{Concurrency, ExecMode, ExecutionEngine};
 use crate::faults::FaultPlan;
 use crate::params::ChainParams;
 use crate::records::RunResult;
@@ -37,6 +37,8 @@ pub struct HarnessOptions {
     pub seed: u64,
     /// Execution fidelity.
     pub exec_mode: ExecMode,
+    /// Block-commit concurrency (worker threads for parallel execution).
+    pub concurrency: Concurrency,
     /// Drain window after the last submission, in seconds.
     pub grace_secs: u64,
     /// Parameter overrides; `None` = standard parameters.
@@ -50,6 +52,7 @@ impl Default for HarnessOptions {
         HarnessOptions {
             seed: 42,
             exec_mode: ExecMode::Profiled,
+            concurrency: Concurrency::Serial,
             grace_secs: 60,
             params: None,
             faults: FaultPlan::none(),
@@ -98,7 +101,8 @@ impl ChainHarness {
             Some(dapp) => {
                 ExecutionEngine::with_dapp(flavor, options.exec_mode, dapp).map_err(|u| u.reason)?
             }
-        };
+        }
+        .with_concurrency(options.concurrency);
         if let Some(Err(err)) = engine.probe() {
             if err.is_hard_budget() {
                 return Err(format!("{err}"));

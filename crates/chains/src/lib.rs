@@ -35,13 +35,15 @@ pub mod faults;
 pub mod fees;
 pub mod harness;
 pub mod mempool;
+pub mod parallel;
 pub mod params;
 pub mod records;
 pub mod sim;
 pub mod tx;
 
 pub use chain::Chain;
-pub use exec::{ExecMode, ExecutionEngine};
+pub use exec::{Concurrency, ExecMode, ExecutionEngine};
+pub use parallel::ParallelExecutor;
 pub use faults::FaultPlan;
 pub use fees::FeeMarket;
 pub use harness::{ChainHarness, HarnessOptions, PlannedTx};

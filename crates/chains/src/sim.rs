@@ -25,7 +25,7 @@ use diablo_sim::{DetRng, Scheduler, SimDuration, SimTime, World};
 use diablo_workloads::Workload;
 
 use crate::chain::Chain;
-use crate::exec::{ExecMode, ExecutionEngine};
+use crate::exec::{Concurrency, ExecMode, ExecutionEngine};
 use crate::faults::FaultPlan;
 use crate::fees::FeeMarket;
 use crate::harness::{ChainHarness, HarnessOptions, PlannedTx};
@@ -61,6 +61,9 @@ pub struct Experiment {
     pub seed: u64,
     /// Execution fidelity.
     pub exec_mode: ExecMode,
+    /// Block-commit concurrency (worker threads for parallel execution
+    /// of committed batches; results are bit-identical to serial).
+    pub concurrency: Concurrency,
     /// Extra seconds the chain keeps producing blocks after the last
     /// submission (drain window).
     pub grace_secs: u64,
@@ -86,6 +89,7 @@ impl Experiment {
             dapp: None,
             seed: 42,
             exec_mode: ExecMode::Profiled,
+            concurrency: Concurrency::Serial,
             grace_secs: 60,
             params: None,
             config: None,
@@ -109,6 +113,12 @@ impl Experiment {
     /// Overrides the execution mode.
     pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
         self.exec_mode = mode;
+        self
+    }
+
+    /// Overrides the block-commit concurrency.
+    pub fn with_concurrency(mut self, concurrency: Concurrency) -> Self {
+        self.concurrency = concurrency;
         self
     }
 
@@ -151,6 +161,7 @@ impl Experiment {
         let options = HarnessOptions {
             seed: self.seed,
             exec_mode: self.exec_mode,
+            concurrency: self.concurrency,
             grace_secs: self.grace_secs,
             params: self.params.clone(),
             faults: self.faults.clone(),
@@ -727,11 +738,17 @@ impl ChainSim {
             bytes: batch.iter().map(|t| t.wire_bytes).sum(),
         });
         if !batch.is_empty() {
-            let mut txs = Vec::with_capacity(batch.len());
-            for tx in &batch {
-                let cost = self.engine.execute(tx.payload);
-                txs.push((tx.id, cost.ok));
-            }
+            // The whole batch goes through the engine at once so a
+            // parallel-configured engine can schedule its conflict-free
+            // transactions across workers; costs come back in canonical
+            // order either way.
+            let payloads: Vec<Payload> = batch.iter().map(|tx| tx.payload).collect();
+            let costs = self.engine.execute_block(&payloads);
+            let txs = batch
+                .iter()
+                .zip(&costs)
+                .map(|(tx, cost)| (tx.id, cost.ok))
+                .collect();
             self.awaiting.push_back(PendingFinality {
                 height: self.height,
                 committed,
@@ -898,5 +915,33 @@ mod tests {
         assert!(r.committed() > 0);
         // Committed adds all executed for real; counts are consistent.
         assert_eq!(r.submitted(), 500);
+    }
+
+    #[test]
+    fn parallel_concurrency_reproduces_serial_runs() {
+        // End to end: the same seeded experiment must produce identical
+        // per-transaction records whether committed blocks execute
+        // serially or across 4 workers.
+        let run = |concurrency| {
+            Experiment::new(
+                Chain::Quorum,
+                DeploymentKind::Testnet,
+                traces::constant(80.0, 10),
+            )
+            .with_dapp(DApp::Exchange)
+            .with_exec_mode(ExecMode::Exact)
+            .with_concurrency(concurrency)
+            .with_grace(30)
+            .run()
+        };
+        let serial = run(Concurrency::Serial);
+        let parallel = run(Concurrency::Parallel(4));
+        assert_eq!(serial.records.len(), parallel.records.len());
+        for (s, p) in serial.records.iter().zip(&parallel.records) {
+            assert_eq!(s.submitted, p.submitted);
+            assert_eq!(s.decided, p.decided);
+            assert_eq!(s.status, p.status);
+        }
+        assert_eq!(serial.blocks, parallel.blocks);
     }
 }

@@ -10,7 +10,7 @@
 //! harness); `crate::wire` adds the distributed Primary/Secondary mode
 //! over TCP.
 
-use diablo_chains::{ChainHarness, ExecMode, HarnessOptions, PlannedTx};
+use diablo_chains::{ChainHarness, Concurrency, ExecMode, HarnessOptions, PlannedTx};
 use diablo_net::DeploymentKind;
 
 use crate::adapters;
@@ -26,6 +26,8 @@ pub struct BenchmarkOptions {
     pub seed: u64,
     /// Execution fidelity of the simulated chain.
     pub exec_mode: ExecMode,
+    /// Block-commit concurrency of the simulated chain.
+    pub concurrency: Concurrency,
     /// Drain window after the last submission, seconds.
     pub grace_secs: u64,
     /// Number of Secondaries to dispatch across.
@@ -37,6 +39,7 @@ impl Default for BenchmarkOptions {
         BenchmarkOptions {
             seed: 42,
             exec_mode: ExecMode::Profiled,
+            concurrency: Concurrency::Serial,
             grace_secs: 60,
             secondaries: 2,
         }
@@ -131,6 +134,7 @@ pub fn run_with_setup(
     let harness_options = HarnessOptions {
         seed: options.seed,
         exec_mode: options.exec_mode,
+        concurrency: options.concurrency,
         grace_secs: options.grace_secs,
         params: None,
         faults: diablo_chains::FaultPlan::none(),

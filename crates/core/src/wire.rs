@@ -434,6 +434,7 @@ pub fn serve_primary(
     let harness_options = HarnessOptions {
         seed: options.seed,
         exec_mode: options.exec_mode,
+        concurrency: options.concurrency,
         grace_secs: options.grace_secs,
         params: None,
         faults: diablo_chains::FaultPlan::none(),

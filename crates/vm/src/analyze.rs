@@ -1,17 +1,22 @@
-//! Static analysis of VM programs: validation and disassembly.
+//! Static analysis of VM programs: validation, disassembly and
+//! read/write-set extraction.
 //!
 //! Contracts are deployed once and run millions of times in a benchmark;
 //! [`validate`] catches malformed programs (dangling jumps, fall-through
 //! past the end, unreachable entry points) at deploy time instead of
 //! mid-experiment, and [`disassemble`] renders programs for inspection —
 //! the closest thing a benchmark suite needs to a contract debugger.
+//! [`rw_set`] computes the storage footprint of an entry point — which
+//! keys it can touch — feeding the parallel block executor's conflict
+//! scheduling in `diablo-chains`.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt::Write as _;
 
 use crate::interp::MAX_LOCALS;
 use crate::op::Op;
 use crate::program::Program;
+use crate::Word;
 
 /// A static-validation error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -179,6 +184,229 @@ pub fn basic_blocks(program: &Program) -> Vec<usize> {
         .enumerate()
         .filter_map(|(pc, &is_leader)| is_leader.then_some(pc))
         .collect()
+}
+
+/// The statically derived storage footprint of one entry point: the
+/// state keys it can read or write, plus flags for accesses whose key
+/// could not be constant-folded at deploy time.
+///
+/// Derived by abstract interpretation of every reachable basic block
+/// with an *unknown* block-entry stack: `Push` produces a known value,
+/// the arithmetic and comparison ops fold known operands with the
+/// interpreter's exact checked semantics, and everything else — locals,
+/// arguments, the caller id, loaded storage values, anything left on the
+/// stack by a predecessor block — is unknown. An `SLoad`/`SStore` whose
+/// key is unknown sets the matching `dynamic_*` flag; such entries have
+/// no static schedule and force the parallel executor onto the serial
+/// path. The result is a sound over-approximation: the entry can never
+/// touch a key outside `reads`/`writes` unless a dynamic flag is set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RwSet {
+    /// Keys the entry may read (sorted, deduplicated).
+    pub reads: Vec<Word>,
+    /// Keys the entry may write (sorted, deduplicated).
+    pub writes: Vec<Word>,
+    /// An `SLoad` with a non-constant key is reachable.
+    pub dynamic_reads: bool,
+    /// An `SStore` with a non-constant key is reachable.
+    pub dynamic_writes: bool,
+    /// A `StoreBlob` is reachable (blob accounting is shared state).
+    pub stores_blob: bool,
+}
+
+impl RwSet {
+    /// Whether every reachable storage access has a deploy-time-known
+    /// key, i.e. the footprint is exact enough to schedule statically.
+    pub fn is_static(&self) -> bool {
+        !self.dynamic_reads && !self.dynamic_writes
+    }
+
+    /// Whether transactions with these footprints may fail to commute:
+    /// write/write or read/write key overlap, both storing blobs, or
+    /// either side having a dynamic access (an unknown key conflicts
+    /// with everything). Read/read sharing is *not* a conflict.
+    pub fn conflicts_with(&self, other: &RwSet) -> bool {
+        if !self.is_static() || !other.is_static() {
+            return true;
+        }
+        if self.stores_blob && other.stores_blob {
+            return true;
+        }
+        intersects(&self.writes, &other.writes)
+            || intersects(&self.writes, &other.reads)
+            || intersects(&self.reads, &other.writes)
+    }
+}
+
+/// Whether two sorted slices share an element (linear merge scan).
+fn intersects(a: &[Word], b: &[Word]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Computes the [`RwSet`] of `entry`, or `None` if the program has no
+/// such entry point. Every basic block reachable from the entry is
+/// abstractly interpreted once; see [`RwSet`] for the value semantics.
+pub fn rw_set(program: &Program, entry: &str) -> Option<RwSet> {
+    let start = program.entry(entry)?;
+    let n = program.len();
+    if start >= n {
+        return None;
+    }
+    let leaders = basic_blocks(program);
+    let block_of = |pc: usize| {
+        leaders
+            .binary_search(&pc)
+            .expect("jump targets and entries are leaders")
+    };
+
+    let mut set = RwSet::default();
+    let mut reads = BTreeSet::new();
+    let mut writes = BTreeSet::new();
+    let mut seen = vec![false; leaders.len()];
+    let mut queue = VecDeque::from([block_of(start)]);
+
+    while let Some(bi) = queue.pop_front() {
+        if std::mem::replace(&mut seen[bi], true) {
+            continue;
+        }
+        let lo = leaders[bi];
+        let hi = leaders.get(bi + 1).copied().unwrap_or(n);
+        // Abstract operand stack for this block: `Some(v)` is a value
+        // known to be the constant `v`; `None` is unknown. The stack
+        // models only values pushed *within* the block — popping past
+        // its bottom reaches predecessor-supplied values, which are
+        // unknown by construction.
+        let mut stack: Vec<Option<Word>> = Vec::new();
+        let mut falls_through = true;
+        for &op in &program.ops()[lo..hi] {
+            match op {
+                Op::Push(v) => stack.push(Some(v)),
+                Op::Pop => {
+                    apop(&mut stack);
+                }
+                Op::Dup(d) => {
+                    let v = if stack.len() > d as usize {
+                        stack[stack.len() - 1 - d as usize]
+                    } else {
+                        None
+                    };
+                    stack.push(v);
+                }
+                Op::Swap(d) => {
+                    let len = stack.len();
+                    if len >= 2 + d as usize {
+                        stack.swap(len - 1, len - 2 - d as usize);
+                    } else if len >= 1 {
+                        // The partner slot is below the block entry: an
+                        // unknown value surfaces to the top.
+                        stack[len - 1] = None;
+                    }
+                }
+                Op::Add => bin(&mut stack, |a, b| a.checked_add(b)),
+                Op::Sub => bin(&mut stack, |a, b| a.checked_sub(b)),
+                Op::Mul => bin(&mut stack, |a, b| a.checked_mul(b)),
+                Op::Div => bin(&mut stack, |a, b| if b == 0 { None } else { a.checked_div(b) }),
+                Op::Mod => bin(&mut stack, |a, b| if b == 0 { None } else { a.checked_rem(b) }),
+                Op::Neg => un(&mut stack, |a| a.checked_neg()),
+                Op::Lt => bin(&mut stack, |a, b| Some((a < b) as Word)),
+                Op::Gt => bin(&mut stack, |a, b| Some((a > b) as Word)),
+                Op::Eq => bin(&mut stack, |a, b| Some((a == b) as Word)),
+                Op::IsZero => un(&mut stack, |a| Some((a == 0) as Word)),
+                Op::And => bin(&mut stack, |a, b| Some(a & b)),
+                Op::Or => bin(&mut stack, |a, b| Some(a | b)),
+                Op::Shl(k) => un(&mut stack, |a| Some(a.wrapping_shl(k as u32))),
+                Op::Shr(k) => un(&mut stack, |a| Some(a.wrapping_shr(k as u32))),
+                Op::Jump(t) => {
+                    queue.push_back(block_of(t));
+                    falls_through = false;
+                    break;
+                }
+                Op::JumpIfZero(t) | Op::JumpIfNotZero(t) => {
+                    // Conservatively explore both arms even when the
+                    // condition folds: a superset footprint stays sound.
+                    apop(&mut stack);
+                    queue.push_back(block_of(t));
+                    // A conditional jump always ends its block; the
+                    // fall-through successor is pushed below.
+                }
+                Op::Load(_) | Op::Arg(_) | Op::Caller => stack.push(None),
+                Op::Store(_) => {
+                    apop(&mut stack);
+                }
+                Op::SLoad => {
+                    match apop(&mut stack) {
+                        Some(key) => {
+                            reads.insert(key);
+                        }
+                        None => set.dynamic_reads = true,
+                    }
+                    stack.push(None);
+                }
+                Op::SStore => {
+                    let _value = apop(&mut stack);
+                    match apop(&mut stack) {
+                        Some(key) => {
+                            writes.insert(key);
+                        }
+                        None => set.dynamic_writes = true,
+                    }
+                }
+                Op::Emit { arity, .. } => {
+                    for _ in 0..arity {
+                        apop(&mut stack);
+                    }
+                }
+                Op::StoreBlob => {
+                    apop(&mut stack);
+                    set.stores_blob = true;
+                }
+                Op::Halt | Op::Revert(_) => {
+                    falls_through = false;
+                    break;
+                }
+                Op::Nop => {}
+            }
+        }
+        if falls_through && hi < n {
+            queue.push_back(block_of(hi));
+        }
+    }
+
+    set.reads = reads.into_iter().collect();
+    set.writes = writes.into_iter().collect();
+    Some(set)
+}
+
+/// Abstract pop: popping past the block's own pushes yields an unknown.
+fn apop(stack: &mut Vec<Option<Word>>) -> Option<Word> {
+    stack.pop().flatten()
+}
+
+/// Abstract binary op: folds when both operands are known and the
+/// runtime operation would succeed; unknown otherwise (a folding failure
+/// means the runtime would fault — unknown is a sound answer there too).
+fn bin(stack: &mut Vec<Option<Word>>, f: impl Fn(Word, Word) -> Option<Word>) {
+    let b = apop(stack);
+    let a = apop(stack);
+    let r = match (a, b) {
+        (Some(a), Some(b)) => f(a, b),
+        _ => None,
+    };
+    stack.push(r);
+}
+
+/// Abstract unary op; see [`bin`].
+fn un(stack: &mut Vec<Option<Word>>, f: impl Fn(Word) -> Option<Word>) {
+    let a = apop(stack);
+    stack.push(a.and_then(f));
 }
 
 /// Renders a program as human-readable assembly, one instruction per
@@ -373,6 +601,103 @@ mod tests {
         asm.ops(&[Op::Push(64), Op::StoreBlob, Op::Push(1), Op::Halt]);
         // StoreBlob's dynamic gas forces a block boundary after pc 1.
         assert_eq!(basic_blocks(&asm.finish()), vec![0, 2]);
+    }
+
+    #[test]
+    fn rw_set_folds_constant_keys() {
+        // read key 5, write key 2+3 = 5 computed on the stack.
+        let mut asm = Asm::new();
+        asm.entry("main");
+        asm.ops(&[
+            Op::Push(5),
+            Op::SLoad,
+            Op::Pop,
+            Op::Push(2),
+            Op::Push(3),
+            Op::Add,
+            Op::Push(42),
+            Op::SStore,
+            Op::Halt,
+        ]);
+        let rw = rw_set(&asm.finish(), "main").unwrap();
+        assert_eq!(rw.reads, vec![5]);
+        assert_eq!(rw.writes, vec![5]);
+        assert!(rw.is_static());
+        assert!(!rw.stores_blob);
+    }
+
+    #[test]
+    fn rw_set_flags_dynamic_keys() {
+        // Key comes from a transaction argument: not statically known.
+        let mut asm = Asm::new();
+        asm.entry("main");
+        asm.ops(&[Op::Arg(0), Op::Push(1), Op::SStore, Op::Halt]);
+        let rw = rw_set(&asm.finish(), "main").unwrap();
+        assert!(rw.dynamic_writes);
+        assert!(!rw.dynamic_reads);
+        assert!(!rw.is_static());
+        // A key loaded through a local register is unknown too.
+        let mut asm = Asm::new();
+        asm.entry("main");
+        asm.ops(&[
+            Op::Push(7),
+            Op::Store(0),
+            Op::Load(0),
+            Op::SLoad,
+            Op::Halt,
+        ]);
+        let rw = rw_set(&asm.finish(), "main").unwrap();
+        assert!(rw.dynamic_reads, "locals are not tracked");
+    }
+
+    #[test]
+    fn rw_set_unions_across_branches_and_flags_blobs() {
+        // jz -> writes key 1; fall-through -> writes key 2 + stores blob.
+        let mut asm = Asm::new();
+        asm.entry("main");
+        let taken = asm.new_label();
+        asm.op(Op::Arg(0));
+        asm.jump_if_zero(taken);
+        asm.op(Op::Push(2)).op(Op::Push(0)).op(Op::SStore);
+        asm.op(Op::Push(64)).op(Op::StoreBlob).op(Op::Halt);
+        asm.bind(taken);
+        asm.op(Op::Push(1)).op(Op::Push(0)).op(Op::SStore).op(Op::Halt);
+        let program = asm.finish();
+        let rw = rw_set(&program, "main").unwrap();
+        assert_eq!(rw.writes, vec![1, 2]);
+        assert!(rw.is_static());
+        assert!(rw.stores_blob);
+        assert_eq!(rw_set(&program, "nope"), None);
+    }
+
+    #[test]
+    fn rw_set_conflict_rules() {
+        let r = |reads: &[Word], writes: &[Word]| RwSet {
+            reads: reads.to_vec(),
+            writes: writes.to_vec(),
+            ..RwSet::default()
+        };
+        // Read/read sharing is not a conflict.
+        assert!(!r(&[1, 2], &[]).conflicts_with(&r(&[2, 3], &[])));
+        // Write/write and read/write overlaps are.
+        assert!(r(&[], &[5]).conflicts_with(&r(&[], &[5])));
+        assert!(r(&[5], &[]).conflicts_with(&r(&[], &[5])));
+        assert!(r(&[], &[5]).conflicts_with(&r(&[5], &[])));
+        // Disjoint footprints commute.
+        assert!(!r(&[1], &[2]).conflicts_with(&r(&[3], &[4])));
+        // Dynamic conflicts with everything, even the empty set.
+        let dynamic = RwSet {
+            dynamic_reads: true,
+            ..RwSet::default()
+        };
+        assert!(dynamic.conflicts_with(&r(&[], &[])));
+        // Two blob-storers conflict.
+        let blob = RwSet {
+            stores_blob: true,
+            ..RwSet::default()
+        };
+        assert!(blob.conflicts_with(&blob));
+        assert!(!blob.conflicts_with(&r(&[1], &[2])));
     }
 
     #[test]

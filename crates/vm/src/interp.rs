@@ -77,7 +77,7 @@ pub(crate) enum Undo {
 
 /// Rolls a journal back against `state`, newest write first. Shared by
 /// [`Interpreter::execute`] and the prepared fast path.
-pub(crate) fn rollback(journal: Vec<Undo>, state: &mut ContractState) {
+pub(crate) fn rollback<S: crate::state::StateAccess>(journal: Vec<Undo>, state: &mut S) {
     for undo in journal.into_iter().rev() {
         match undo {
             Undo::Entry(key, old) => {

@@ -30,7 +30,7 @@ pub mod prepared;
 pub mod program;
 pub mod state;
 
-pub use analyze::{basic_blocks, disassemble, validate, ValidateError};
+pub use analyze::{basic_blocks, disassemble, rw_set, validate, RwSet, ValidateError};
 pub use error::ExecError;
 pub use flavor::VmFlavor;
 pub use gas::GasSchedule;
@@ -38,7 +38,7 @@ pub use interp::{Interpreter, Receipt, TxContext, MAX_LOCALS, MAX_OPS, MAX_STACK
 pub use op::Op;
 pub use prepared::{prepare, EntryId, PreparedProgram};
 pub use program::{Asm, Label, Program};
-pub use state::{ContractState, StateLimits};
+pub use state::{ContractState, Overlay, OverlayDelta, StateAccess, StateLimits};
 
 /// The machine word: all stack values, storage keys and storage values.
 pub type Word = i64;

@@ -40,7 +40,7 @@
 //! the unprepared cumulative gas at the blob-store, so the dynamic meter
 //! check observes identical values on both paths.
 
-use crate::analyze::{basic_blocks, validate, ValidateError};
+use crate::analyze::{basic_blocks, rw_set, validate, RwSet, ValidateError};
 use crate::error::ExecError;
 use crate::flavor::VmFlavor;
 use crate::gas::GasSchedule;
@@ -48,7 +48,7 @@ use crate::interp::{rollback, Interpreter, Receipt, TxContext, Undo};
 use crate::interp::{MAX_LOCALS, MAX_OPS, MAX_STACK};
 use crate::op::Op;
 use crate::program::Program;
-use crate::state::{ContractState, StateLimits};
+use crate::state::{ContractState, StateAccess, StateLimits};
 use crate::Word;
 
 /// A dense handle for one entry point of one [`PreparedProgram`],
@@ -95,6 +95,9 @@ pub struct PreparedProgram {
     /// `(name, start block)` pairs, sorted by name; an [`EntryId`] is an
     /// index into this table.
     entries: Vec<(String, u32)>,
+    /// Per-entry storage footprint, parallel to `entries` — the static
+    /// read/write sets feeding the parallel executor's scheduling.
+    rw_sets: Vec<RwSet>,
 }
 
 /// Lowers a program for `flavor`. Fails with the same
@@ -128,16 +131,21 @@ pub fn prepare(program: &Program, flavor: VmFlavor) -> Result<PreparedProgram, V
             other => other,
         })
         .collect();
-    let entries = program
+    let entries: Vec<(String, u32)> = program
         .entries_sorted()
         .into_iter()
         .map(|(name, pc)| (name.to_string(), block_of_pc[pc]))
+        .collect();
+    let rw_sets = entries
+        .iter()
+        .map(|(name, _)| rw_set(program, name).expect("entry exists: validated above"))
         .collect();
     Ok(PreparedProgram {
         flavor,
         code,
         blocks,
         entries,
+        rw_sets,
     })
 }
 
@@ -174,6 +182,21 @@ impl PreparedProgram {
     /// Iterates the entry point names in [`EntryId`] order.
     pub fn entry_names(&self) -> impl Iterator<Item = &str> {
         self.entries.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Number of entry points ([`EntryId::index`] values are `0..len`).
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The storage footprint of `entry`, computed at prepare time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` came from a different program (an [`EntryId`]
+    /// is only valid for the program whose `entry_id` produced it).
+    pub fn rw_set(&self, entry: EntryId) -> &RwSet {
+        &self.rw_sets[entry.index()]
     }
 }
 
@@ -231,11 +254,11 @@ impl Frame<'_> {
 /// [`Interpreter::execute`] does, so meter faults surface at the same
 /// instruction with the same fields.
 #[inline(always)]
-fn run_block<const METERED: bool>(
+fn run_block<const METERED: bool, S: StateAccess>(
     f: &mut Frame<'_>,
     code: &[Op],
     block_start: usize,
-    state: &mut ContractState,
+    state: &mut S,
 ) -> Result<Next, ExecError> {
     for (off, &op) in code.iter().enumerate() {
         let pc = block_start + off;
@@ -424,19 +447,21 @@ impl Interpreter {
     /// `state` — the fast path equivalent of
     /// [`Interpreter::execute`]: identical `Receipt`s, identical
     /// `ExecError`s at the same observable points, identical state
-    /// effects (rollback on failure included).
+    /// effects (rollback on failure included). Generic over
+    /// [`StateAccess`] so the parallel executor can run it against a
+    /// copy-on-write [`crate::state::Overlay`].
     ///
     /// # Panics
     ///
     /// Panics if `prepared` was lowered for a different flavor than this
     /// interpreter meters (a programming error: the fold-in of gas
     /// costs is per flavor).
-    pub fn execute_prepared(
+    pub fn execute_prepared<S: StateAccess>(
         &self,
         prepared: &PreparedProgram,
         entry: EntryId,
         ctx: &TxContext,
-        state: &mut ContractState,
+        state: &mut S,
     ) -> Result<Receipt, ExecError> {
         assert_eq!(
             self.flavor(),
@@ -483,9 +508,9 @@ impl Interpreter {
             let next = if fast {
                 frame.gas = charged;
                 frame.ops += block.len();
-                run_block::<false>(&mut frame, code, block.start as usize, state)
+                run_block::<false, S>(&mut frame, code, block.start as usize, state)
             } else {
-                run_block::<true>(&mut frame, code, block.start as usize, state)
+                run_block::<true, S>(&mut frame, code, block.start as usize, state)
             };
             match next {
                 Ok(Next::Goto(b)) => bi = b,

@@ -5,7 +5,15 @@
 //! [`StateLimits`]; exceeding them is a deploy-time or run-time error —
 //! which is how the paper's "we could not implement the video sharing
 //! DApp in TEAL" manifests in this reproduction.
+//!
+//! Execution can target either the canonical [`ContractState`] or a
+//! copy-on-write [`Overlay`] over it — the [`StateAccess`] trait is the
+//! common surface. Overlays are how the parallel block executor in
+//! `diablo-chains` isolates concurrently executing transactions: each
+//! conflict-free group runs against its own overlay, and the resulting
+//! [`OverlayDelta`]s are merged back into the base state afterwards.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use crate::Word;
@@ -34,8 +42,28 @@ impl StateLimits {
     }
 }
 
+/// The common surface of executable state: the canonical
+/// [`ContractState`] and the copy-on-write [`Overlay`] both implement
+/// it, so the interpreter's prepared fast path can run against either.
+pub trait StateAccess {
+    /// Reads `key`, returning 0 when absent (EVM semantics).
+    fn load(&self, key: Word) -> Word;
+
+    /// Writes `key := value`. Returns `false` (and leaves the state
+    /// untouched) when the entry count limit would be exceeded.
+    fn store(&mut self, key: Word, value: Word, limits: &StateLimits) -> bool;
+
+    /// Accounts for an opaque payload of `len` bytes. Returns `false`
+    /// when the flavor's blob limit rejects it.
+    fn store_blob(&mut self, len: u64, limits: &StateLimits) -> bool;
+
+    /// Reverses one [`StateAccess::store_blob`] of `len` bytes
+    /// (rollback support for the interpreter's journal).
+    fn unstore_blob(&mut self, len: u64);
+}
+
 /// The persistent state of one deployed contract.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ContractState {
     entries: HashMap<Word, Word>,
     blob_bytes: u64,
@@ -53,14 +81,44 @@ impl ContractState {
         self.entries.get(&key).copied().unwrap_or(0)
     }
 
+    /// Whether `key` holds an explicit entry (a stored 0 is
+    /// distinguishable from an absent key, which also reads as 0).
+    pub fn contains_key(&self, key: Word) -> bool {
+        self.entries.contains_key(&key)
+    }
+
     /// Writes `key := value`. Returns `false` (and leaves the state
     /// untouched) when the entry count limit would be exceeded.
     pub fn store(&mut self, key: Word, value: Word, limits: &StateLimits) -> bool {
-        if !self.entries.contains_key(&key) && self.entries.len() >= limits.max_entries {
-            return false;
+        // One hash lookup for both the limit check and the write: this
+        // is the hottest state operation of an experiment.
+        let len = self.entries.len();
+        match self.entries.entry(key) {
+            Entry::Occupied(mut slot) => {
+                slot.insert(value);
+                true
+            }
+            Entry::Vacant(slot) => {
+                if len >= limits.max_entries {
+                    return false;
+                }
+                slot.insert(value);
+                true
+            }
         }
-        self.entries.insert(key, value);
-        true
+    }
+
+    /// Merges the effects of one committed [`Overlay`] into this state.
+    ///
+    /// The parallel executor guarantees deltas of one block touch
+    /// disjoint keys, so the merge order between deltas is irrelevant;
+    /// blob accounting is additive and commutes.
+    pub fn apply(&mut self, delta: OverlayDelta) {
+        for (key, value) in delta.entries {
+            self.entries.insert(key, value);
+        }
+        self.blob_bytes = self.blob_bytes.saturating_add(delta.blob_bytes);
+        self.blob_count = self.blob_count.saturating_add(delta.blob_count);
     }
 
     /// Accounts for an opaque payload of `len` bytes. Returns `false`
@@ -94,6 +152,129 @@ impl ContractState {
     /// Number of opaque payloads absorbed.
     pub fn blob_count(&self) -> u64 {
         self.blob_count
+    }
+}
+
+impl StateAccess for ContractState {
+    fn load(&self, key: Word) -> Word {
+        ContractState::load(self, key)
+    }
+
+    fn store(&mut self, key: Word, value: Word, limits: &StateLimits) -> bool {
+        ContractState::store(self, key, value, limits)
+    }
+
+    fn store_blob(&mut self, len: u64, limits: &StateLimits) -> bool {
+        ContractState::store_blob(self, len, limits)
+    }
+
+    fn unstore_blob(&mut self, len: u64) {
+        ContractState::unstore_blob(self, len)
+    }
+}
+
+/// A copy-on-write view over a base [`ContractState`].
+///
+/// Reads fall through to the base; writes land in a private map. The
+/// entry-count limit is enforced exactly against the base's entry count
+/// plus this overlay's newly created keys — identical to executing the
+/// same transactions directly against the base, as long as no *other*
+/// overlay adds keys concurrently (the parallel executor falls back to
+/// serial execution whenever a block could approach the entry limit).
+#[derive(Debug)]
+pub struct Overlay<'a> {
+    base: &'a ContractState,
+    entries: HashMap<Word, Word>,
+    /// Keys in `entries` that have no entry in `base`.
+    new_keys: usize,
+    blob_bytes: u64,
+    blob_count: u64,
+}
+
+/// The owned effects of one [`Overlay`], detached from the base borrow
+/// so they can cross a thread-scope boundary and be merged via
+/// [`ContractState::apply`].
+#[derive(Debug, Default)]
+pub struct OverlayDelta {
+    entries: HashMap<Word, Word>,
+    blob_bytes: u64,
+    blob_count: u64,
+}
+
+impl OverlayDelta {
+    /// Whether the overlay recorded no effects at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.blob_bytes == 0 && self.blob_count == 0
+    }
+
+    /// Number of keys the overlay wrote.
+    pub fn written_keys(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl<'a> Overlay<'a> {
+    /// An empty overlay over `base`.
+    pub fn new(base: &'a ContractState) -> Self {
+        Overlay {
+            base,
+            entries: HashMap::new(),
+            new_keys: 0,
+            blob_bytes: 0,
+            blob_count: 0,
+        }
+    }
+
+    /// Detaches the recorded effects from the base borrow.
+    pub fn into_delta(self) -> OverlayDelta {
+        OverlayDelta {
+            entries: self.entries,
+            blob_bytes: self.blob_bytes,
+            blob_count: self.blob_count,
+        }
+    }
+}
+
+impl StateAccess for Overlay<'_> {
+    fn load(&self, key: Word) -> Word {
+        match self.entries.get(&key) {
+            Some(&v) => v,
+            None => self.base.load(key),
+        }
+    }
+
+    fn store(&mut self, key: Word, value: Word, limits: &StateLimits) -> bool {
+        match self.entries.entry(key) {
+            Entry::Occupied(mut slot) => {
+                slot.insert(value);
+                true
+            }
+            Entry::Vacant(slot) => {
+                let is_new = !self.base.contains_key(key);
+                if is_new && self.base.entry_count() + self.new_keys >= limits.max_entries {
+                    return false;
+                }
+                slot.insert(value);
+                if is_new {
+                    self.new_keys += 1;
+                }
+                true
+            }
+        }
+    }
+
+    fn store_blob(&mut self, len: u64, limits: &StateLimits) -> bool {
+        if !limits.blob_fits(len) {
+            return false;
+        }
+        self.blob_bytes = self.blob_bytes.saturating_add(len);
+        self.blob_count += 1;
+        true
+    }
+
+    fn unstore_blob(&mut self, len: u64) {
+        self.blob_bytes = self.blob_bytes.saturating_sub(len);
+        self.blob_count = self.blob_count.saturating_sub(1);
     }
 }
 
@@ -134,6 +315,59 @@ mod tests {
         // Updating an existing key is still allowed.
         assert!(s.store(2, 20, &lim));
         assert_eq!(s.load(2), 20);
+    }
+
+    #[test]
+    fn overlay_reads_through_and_shadows() {
+        let mut base = ContractState::new();
+        let lim = StateLimits::unbounded();
+        base.store(1, 10, &lim);
+        let mut ov = Overlay::new(&base);
+        assert_eq!(StateAccess::load(&ov, 1), 10);
+        assert_eq!(StateAccess::load(&ov, 2), 0);
+        assert!(ov.store(1, 99, &lim));
+        assert_eq!(StateAccess::load(&ov, 1), 99);
+        // The base is untouched until the delta is applied.
+        assert_eq!(base.load(1), 10);
+    }
+
+    #[test]
+    fn overlay_apply_matches_direct_execution() {
+        let lim = StateLimits::unbounded();
+        let mut direct = ContractState::new();
+        direct.store(1, 10, &lim);
+        let mut via_overlay = direct.clone();
+
+        direct.store(1, 11, &lim);
+        direct.store(7, 70, &lim);
+        direct.store_blob(64, &lim);
+
+        let mut ov = Overlay::new(&via_overlay);
+        ov.store(1, 11, &lim);
+        ov.store(7, 70, &lim);
+        StateAccess::store_blob(&mut ov, 64, &lim);
+        let delta = ov.into_delta();
+        via_overlay.apply(delta);
+
+        assert_eq!(direct, via_overlay);
+    }
+
+    #[test]
+    fn overlay_enforces_entry_limit_against_base() {
+        let lim = StateLimits {
+            max_blob_bytes: 128,
+            max_entries: 2,
+        };
+        let mut base = ContractState::new();
+        base.store(1, 1, &lim);
+        let mut ov = Overlay::new(&base);
+        // One new key fits (base has 1 of 2 slots used)...
+        assert!(ov.store(2, 2, &lim));
+        // ...a second does not, exactly like the base would reject it.
+        assert!(!ov.store(3, 3, &lim));
+        // Updating keys that already exist (in base or overlay) is fine.
+        assert!(ov.store(1, 100, &lim));
+        assert!(ov.store(2, 200, &lim));
     }
 
     #[test]

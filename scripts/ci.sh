@@ -13,6 +13,18 @@ cargo test -q --offline
 echo "==> cargo test -q --release --offline --workspace"
 cargo test -q --release --offline --workspace
 
+# Deterministic parallel execution: replay the serial-vs-parallel
+# differential properties under pinned seeds. Each seed pins one
+# flavor / DApp / thread-count case — together they cover 2, 4 and 8
+# workers — while the unseeded workspace run above sweeps the full
+# randomized case set.
+echo "==> parallel differential replays (pinned seeds: 2/4/8 workers)"
+for seed in 0xd1ab70 0xb10c5 0x7; do
+    echo "    DIABLO_PROP_SEED=$seed"
+    DIABLO_PROP_SEED="$seed" \
+        cargo test -q --release --offline -p diablo-chains --test parallel_differential
+done
+
 echo "==> cargo doc --no-deps --offline --workspace (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
