@@ -211,10 +211,12 @@ impl ExecutionEngine {
                 if *age < PROFILE_REFRESH {
                     // A hit only bumps the age in place: one hash lookup.
                     *age += 1;
+                    diablo_telemetry::counter!("exec.profiled.cache_hits");
                     return *cost;
                 }
             }
             let cost = self.interpret(seq, call);
+            diablo_telemetry::counter!("exec.profiled.refreshes");
             self.cache.insert(key, (cost, 0));
             cost
         } else {
@@ -265,11 +267,14 @@ impl ExecutionEngine {
     /// single-transaction blocks) takes the plain serial loop.
     pub fn execute_block(&mut self, payloads: &[Payload]) -> Vec<ExecCost> {
         let threads = self.concurrency.threads();
-        if self.mode != ExecMode::Exact
-            || threads < 2
-            || payloads.len() < 2
-            || self.contract.is_none()
-        {
+        diablo_telemetry::record!("exec.block.txs", payloads.len() as u64);
+        let plannable =
+            self.mode == ExecMode::Exact && payloads.len() >= 2 && self.contract.is_some();
+        // Conflict-plan telemetry is a pure function of the block, never
+        // of the worker count: serial runs must resolve and plan the
+        // same blocks a parallel run would, or their snapshots diverge.
+        let want_plan_stats = diablo_telemetry::enabled() && plannable;
+        if !plannable || (threads < 2 && !want_plan_stats) {
             return payloads.iter().map(|&p| self.execute(p)).collect();
         }
 
@@ -308,6 +313,15 @@ impl ExecutionEngine {
                     }
                 }
             }
+        }
+
+        if want_plan_stats {
+            let contract = self.contract.as_ref().expect("checked above");
+            crate::parallel::plan_stats(&contract.prepared, &contract.initial_state, &txs)
+                .record();
+        }
+        if threads < 2 {
+            return payloads.iter().map(|&p| self.execute(p)).collect();
         }
 
         let vm = self.interpreter;

@@ -173,7 +173,21 @@ impl ChainHarness {
         }
         sim.schedule(SimTime::ZERO, Ev::Propose);
         let deadline = sim.world().deadline();
-        sim.run_until(deadline);
+        let workload_end = sim.world().workload_end().min(deadline);
+        // Rewind the telemetry clock so span timings start from virtual
+        // zero even if a previous run in this process left it advanced.
+        diablo_telemetry::clock::set_sim_now(SimTime::ZERO);
+        {
+            let _run = diablo_telemetry::span("harness.run");
+            {
+                let _sub = diablo_telemetry::span("harness.submission");
+                sim.run_until(workload_end);
+            }
+            {
+                let _drain = diablo_telemetry::span("harness.drain");
+                sim.run_until(deadline);
+            }
+        }
         let world = sim.into_world();
         let (records, blocks) = world.into_records();
         RunResult {

@@ -43,12 +43,12 @@ pub mod tx;
 
 pub use chain::Chain;
 pub use exec::{Concurrency, ExecMode, ExecutionEngine};
-pub use parallel::ParallelExecutor;
+pub use parallel::{plan_stats, ParallelExecutor, PlanStats};
 pub use faults::FaultPlan;
 pub use fees::FeeMarket;
 pub use harness::{ChainHarness, HarnessOptions, PlannedTx};
 pub use mempool::{AdmitError, Mempool, MempoolPolicy};
 pub use params::{ChainParams, ConsensusKind};
-pub use records::{RunResult, TxRecord, TxStatus};
+pub use records::{rate_per_sec, RunResult, TxRecord, TxStatus};
 pub use sim::{ChainSim, Experiment};
 pub use tx::{Payload, TxId, TxMeta};

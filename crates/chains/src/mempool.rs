@@ -108,18 +108,21 @@ impl Mempool {
         if let Some(limit) = self.policy.per_sender {
             if self.per_sender.get(&tx.sender).copied().unwrap_or(0) >= limit {
                 self.dropped_sender += 1;
+                diablo_telemetry::counter!("mempool.dropped.per_sender");
                 return Err(AdmitError::PerSenderLimit);
             }
         }
         if let Some(cap) = self.policy.capacity {
             if self.queue.len() >= cap {
                 self.dropped_full += 1;
+                diablo_telemetry::counter!("mempool.dropped.pool_full");
                 return Err(AdmitError::PoolFull);
             }
         }
         *self.per_sender.entry(tx.sender).or_insert(0) += 1;
         self.queue.push_back(tx);
         self.admitted_total += 1;
+        diablo_telemetry::counter!("mempool.admitted");
         Ok(())
     }
 
@@ -162,9 +165,14 @@ impl Mempool {
         }
         // Splice the skipped (still-pending) transactions back in front
         // of the untouched tail, preserving FIFO order among them.
+        diablo_telemetry::counter!("mempool.take_batch.calls");
+        diablo_telemetry::counter!("mempool.take_batch.skipped", skipped.len() as u64);
+        diablo_telemetry::record!("mempool.take_batch.txs", taken.len() as u64);
+        diablo_telemetry::record!("mempool.take_batch.bytes", bytes);
         for tx in skipped.into_iter().rev() {
             self.queue.push_front(tx);
         }
+        diablo_telemetry::gauge!("mempool.depth_peak", self.queue.len() as i64);
         taken
     }
 
@@ -188,6 +196,7 @@ impl Mempool {
                 true
             }
         });
+        diablo_telemetry::counter!("mempool.evicted", evicted.len() as u64);
         evicted
     }
 

@@ -88,6 +88,181 @@ impl Dsu {
     }
 }
 
+/// Schedule-independent statistics about a block's conflict plan.
+///
+/// These describe the *block content* — how a batch decomposes into
+/// conflict components, how much of it is forced serial — and are a
+/// pure function of `(prepared, initial state, txs)`. They deliberately
+/// ignore the worker count: the telemetry snapshot of a run must be
+/// identical whether the block later executes serially or on any
+/// number of threads, so nothing here may depend on the schedule. The
+/// "imbalance" metric is the largest component's share of the block,
+/// which bounds the best achievable speedup regardless of how
+/// components are assigned to workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Transactions in the block.
+    pub txs: usize,
+    /// Multi-transaction conflict components across all static segments.
+    pub components: usize,
+    /// Singleton components (isolated read-only transactions).
+    pub singletons: usize,
+    /// Transactions forced serial: dynamic footprints plus segments
+    /// whose plan degenerates (single component or entry-limit hazard).
+    pub serial_fallback_txs: usize,
+    /// Static segments that fell back to serial execution.
+    pub serial_segments: usize,
+    /// Size of the largest schedulable unit (component or serial
+    /// segment) in transactions.
+    pub largest_unit_txs: usize,
+}
+
+impl PlanStats {
+    /// Largest schedulable unit as a percentage of the block — a
+    /// schedule-independent imbalance bound (100 means the whole block
+    /// is one unit and parallelism cannot help).
+    pub fn imbalance_pct(&self) -> u64 {
+        if self.txs == 0 {
+            return 0;
+        }
+        (self.largest_unit_txs as u64 * 100) / self.txs as u64
+    }
+
+    /// Records the plan statistics into the telemetry recorder.
+    pub fn record(&self) {
+        diablo_telemetry::counter!("parallel.plan.blocks");
+        diablo_telemetry::counter!("parallel.plan.components", self.components as u64);
+        diablo_telemetry::counter!("parallel.plan.singletons", self.singletons as u64);
+        diablo_telemetry::counter!(
+            "parallel.plan.serial_fallback_txs",
+            self.serial_fallback_txs as u64
+        );
+        diablo_telemetry::counter!(
+            "parallel.plan.serial_segments",
+            self.serial_segments as u64
+        );
+        diablo_telemetry::record!("parallel.plan.block_txs", self.txs as u64);
+        diablo_telemetry::record!("parallel.plan.imbalance_pct", self.imbalance_pct());
+    }
+}
+
+/// Computes the [`PlanStats`] of a block without executing it.
+///
+/// Mirrors the planner's segmentation (dynamic footprints split the
+/// batch) and per-segment component decomposition, but never consults a
+/// worker count, so the result is identical for serial and parallel
+/// runs of the same block. The entry-limit hazard is evaluated against
+/// the block's *initial* entry count for every segment — a pure
+/// approximation of the planner's per-segment check (which sees the
+/// state as it grows), close enough for telemetry and, crucially,
+/// deterministic before execution starts.
+pub fn plan_stats(
+    prepared: &PreparedProgram,
+    state: &ContractState,
+    txs: &[BlockTx],
+) -> PlanStats {
+    let limits = prepared.flavor().state_limits();
+    let mut stats = PlanStats {
+        txs: txs.len(),
+        ..PlanStats::default()
+    };
+
+    let mut seg_start = 0;
+    for i in 0..=txs.len() {
+        let at_dynamic = i < txs.len() && !prepared.rw_set(txs[i].0).is_static();
+        if i == txs.len() || at_dynamic {
+            if i > seg_start {
+                segment_stats(prepared, state, &txs[seg_start..i], &limits, &mut stats);
+            }
+            if at_dynamic {
+                stats.serial_fallback_txs += 1;
+                stats.largest_unit_txs = stats.largest_unit_txs.max(1);
+            }
+            seg_start = i + 1;
+        }
+    }
+    stats
+}
+
+/// Folds one all-static segment into `stats`, mirroring
+/// [`ParallelExecutor::plan`] minus every thread-count test.
+fn segment_stats(
+    prepared: &PreparedProgram,
+    state: &ContractState,
+    seg: &[BlockTx],
+    limits: &StateLimits,
+    stats: &mut PlanStats,
+) {
+    let serial = |stats: &mut PlanStats| {
+        stats.serial_segments += 1;
+        stats.serial_fallback_txs += seg.len();
+        stats.largest_unit_txs = stats.largest_unit_txs.max(seg.len());
+    };
+
+    if seg.len() < 2 {
+        return serial(stats);
+    }
+
+    let mut tx_count = vec![0usize; prepared.entry_count()];
+    let mut present: Vec<EntryId> = Vec::new();
+    for (entry, _) in seg {
+        if tx_count[entry.index()] == 0 {
+            present.push(*entry);
+        }
+        tx_count[entry.index()] += 1;
+    }
+
+    let write_keys: usize = present
+        .iter()
+        .map(|&e| prepared.rw_set(e).writes.len() * tx_count[e.index()])
+        .sum();
+    if state.entry_count().saturating_add(write_keys) > limits.max_entries {
+        return serial(stats);
+    }
+
+    let mut dsu = Dsu::new(present.len());
+    for a in 0..present.len() {
+        for b in a + 1..present.len() {
+            if prepared
+                .rw_set(present[a])
+                .conflicts_with(prepared.rw_set(present[b]))
+            {
+                dsu.union(a, b);
+            }
+        }
+    }
+
+    let mut members = vec![0usize; present.len()];
+    for slot in 0..present.len() {
+        members[dsu.find(slot)] += 1;
+    }
+    let mut comp_size_of_root = vec![0usize; present.len()];
+    let mut singletons = 0usize;
+    let mut comp_count = 0usize;
+    for (slot, &entry) in present.iter().enumerate() {
+        let root = dsu.find(slot);
+        let rw = prepared.rw_set(entry);
+        if members[root] == 1 && rw.writes.is_empty() && !rw.stores_blob {
+            singletons += tx_count[entry.index()];
+            continue;
+        }
+        if comp_size_of_root[root] == 0 {
+            comp_count += 1;
+        }
+        comp_size_of_root[root] += tx_count[entry.index()];
+    }
+    if comp_count + singletons < 2 {
+        return serial(stats);
+    }
+
+    stats.components += comp_count;
+    stats.singletons += singletons;
+    let largest = comp_size_of_root.iter().copied().max().unwrap_or(0).max(
+        usize::from(singletons > 0),
+    );
+    stats.largest_unit_txs = stats.largest_unit_txs.max(largest);
+}
+
 /// Executes committed batches across a scoped worker pool while
 /// preserving serial semantics bit for bit. See the module docs for the
 /// scheduling model.
@@ -470,6 +645,57 @@ mod tests {
             .map(|i| if i % 3 == 0 { ("get", vec![]) } else { ("add", vec![]) })
             .collect();
         assert_parallel_matches_serial(DApp::WebService, &specs, 4);
+    }
+
+    #[test]
+    fn plan_stats_decompose_conflict_light_block() {
+        // Five stocks → five multi-tx components; no singletons, no
+        // serial fallbacks, largest unit = 60/5 = 12 txs (20% share).
+        let buys = ["buyGoogle", "buyApple", "buyFacebook", "buyAmazon", "buyMicrosoft"];
+        let specs: Vec<(&str, Vec<Word>)> =
+            (0..60).map(|i| (buys[i % buys.len()], vec![])).collect();
+        let contract = build(DApp::Exchange, VmFlavor::Geth).expect("buildable");
+        let txs = block(&contract.prepared, &specs);
+        let stats = plan_stats(&contract.prepared, &contract.initial_state, &txs);
+        assert_eq!(stats.txs, 60);
+        assert_eq!(stats.components, 5);
+        assert_eq!(stats.singletons, 0);
+        assert_eq!(stats.serial_fallback_txs, 0);
+        assert_eq!(stats.serial_segments, 0);
+        assert_eq!(stats.largest_unit_txs, 12);
+        assert_eq!(stats.imbalance_pct(), 20);
+    }
+
+    #[test]
+    fn plan_stats_are_schedule_independent_and_match_plan_shape() {
+        // checkStock conflicts with every buy: one component spans the
+        // whole block, so the planner falls back to serial — and the
+        // pure stats must say so without ever consulting a thread count.
+        let mut specs: Vec<(&str, Vec<Word>)> = Vec::new();
+        let buys = ["buyGoogle", "buyApple", "buyFacebook", "buyAmazon", "buyMicrosoft"];
+        for i in 0..30 {
+            specs.push((buys[i % buys.len()], vec![]));
+            if i % 7 == 0 {
+                specs.push(("checkStock", vec![]));
+            }
+        }
+        let contract = build(DApp::Exchange, VmFlavor::Geth).expect("buildable");
+        let txs = block(&contract.prepared, &specs);
+        let stats = plan_stats(&contract.prepared, &contract.initial_state, &txs);
+        assert_eq!(stats.txs, txs.len());
+        assert_eq!(stats.components, 0, "a single component degenerates to serial");
+        assert_eq!(stats.serial_segments, 1);
+        assert_eq!(stats.serial_fallback_txs, txs.len());
+        assert_eq!(stats.imbalance_pct(), 100);
+
+        // Dynamic footprints (Gaming's update) force serial fallbacks.
+        let specs: Vec<(&str, Vec<Word>)> =
+            (0..12).map(|i| ("update", vec![1 + (i % 3), 1])).collect();
+        let contract = build(DApp::Gaming, VmFlavor::Geth).expect("buildable");
+        let txs = block(&contract.prepared, &specs);
+        let stats = plan_stats(&contract.prepared, &contract.initial_state, &txs);
+        assert_eq!(stats.serial_fallback_txs, 12, "every dynamic tx is serial");
+        assert_eq!(stats.components, 0);
     }
 
     #[test]

@@ -91,6 +91,19 @@ pub struct RunResult {
     pub blocks: Vec<BlockRecord>,
 }
 
+/// Events-per-second over a window, `0.0` for an empty or degenerate
+/// window. Every rate the report prints goes through this one guard so
+/// `average load` and `average throughput` agree on what a
+/// zero-duration workload means (no rate, not a near-infinite one from
+/// a clamped denominator).
+pub fn rate_per_sec(count: u64, window_secs: f64) -> f64 {
+    if window_secs <= 0.0 {
+        0.0
+    } else {
+        count as f64 / window_secs
+    }
+}
+
 impl RunResult {
     /// A result marking the chain unable to run the workload's DApp.
     pub fn unable(chain: Chain, workload: impl Into<String>, secs: f64, reason: String) -> Self {
@@ -152,7 +165,13 @@ impl RunResult {
             .iter()
             .filter(|r| r.status == TxStatus::Committed && r.decided.is_some_and(|d| d <= window))
             .count();
-        in_window as f64 / self.workload_secs
+        rate_per_sec(in_window as u64, self.workload_secs)
+    }
+
+    /// Average submitted load over the submission window, in tx/s —
+    /// same zero-duration convention as [`RunResult::avg_throughput`].
+    pub fn avg_load(&self) -> f64 {
+        rate_per_sec(self.submitted(), self.workload_secs)
     }
 
     /// Average commit latency over committed transactions, in seconds.
@@ -321,6 +340,21 @@ mod tests {
         let cdf = r.latency_cdf();
         assert_eq!(cdf.len(), 2);
         assert_eq!(cdf.quantile(1.0), Some(3.0));
+    }
+
+    #[test]
+    fn zero_duration_runs_have_no_rates() {
+        // Regression: `avg_load` used to clamp the denominator to 1e-9
+        // while `avg_throughput` returned 0, so a degenerate run
+        // reported astronomical load next to zero throughput. Both now
+        // go through the same guarded rate.
+        let mut r = run(vec![committed(0, 1), committed(0, 2)]);
+        r.workload_secs = 0.0;
+        assert_eq!(r.avg_load(), 0.0);
+        assert_eq!(r.avg_throughput(), 0.0);
+        assert_eq!(rate_per_sec(100, 0.0), 0.0);
+        assert_eq!(rate_per_sec(100, -1.0), 0.0);
+        assert_eq!(rate_per_sec(100, 10.0), 10.0);
     }
 
     #[test]

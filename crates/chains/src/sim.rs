@@ -379,6 +379,7 @@ impl ChainSim {
             // transaction must gossip to the proposers before inclusion.
             let site = (id as usize) % nodes;
             let gossip = SimDuration::from_secs_f64(self.site_gossip_secs[site]);
+            diablo_telemetry::record_duration!("net.submit.gossip_us", gossip);
             let tx = TxMeta {
                 id,
                 sender: planned.sender % self.params.accounts.max(1),
@@ -439,7 +440,10 @@ impl ChainSim {
     /// Egress serialization time of broadcasting `bytes` to `peers`.
     fn egress_delay(&self, bytes: u64, peers: usize) -> SimDuration {
         let bits = bytes as f64 * 8.0 * peers as f64;
-        SimDuration::from_secs_f64(bits / (self.params.egress_mbps * 1e6))
+        let d = SimDuration::from_secs_f64(bits / (self.params.egress_mbps * 1e6));
+        diablo_telemetry::record_duration!("net.egress_us", d);
+        diablo_telemetry::counter!("net.bytes.block_egress", bytes * peers as u64);
+        d
     }
 
     /// Scales a consensus delay by the injected network slowdown.
@@ -512,11 +516,13 @@ impl ChainSim {
                 );
             if quorum_lost {
                 // No quorum: the chain stalls; probe again shortly.
+                diablo_telemetry::counter!("consensus.stalls.no_quorum");
                 return SimDuration::from_millis(1_000);
             }
             if self.faults.is_crashed(leader, now) {
                 // The leader is down: the round is wasted on a timeout
                 // (view change, skipped slot, failed sortition round).
+                diablo_telemetry::counter!("consensus.rounds.leader_crashed");
                 return match self.params.consensus {
                     ConsensusKind::HotStuff {
                         pacemaker_base,
@@ -562,11 +568,14 @@ impl ChainSim {
                 if phase > self.pacemaker {
                     // View change: the round is wasted; timeouts back off
                     // exponentially (HotStuff pacemaker).
+                    diablo_telemetry::counter!("consensus.hotstuff.view_changes");
                     let wasted = self.pacemaker;
                     self.pacemaker = (self.pacemaker * 2).min(pacemaker_cap);
                     return wasted.max(min_round);
                 }
                 self.pacemaker = pacemaker_base;
+                diablo_telemetry::record_duration!("consensus.hotstuff.phase_us", phase);
+                diablo_telemetry::record_duration!("consensus.hotstuff.round_us", phase * 3);
                 let commit = now + phase * 3; // three-chain commit
                 self.commit_block(now, commit);
                 phase.max(min_round)
@@ -591,6 +600,9 @@ impl ChainSim {
                 let total = SimDuration::from_secs_f64(
                     (assembly + commit_lat + exec).as_secs_f64() * jitter,
                 );
+                diablo_telemetry::record_duration!("consensus.ibft.assembly_us", assembly);
+                diablo_telemetry::record_duration!("consensus.ibft.commit_us", commit_lat);
+                diablo_telemetry::record_duration!("consensus.ibft.round_us", total);
                 let commit = now + total;
                 self.commit_block(now, commit);
                 // IBFT does not pipeline: the next proposal follows the
@@ -605,6 +617,8 @@ impl ChainSim {
                     now,
                 );
                 let exec = self.exec_delay_estimate(now);
+                diablo_telemetry::record_duration!("consensus.clique.broadcast_us", broadcast);
+                diablo_telemetry::record_duration!("consensus.clique.round_us", broadcast + exec);
                 let commit = now + broadcast + exec;
                 self.commit_block(now, commit);
                 period
@@ -627,6 +641,11 @@ impl ChainSim {
                 let jitter = 1.0 + 0.15 * self.rng.exponential(1.0);
                 let round =
                     SimDuration::from_secs_f64((round_base + gossip_excess).as_secs_f64() * jitter);
+                diablo_telemetry::record_duration!(
+                    "consensus.ba_star.gossip_us",
+                    gossip_block + gossip_votes
+                );
+                diablo_telemetry::record_duration!("consensus.ba_star.round_us", round);
                 let commit = now + round;
                 self.commit_block(now, commit);
                 round
@@ -644,6 +663,8 @@ impl ChainSim {
                     now,
                 );
                 let exec = self.exec_delay_estimate(now);
+                diablo_telemetry::record_duration!("consensus.snow.sampling_us", sampling);
+                diablo_telemetry::record_duration!("consensus.snow.round_us", sampling + exec);
                 let commit = now + sampling + exec;
                 self.commit_block(now, commit);
                 if self.pool.len() >= self.params.block_tx_limit {
@@ -669,6 +690,8 @@ impl ChainSim {
                 let jitter = 1.0 + 0.1 * self.rng.exponential(1.0);
                 let exec = self.exec_delay_estimate(now);
                 let total = SimDuration::from_secs_f64((commit_lat + exec).as_secs_f64() * jitter);
+                diablo_telemetry::record_duration!("consensus.dbft.commit_us", commit_lat);
+                diablo_telemetry::record_duration!("consensus.dbft.round_us", total);
                 let commit = now + total;
                 self.commit_block(now, commit);
                 total.max(min_period)
@@ -677,10 +700,12 @@ impl ChainSim {
                 if self.rng.chance(skip_rate) {
                     // Skipped slot: absent or lagging leader — the chain
                     // still advances one (empty) slot.
+                    diablo_telemetry::counter!("consensus.tower_bft.skipped_slots");
                     self.commit_empty(now + slot);
                     return slot;
                 }
                 let exec = self.exec_delay_estimate(now);
+                diablo_telemetry::record_duration!("consensus.tower_bft.round_us", slot + exec);
                 let commit = now + slot + exec;
                 self.commit_block(now, commit);
                 slot
@@ -698,12 +723,15 @@ impl ChainSim {
     fn exec_delay_estimate(&self, now: SimTime) -> SimDuration {
         let txs = self.block_capacity(now).min(self.pool.len()) as f64;
         let ops = txs * self.ops_estimate as f64;
-        SimDuration::from_secs_f64(ops / self.params.exec_ops_per_sec.max(1.0))
+        let d = SimDuration::from_secs_f64(ops / self.params.exec_ops_per_sec.max(1.0));
+        diablo_telemetry::record_duration!("exec.block_delay_us", d);
+        d
     }
 
     /// Advances the chain by one empty block (skipped or empty slots
     /// still deepen confirmations).
     fn commit_empty(&mut self, committed: SimTime) {
+        diablo_telemetry::counter!("consensus.blocks.empty");
         self.height += 1;
         self.commit_times.push(committed);
         self.blocks.push(BlockRecord {
@@ -729,6 +757,15 @@ impl ChainSim {
             });
         let fill = batch.len() as f64 / capacity.max(1) as f64;
         self.fee.on_block(fill);
+        diablo_telemetry::counter!("consensus.blocks.committed");
+        diablo_telemetry::record!("consensus.block.txs", batch.len() as u64);
+        diablo_telemetry::record_duration!("consensus.commit_latency_us", committed.since(now));
+        if diablo_telemetry::enabled() {
+            for tx in &batch {
+                // Queueing delay: submission to inclusion in a block.
+                diablo_telemetry::record_duration!("mempool.queue_wait_us", now.since(tx.submitted));
+            }
+        }
         self.height += 1;
         self.commit_times.push(committed);
         self.blocks.push(BlockRecord {
@@ -775,6 +812,9 @@ impl World for ChainSim {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<Ev>) {
+        // Keep the telemetry clock on virtual time: spans and duration
+        // records made anywhere below observe the event's instant.
+        diablo_telemetry::clock::set_sim_now(now);
         match event {
             Ev::Tick(k) => self.submit_tick(now, k),
             Ev::Propose => {

@@ -92,6 +92,27 @@ pub fn results_json(result: &RunResult) -> String {
     out
 }
 
+/// Serializes a run plus its merged telemetry snapshot: the standard
+/// [`results_json`] document with an extra top-level `"telemetry"`
+/// section (omitted when the snapshot is empty, e.g. in compiled-out
+/// builds). The telemetry section is integer-only, so a pinned-seed
+/// run serializes byte-identically across machines and worker counts.
+pub fn results_json_with_telemetry(
+    result: &RunResult,
+    telemetry: &diablo_telemetry::TelemetrySnapshot,
+) -> String {
+    let mut out = results_json(result);
+    if telemetry.is_empty() {
+        return out;
+    }
+    let closed = out.pop();
+    debug_assert_eq!(closed, Some('}'));
+    out.push_str(",\"telemetry\":");
+    out.push_str(&telemetry.to_json());
+    out.push('}');
+    out
+}
+
 /// Converts a run to the artifact's CSV format: one line per
 /// transaction with the submission time (seconds) and the commit
 /// latency (seconds; empty when not committed), ordered by submission —
@@ -178,6 +199,29 @@ mod tests {
     fn escaping() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn telemetry_section_is_appended_when_nonempty() {
+        let empty = diablo_telemetry::TelemetrySnapshot::default();
+        assert_eq!(
+            results_json_with_telemetry(&sample(), &empty),
+            results_json(&sample()),
+            "empty snapshots leave the document untouched"
+        );
+        let mut snap = diablo_telemetry::TelemetrySnapshot::default();
+        snap.counters.push(("consensus.blocks.committed".into(), 7));
+        let json = results_json_with_telemetry(&sample(), &snap);
+        assert!(json.ends_with('}'), "{json}");
+        assert!(
+            json.contains("\"telemetry\":{"),
+            "telemetry section present: {json}"
+        );
+        assert!(json.contains("\"consensus.blocks.committed\":7"), "{json}");
+        // Still a parseable document with the original sections intact.
+        let parsed = crate::json::parse(&json).expect("valid json");
+        assert!(parsed.get("stats").is_some());
+        assert!(parsed.get("telemetry").is_some());
     }
 
     #[test]

@@ -96,6 +96,11 @@ pub fn run_with_setup(
     let spec = BenchmarkSpec::parse(spec_text).map_err(|e| e.to_string())?;
     let clients = spec.client_count();
 
+    // One telemetry scope per run: the report's snapshot covers exactly
+    // this benchmark, and consecutive runs in one process don't bleed
+    // into each other.
+    diablo_telemetry::reset();
+
     // Validate resources once on a scratch connector; this also resolves
     // the DApp the simulated backend will deploy.
     let mut scratch = adapters::connector(chain);
@@ -154,6 +159,7 @@ pub fn run_with_setup(
         result,
         secondaries,
         clients,
+        telemetry: diablo_telemetry::snapshot(),
     })
 }
 

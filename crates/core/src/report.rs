@@ -1,6 +1,10 @@
 //! Benchmark reports: the aggregation the Primary performs (§4).
 
+use std::fmt::Write as _;
+
 use diablo_chains::{RunResult, TxStatus};
+use diablo_sim::Summary;
+use diablo_telemetry::TelemetrySnapshot;
 
 /// The aggregated outcome of one benchmark run.
 #[derive(Debug)]
@@ -11,6 +15,27 @@ pub struct Report {
     pub secondaries: usize,
     /// How many clients (worker threads) were emulated.
     pub clients: u32,
+    /// The merged telemetry snapshot of the run: the Primary's own
+    /// recorder plus every Secondary's (empty when telemetry is
+    /// compiled out).
+    pub telemetry: TelemetrySnapshot,
+}
+
+/// The pipeline phase a telemetry metric belongs to, by name prefix;
+/// `None` for metrics outside the four per-phase groups.
+fn phase_of(name: &str) -> Option<(usize, &'static str)> {
+    if name.starts_with("mempool.") {
+        Some((0, "mempool"))
+    } else if name.starts_with("consensus.") {
+        Some((1, "consensus"))
+    } else if name.starts_with("exec.") || name.starts_with("vm.") || name.starts_with("parallel.")
+    {
+        Some((2, "execution"))
+    } else if name.starts_with("net.") {
+        Some((3, "network"))
+    } else {
+        None
+    }
 }
 
 impl Report {
@@ -22,7 +47,8 @@ impl Report {
     /// The statistics block the Diablo primary prints to standard
     /// output (`--stat`), in the style of the paper's artifact appendix:
     /// transactions sent / committed / aborted / pending, average load,
-    /// average throughput, average and median latency.
+    /// average throughput, latency average / median / tail, and — when
+    /// the run recorded telemetry — the per-phase latency breakdown.
     pub fn stats_text(&self) -> String {
         if let Some(reason) = &self.result.unable_reason {
             return format!(
@@ -38,22 +64,74 @@ impl Report {
             + r.count_status(TxStatus::DroppedExpired);
         let failed = r.count_status(TxStatus::Failed);
         let pending = r.count_status(TxStatus::Pending);
-        let avg_load = sent as f64 / r.workload_secs.max(1e-9);
-        format!(
+        let mut latencies = Summary::new();
+        for rec in &r.records {
+            if let Some(l) = rec.latency_secs() {
+                latencies.record(l);
+            }
+        }
+        let tail = latencies.percentiles();
+        let mut out = format!(
             "benchmark {} on {} ({} secondaries, {} clients)\n\
              {sent} transactions sent, {committed} committed, {dropped} dropped, \
              {failed} aborted, {pending} pending\n\
-             average load: {avg_load:.1} tx/s\n\
+             average load: {:.1} tx/s\n\
              average throughput: {:.1} tx/s\n\
-             average latency: {:.1} s, median latency: {:.1} s\n",
+             average latency: {:.1} s, median latency: {:.1} s\n\
+             latency p95: {:.2} s, p99: {:.2} s\n",
             r.workload,
             r.chain,
             self.secondaries,
             self.clients,
+            r.avg_load(),
             r.avg_throughput(),
             r.avg_latency_secs(),
             r.median_latency_secs(),
-        )
+            tail.p95(),
+            tail.p99(),
+        );
+        out.push_str(&self.phase_breakdown());
+        out
+    }
+
+    /// The per-phase latency table: every time-valued histogram
+    /// (`*_us`, sim-time microseconds) the run recorded, grouped under
+    /// the pipeline phase its name prefix denotes. Empty when no
+    /// telemetry was recorded (e.g. compiled-out builds).
+    pub fn phase_breakdown(&self) -> String {
+        let mut rows: Vec<(usize, &'static str, &str, &diablo_telemetry::HistogramSnapshot)> =
+            self.telemetry
+                .histograms
+                .iter()
+                .filter(|(name, _)| name.ends_with("_us"))
+                .filter_map(|(name, h)| {
+                    phase_of(name).map(|(rank, phase)| (rank, phase, name.as_str(), h))
+                })
+                .collect();
+        if rows.is_empty() {
+            return String::new();
+        }
+        rows.sort_by(|a, b| (a.0, a.2).cmp(&(b.0, b.2)));
+        let mut out = String::from("per-phase latency breakdown (sim-time µs):\n");
+        let _ = writeln!(
+            out,
+            "  {:<10} {:<34} {:>10} {:>14} {:>9} {:>9} {:>9}",
+            "phase", "metric", "count", "total", "p50", "p95", "p99"
+        );
+        for (_, phase, name, h) in rows {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:<34} {:>10} {:>14} {:>9} {:>9} {:>9}",
+                phase,
+                name,
+                h.count,
+                h.sum,
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99)
+            );
+        }
+        out
     }
 }
 
@@ -93,6 +171,7 @@ mod tests {
             },
             secondaries: 2,
             clients: 4,
+            telemetry: TelemetrySnapshot::default(),
         }
     }
 
@@ -105,6 +184,44 @@ mod tests {
         assert!(text.contains("1 pending"), "{text}");
         assert!(text.contains("2 secondaries"), "{text}");
         assert!(text.contains("Algorand"), "{text}");
+        assert!(text.contains("latency p95"), "{text}");
+    }
+
+    #[test]
+    fn tail_latency_tracks_the_single_commit() {
+        // One committed transaction at 3 s: every latency quantile is
+        // that observation.
+        let text = report().stats_text();
+        assert!(text.contains("p95: 3.00 s"), "{text}");
+        assert!(text.contains("p99: 3.00 s"), "{text}");
+    }
+
+    #[test]
+    fn phase_breakdown_groups_time_histograms() {
+        use diablo_sim::LogHistogram;
+        let mut r = report();
+        let mut h = LogHistogram::new();
+        for v in [100u64, 200, 400] {
+            h.record(v);
+        }
+        let snap = diablo_telemetry::HistogramSnapshot::from_histogram(&h);
+        r.telemetry.histograms = vec![
+            ("consensus.ibft.round_us".to_string(), snap.clone()),
+            ("mempool.take_batch.txs".to_string(), snap.clone()), // not *_us: excluded
+            ("net.phase.linear_us".to_string(), snap.clone()),
+            ("unrelated.metric_us".to_string(), snap),
+        ];
+        let table = r.phase_breakdown();
+        assert!(table.contains("consensus  consensus.ibft.round_us"), "{table}");
+        assert!(table.contains("network    net.phase.linear_us"), "{table}");
+        assert!(!table.contains("take_batch"), "{table}");
+        assert!(!table.contains("unrelated"), "{table}");
+        // Consensus sorts before network.
+        let c = table.find("consensus.ibft").unwrap();
+        let n = table.find("net.phase").unwrap();
+        assert!(c < n, "{table}");
+        // Empty telemetry renders nothing.
+        assert_eq!(report().phase_breakdown(), "");
     }
 
     #[test]
@@ -113,6 +230,7 @@ mod tests {
             result: RunResult::unable(Chain::Solana, "uber", 120.0, "budget exceeded".into()),
             secondaries: 1,
             clients: 1,
+            telemetry: TelemetrySnapshot::default(),
         };
         assert!(!r.able());
         assert!(r.stats_text().contains("budget exceeded"));

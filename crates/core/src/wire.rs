@@ -106,6 +106,12 @@ pub enum Message {
         /// Human-readable statistics.
         text: String,
     },
+    /// Secondary → Primary: the local telemetry snapshot, merged by the
+    /// Primary into the run's aggregate (sent right after `Stats`).
+    Telemetry {
+        /// The Secondary's recorded counters/histograms/spans.
+        snapshot: diablo_telemetry::TelemetrySnapshot,
+    },
     /// Primary → Secondary: experiment over, disconnect.
     Done,
 }
@@ -119,6 +125,88 @@ fn get_string(buf: &mut ByteReader) -> Result<String, String> {
     let len = buf.get_u32_le().map_err(|_| "truncated string length")? as usize;
     let bytes = buf.take(len).map_err(|_| "truncated string body")?;
     String::from_utf8(bytes.to_vec()).map_err(|e| e.to_string())
+}
+
+/// Encodes a telemetry snapshot: four length-prefixed sections in the
+/// snapshot's canonical (name-sorted) order.
+pub fn put_telemetry(buf: &mut ByteBuf, snapshot: &diablo_telemetry::TelemetrySnapshot) {
+    buf.put_u32_le(snapshot.counters.len() as u32);
+    for (name, v) in &snapshot.counters {
+        put_string(buf, name);
+        buf.put_u64_le(*v);
+    }
+    buf.put_u32_le(snapshot.gauges.len() as u32);
+    for (name, v) in &snapshot.gauges {
+        put_string(buf, name);
+        buf.put_u64_le(*v as u64);
+    }
+    buf.put_u32_le(snapshot.histograms.len() as u32);
+    for (name, h) in &snapshot.histograms {
+        put_string(buf, name);
+        buf.put_u64_le(h.count);
+        buf.put_u64_le(h.sum);
+        buf.put_u64_le(h.min);
+        buf.put_u64_le(h.max);
+        buf.put_u32_le(h.buckets.len() as u32);
+        for &(index, count) in &h.buckets {
+            buf.put_u32_le(index);
+            buf.put_u64_le(count);
+        }
+    }
+    buf.put_u32_le(snapshot.spans.len() as u32);
+    for (name, s) in &snapshot.spans {
+        put_string(buf, name);
+        buf.put_u64_le(s.count);
+        buf.put_u64_le(s.inclusive_us);
+        buf.put_u64_le(s.exclusive_us);
+    }
+}
+
+/// Decodes a telemetry snapshot written by [`put_telemetry`].
+pub fn get_telemetry(
+    buf: &mut ByteReader,
+) -> Result<diablo_telemetry::TelemetrySnapshot, String> {
+    let mut snapshot = diablo_telemetry::TelemetrySnapshot::default();
+    let n = buf.get_u32_le().map_err(|_| "truncated counters")? as usize;
+    for _ in 0..n {
+        let name = get_string(buf)?;
+        snapshot.counters.push((name, buf.get_u64_le()?));
+    }
+    let n = buf.get_u32_le().map_err(|_| "truncated gauges")? as usize;
+    for _ in 0..n {
+        let name = get_string(buf)?;
+        snapshot.gauges.push((name, buf.get_u64_le()? as i64));
+    }
+    let n = buf.get_u32_le().map_err(|_| "truncated histograms")? as usize;
+    for _ in 0..n {
+        let name = get_string(buf)?;
+        let mut h = diablo_telemetry::HistogramSnapshot {
+            count: buf.get_u64_le()?,
+            sum: buf.get_u64_le()?,
+            min: buf.get_u64_le()?,
+            max: buf.get_u64_le()?,
+            buckets: Vec::new(),
+        };
+        let b = buf.get_u32_le().map_err(|_| "truncated buckets")? as usize;
+        for _ in 0..b {
+            let index = buf.get_u32_le()?;
+            h.buckets.push((index, buf.get_u64_le()?));
+        }
+        snapshot.histograms.push((name, h));
+    }
+    let n = buf.get_u32_le().map_err(|_| "truncated spans")? as usize;
+    for _ in 0..n {
+        let name = get_string(buf)?;
+        snapshot.spans.push((
+            name,
+            diablo_telemetry::SpanStat {
+                count: buf.get_u64_le()?,
+                inclusive_us: buf.get_u64_le()?,
+                exclusive_us: buf.get_u64_le()?,
+            },
+        ));
+    }
+    Ok(snapshot)
 }
 
 /// Encodes a message into a framed byte buffer.
@@ -172,6 +260,10 @@ pub fn encode(msg: &Message) -> ByteBuf {
             put_string(&mut body, text);
         }
         Message::Done => body.put_u8(8),
+        Message::Telemetry { snapshot } => {
+            body.put_u8(9);
+            put_telemetry(&mut body, snapshot);
+        }
     }
     let mut framed = ByteBuf::with_capacity(body.len() + 4);
     framed.put_u32_le(body.len() as u32);
@@ -246,6 +338,9 @@ pub fn decode(body: &[u8]) -> Result<Message, String> {
             text: get_string(&mut body)?,
         }),
         8 => Ok(Message::Done),
+        9 => Ok(Message::Telemetry {
+            snapshot: get_telemetry(&mut body)?,
+        }),
         other => Err(format!("unknown message tag {other}")),
     }
 }
@@ -380,6 +475,9 @@ pub fn serve_primary(
     let clients = spec.client_count();
     let ranges = partition_clients(clients, n_secondaries);
 
+    // The report's telemetry covers exactly this experiment.
+    diablo_telemetry::reset();
+
     // Resolve the DApp once for the backend.
     let mut scratch = adapters::connector(chain);
     declare_resources(&spec, &mut scratch)?;
@@ -479,11 +577,19 @@ pub fn serve_primary(
         write_message(stream, &Message::OutcomesDone)?;
     }
 
-    // Aggregate the Secondaries' statistics reports.
+    // Aggregate the Secondaries' statistics and telemetry reports. The
+    // Primary ran the chain itself, so its own recorder holds the run's
+    // simulation telemetry; the Secondaries contribute their
+    // planning-side snapshots, merged commutatively.
+    let mut telemetry = diablo_telemetry::snapshot();
     for stream in streams.iter_mut() {
         match read_message(stream)? {
             Message::Stats { .. } => {}
             other => return Err(format!("expected Stats, got {other:?}")),
+        }
+        match read_message(stream)? {
+            Message::Telemetry { snapshot } => telemetry.merge(&snapshot),
+            other => return Err(format!("expected Telemetry, got {other:?}")),
         }
         write_message(stream, &Message::Done)?;
     }
@@ -492,12 +598,14 @@ pub fn serve_primary(
         result,
         secondaries: streams.len(),
         clients,
+        telemetry,
     })
 }
 
 /// Runs the Secondary end of the distributed mode against the Primary
 /// at `addr`. Returns the local statistics text it reported.
 pub fn run_secondary(addr: &str, tag: &str) -> Result<String, String> {
+    diablo_telemetry::reset();
     let mut stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
     write_message(
         &mut stream,
@@ -529,6 +637,7 @@ pub fn run_secondary(addr: &str, tag: &str) -> Result<String, String> {
     plan_range(&spec, range, &mut conn)?;
     let plan = conn.take_plan();
     let planned = plan.len();
+    diablo_telemetry::counter!("secondary.planned_txs", planned as u64);
     let plan_wall = plan_started.elapsed().as_secs_f64();
     let workload_secs = spec.duration_secs().max(1) as f64;
     let lag_warning = if plan_wall > workload_secs {
@@ -579,6 +688,12 @@ pub fn run_secondary(addr: &str, tag: &str) -> Result<String, String> {
         status_name(TxStatus::Committed)
     );
     write_message(&mut stream, &Message::Stats { text: text.clone() })?;
+    write_message(
+        &mut stream,
+        &Message::Telemetry {
+            snapshot: diablo_telemetry::snapshot(),
+        },
+    )?;
     match read_message(&mut stream)? {
         Message::Done => Ok(text),
         other => Err(format!("expected Done, got {other:?}")),
@@ -635,6 +750,32 @@ mod tests {
             },
             Message::OutcomesDone,
             Message::Stats { text: "ok".into() },
+            Message::Telemetry {
+                snapshot: {
+                    let mut s = diablo_telemetry::TelemetrySnapshot::default();
+                    s.counters.push(("mempool.admitted".into(), 42));
+                    s.gauges.push(("mempool.depth_peak".into(), -3));
+                    s.histograms.push((
+                        "consensus.ibft.round_us".into(),
+                        diablo_telemetry::HistogramSnapshot {
+                            count: 2,
+                            sum: 300,
+                            min: 100,
+                            max: 200,
+                            buckets: vec![(96, 1), (101, 1)],
+                        },
+                    ));
+                    s.spans.push((
+                        "harness;commit".into(),
+                        diablo_telemetry::SpanStat {
+                            count: 5,
+                            inclusive_us: 900,
+                            exclusive_us: 400,
+                        },
+                    ));
+                    s
+                },
+            },
             Message::Done,
         ];
         for msg in messages {

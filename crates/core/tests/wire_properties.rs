@@ -2,6 +2,7 @@
 //! through `encode`/`decode`, and `decode` is total on arbitrary bytes.
 
 use diablo_core::wire::{decode, encode, Message, WireOutcome, WireTx};
+use diablo_telemetry::{HistogramSnapshot, SpanStat, TelemetrySnapshot};
 use diablo_testkit::gen::{
     ascii_strings, choice, i32s, just, u32s, u64s, u8s, vecs, BoxedGen, Gen,
 };
@@ -42,6 +43,63 @@ fn arb_outcome() -> BoxedGen<WireOutcome> {
         .boxed()
 }
 
+/// Arbitrary histogram snapshots: any counts, any bucket layout.
+fn arb_histogram() -> BoxedGen<HistogramSnapshot> {
+    (
+        (
+            u64s(0..=u64::MAX),
+            u64s(0..=u64::MAX),
+            u64s(0..=u64::MAX),
+            u64s(0..=u64::MAX),
+        ),
+        vecs((u32s(0..=4096), u64s(0..=u64::MAX)), 0..=12),
+    )
+        .map(|((count, sum, min, max), buckets)| HistogramSnapshot {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        })
+        .boxed()
+}
+
+/// Arbitrary telemetry snapshots across all four sections, including
+/// empty ones and negative gauges.
+fn arb_snapshot() -> BoxedGen<TelemetrySnapshot> {
+    (
+        vecs((ascii_strings(0..=32), u64s(0..=u64::MAX)), 0..=8),
+        vecs((ascii_strings(0..=32), u64s(0..=u64::MAX)), 0..=8),
+        vecs((ascii_strings(0..=32), arb_histogram()), 0..=6),
+        vecs(
+            (
+                ascii_strings(0..=48),
+                (u64s(0..=u64::MAX), u64s(0..=u64::MAX), u64s(0..=u64::MAX)),
+            ),
+            0..=6,
+        ),
+    )
+        .map(|(counters, gauges, histograms, spans)| TelemetrySnapshot {
+            counters,
+            gauges: gauges.into_iter().map(|(n, v)| (n, v as i64)).collect(),
+            histograms,
+            spans: spans
+                .into_iter()
+                .map(|(n, (count, inclusive_us, exclusive_us))| {
+                    (
+                        n,
+                        SpanStat {
+                            count,
+                            inclusive_us,
+                            exclusive_us,
+                        },
+                    )
+                })
+                .collect(),
+        })
+        .boxed()
+}
+
 /// Arbitrary protocol messages: every variant, arbitrary contents.
 fn arb_message() -> BoxedGen<Message> {
     choice(vec![
@@ -68,6 +126,9 @@ fn arb_message() -> BoxedGen<Message> {
             .boxed(),
         just(Message::OutcomesDone).boxed(),
         ascii_strings(0..=128).map(|text| Message::Stats { text }).boxed(),
+        arb_snapshot()
+            .map(|snapshot| Message::Telemetry { snapshot })
+            .boxed(),
         just(Message::Done).boxed(),
     ])
     .boxed()
@@ -98,6 +159,94 @@ fn decode_is_total_on_garbage() {
         .cases(512)
         .check(&vecs(u8s(0..=255), 0..=300), |bytes| {
             let _ = decode(bytes);
+            Ok(())
+        });
+}
+
+/// Telemetry snapshots survive the framed round trip exactly — every
+/// counter, gauge sign, histogram bucket and span figure intact.
+#[test]
+fn telemetry_snapshots_roundtrip() {
+    Property::new("telemetry_snapshots_roundtrip")
+        .cases(256)
+        .check(&arb_snapshot(), |snapshot| {
+            let msg = Message::Telemetry {
+                snapshot: snapshot.clone(),
+            };
+            let framed = encode(&msg);
+            let decoded = decode(&framed[4..]).map_err(|e| format!("decode failed: {e}"))?;
+            prop_assert_eq!(&decoded, &msg);
+            Ok(())
+        });
+}
+
+/// Recorder-shaped snapshots: histograms frozen from actually recorded
+/// values (never a bucket layout a recorder could not produce).
+fn coherent_snapshot() -> BoxedGen<TelemetrySnapshot> {
+    (
+        vecs((ascii_strings(1..=16), u64s(0..=1 << 40)), 0..=6),
+        vecs((ascii_strings(1..=16), u64s(0..=1 << 40)), 0..=6),
+        vecs((ascii_strings(1..=16), vecs(u64s(0..=1 << 40), 1..=20)), 0..=4),
+        vecs(
+            (
+                ascii_strings(1..=24),
+                (u64s(0..=1 << 30), u64s(0..=1 << 40), u64s(0..=1 << 40)),
+            ),
+            0..=4,
+        ),
+    )
+        .map(|(counters, gauges, hist_values, spans)| TelemetrySnapshot {
+            counters,
+            gauges: gauges.into_iter().map(|(n, v)| (n, v as i64)).collect(),
+            histograms: hist_values
+                .into_iter()
+                .map(|(n, values)| {
+                    let mut h = diablo_sim::LogHistogram::new();
+                    for v in values {
+                        h.record(v);
+                    }
+                    (n, HistogramSnapshot::from_histogram(&h))
+                })
+                .collect(),
+            spans: spans
+                .into_iter()
+                .map(|(n, (count, inclusive_us, exclusive_us))| {
+                    (
+                        n,
+                        SpanStat {
+                            count,
+                            inclusive_us,
+                            exclusive_us,
+                        },
+                    )
+                })
+                .collect(),
+        })
+        .boxed()
+}
+
+/// Merging is commutative on recorder-shaped snapshots: the Primary may
+/// fold Secondary reports in any arrival order and aggregate to the
+/// same totals.
+#[test]
+fn telemetry_merge_is_commutative() {
+    // merge() canonicalizes (sorts and dedupes by name); fold each
+    // generated snapshot into an empty one first so both orders start
+    // from canonical operands.
+    fn canonical(s: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let mut c = TelemetrySnapshot::default();
+        c.merge(s);
+        c
+    }
+    Property::new("telemetry_merge_is_commutative")
+        .cases(128)
+        .check(&(coherent_snapshot(), coherent_snapshot()), |(a, b)| {
+            let (a, b) = (canonical(a), canonical(b));
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(&ab, &ba);
             Ok(())
         });
 }

@@ -52,6 +52,16 @@ impl QuorumModel {
                 }
             }
         }
+        // The pairwise link profile of the deployment, captured once at
+        // model build: the distribution every phase latency below is an
+        // order statistic of.
+        for row in &delay {
+            for &d in row {
+                if d > 0.0 {
+                    diablo_telemetry::record!("net.link.delay_us", (d * 1e6) as u64);
+                }
+            }
+        }
         QuorumModel {
             n,
             quorum: config.quorum(),
@@ -102,6 +112,10 @@ impl QuorumModel {
                 }
             })
             .fold(0.0, f64::max);
+        diablo_telemetry::counter!(
+            "net.bytes.proposals",
+            bytes * self.n.saturating_sub(1) as u64
+        );
         SimDuration::from_secs_f64(worst)
     }
 
@@ -116,6 +130,10 @@ impl QuorumModel {
                 }
             })
             .collect();
+        diablo_telemetry::counter!(
+            "net.bytes.proposals",
+            bytes * self.n.saturating_sub(1) as u64
+        );
         SimDuration::from_secs_f64(Self::kth_smallest(arrivals, self.quorum))
     }
 
@@ -133,7 +151,12 @@ impl QuorumModel {
                 }
             })
             .collect();
-        SimDuration::from_secs_f64(Self::kth_smallest(round_trips, self.quorum))
+        let peers = self.n.saturating_sub(1) as u64;
+        diablo_telemetry::counter!("net.bytes.proposals", bytes * peers);
+        diablo_telemetry::counter!("net.bytes.votes", VOTE_BYTES * peers);
+        let phase = SimDuration::from_secs_f64(Self::kth_smallest(round_trips, self.quorum));
+        diablo_telemetry::record_duration!("net.phase.linear_us", phase);
+        phase
     }
 
     /// HotStuff commit latency for a proposal of `bytes`: the three-chain
@@ -166,7 +189,17 @@ impl QuorumModel {
         // Commit: node j broadcasts commit at prepared[j]; the block is
         // committed at node i once it holds a quorum of commits.
         let committed = self.all_to_all_round(&prepared);
-        SimDuration::from_secs_f64(committed[leader])
+        let n = self.n as u64;
+        diablo_telemetry::counter!("net.bytes.proposals", bytes * n.saturating_sub(1));
+        // Two all-to-all vote rounds: every node broadcasts to every
+        // other node in each.
+        diablo_telemetry::counter!(
+            "net.bytes.votes",
+            2 * VOTE_BYTES * n * n.saturating_sub(1)
+        );
+        let d = SimDuration::from_secs_f64(committed[leader]);
+        diablo_telemetry::record_duration!("net.phase.ibft_commit_us", d);
+        d
     }
 
     /// One all-to-all round: every node `j` broadcasts at `start[j]`;
@@ -198,7 +231,14 @@ impl QuorumModel {
         delays.sort_by(|a, b| a.partial_cmp(b).expect("delays are not NaN"));
         let p75 = delays[(delays.len() * 3) / 4];
         let per_hop = p75 + self.payload_extra(origin, origin, bytes);
-        SimDuration::from_secs_f64(hops * per_hop)
+        // Diffusion delivers the payload to every other node once.
+        diablo_telemetry::counter!(
+            "net.bytes.gossip",
+            bytes * self.n.saturating_sub(1) as u64
+        );
+        let d = SimDuration::from_secs_f64(hops * per_hop);
+        diablo_telemetry::record_duration!("net.phase.gossip_us", d);
+        d
     }
 
     /// Median one-way vote delay from a node's point of view, in seconds.

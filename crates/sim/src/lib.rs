@@ -19,5 +19,5 @@ pub mod time;
 pub use engine::{Scheduler, Simulation, World};
 pub use queue::EventQueue;
 pub use rng::DetRng;
-pub use stats::{Cdf, Histogram, Summary, TimeSeries};
+pub use stats::{Cdf, Histogram, LogHistogram, Percentiles, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime};

@@ -7,7 +7,199 @@
 
 use crate::time::{SimDuration, SimTime};
 
-/// Streaming summary statistics (Welford's online algorithm).
+/// Sub-bucket resolution of [`LogHistogram`]: 2^5 = 32 linear
+/// sub-buckets per power-of-two octave, bounding the relative
+/// quantization error at ~3%.
+pub const LOG_HIST_SUB_BITS: u32 = 5;
+
+const LOG_HIST_SUB: usize = 1 << LOG_HIST_SUB_BITS;
+
+/// An HDR-style log-linear histogram over `u64` values.
+///
+/// Values below 32 land in exact unit buckets; above that, each
+/// power-of-two octave is split into 32 linear sub-buckets, so any
+/// recorded value is representable to within ~3% by its bucket floor.
+/// The bucket layout is fixed (at most ~1,920 buckets for the full
+/// `u64` range) and independent of the data, which makes merging two
+/// histograms a plain bucket-wise addition — commutative and
+/// associative, so a merged histogram is bit-identical no matter how
+/// the observations were sharded across recorders.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value falls into.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v < LOG_HIST_SUB as u64 {
+            v as usize
+        } else {
+            let msb = 63 - v.leading_zeros();
+            let shift = msb - LOG_HIST_SUB_BITS;
+            (((msb - LOG_HIST_SUB_BITS + 1) << LOG_HIST_SUB_BITS) as usize)
+                + ((v >> shift) as usize & (LOG_HIST_SUB - 1))
+        }
+    }
+
+    /// The smallest value mapping to bucket `index` (inverse of
+    /// [`Self::bucket_index`], used to report quantiles).
+    pub fn bucket_floor(index: usize) -> u64 {
+        if index < LOG_HIST_SUB {
+            index as u64
+        } else {
+            let octave = index / LOG_HIST_SUB;
+            let sub = index % LOG_HIST_SUB;
+            ((LOG_HIST_SUB + sub) as u64) << (octave - 1)
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical observations.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = Self::bucket_index(v);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+        self.count += n;
+        self.sum += v as u128 * n as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest observation, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) by nearest rank, reported as
+    /// the floor of the bucket holding that rank (≤ ~3% below the true
+    /// value). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == 1 {
+            return self.min;
+        }
+        if rank == self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Clamp to the observed extremes so single-value
+                // distributions report exactly that value.
+                return Self::bucket_floor(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Iterates `(bucket_floor, count)` over non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_floor(i), c))
+    }
+
+    /// Iterates `(bucket_index, count)` over non-empty buckets, for
+    /// compact wire encodings.
+    pub fn iter_indexed(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+}
+
+/// Microseconds per unit when [`Summary`] folds its `f64` observations
+/// into the quantile histogram (seconds-scale inputs keep ~µs grain).
+const SUMMARY_HIST_SCALE: f64 = 1e6;
+
+/// Streaming summary statistics (Welford's online algorithm) plus a
+/// log-linear histogram for tail quantiles.
 #[derive(Debug, Clone, Default)]
 pub struct Summary {
     count: u64,
@@ -15,6 +207,7 @@ pub struct Summary {
     m2: f64,
     min: f64,
     max: f64,
+    hist: LogHistogram,
 }
 
 impl Summary {
@@ -26,6 +219,7 @@ impl Summary {
             m2: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            hist: LogHistogram::new(),
         }
     }
 
@@ -37,6 +231,10 @@ impl Summary {
         self.m2 += delta * (x - self.mean);
         self.min = self.min.min(x);
         self.max = self.max.max(x);
+        // Negative observations clamp to bucket 0; the histogram only
+        // serves the quantile view, moments above stay exact.
+        self.hist
+            .record((x * SUMMARY_HIST_SCALE).max(0.0).min(u64::MAX as f64) as u64);
     }
 
     /// Number of observations.
@@ -103,6 +301,41 @@ impl Summary {
         self.count += other.count;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        self.hist.merge(&other.hist);
+    }
+
+    /// A quantile view over the recorded observations (nearest-rank on
+    /// the internal log-linear histogram, ≤ ~3% quantization error).
+    pub fn percentiles(&self) -> Percentiles<'_> {
+        Percentiles { hist: &self.hist }
+    }
+}
+
+/// Quantile view over a [`Summary`], backed by its [`LogHistogram`].
+#[derive(Debug, Clone, Copy)]
+pub struct Percentiles<'a> {
+    hist: &'a LogHistogram,
+}
+
+impl Percentiles<'_> {
+    /// The `q`-quantile (`q` in `[0, 1]`) in the summary's input units.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.hist.quantile(q) as f64 / SUMMARY_HIST_SCALE
+    }
+
+    /// Median.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
     }
 }
 
@@ -387,6 +620,129 @@ mod tests {
         assert_eq!(counts, vec![2, 2, 0, 1]); // -1 clamps to bucket 0
         assert_eq!(h.overflow(), 2);
         assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn log_histogram_exact_below_32() {
+        for v in 0..32u64 {
+            assert_eq!(LogHistogram::bucket_index(v), v as usize);
+            assert_eq!(LogHistogram::bucket_floor(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn log_histogram_floor_inverts_index() {
+        for v in [
+            32u64,
+            33,
+            63,
+            64,
+            65,
+            100,
+            1_000,
+            1_000_000,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = LogHistogram::bucket_index(v);
+            let floor = LogHistogram::bucket_floor(idx);
+            assert!(floor <= v, "floor {floor} above value {v}");
+            assert_eq!(
+                LogHistogram::bucket_index(floor),
+                idx,
+                "floor of bucket {idx} maps back to a different bucket"
+            );
+            // Log-linear guarantee: floor within ~3.2% (1/32) of value.
+            assert!((v - floor) as f64 <= v as f64 / 32.0 + 1.0);
+        }
+    }
+
+    #[test]
+    fn log_histogram_indices_monotone() {
+        let mut prev = 0;
+        for v in 0..10_000u64 {
+            let idx = LogHistogram::bucket_index(v);
+            assert!(idx >= prev, "index regressed at {v}");
+            prev = idx;
+        }
+        prev = 0;
+        for s in 0..64 {
+            let idx = LogHistogram::bucket_index(1u64 << s);
+            assert!(idx >= prev, "index regressed at 2^{s}");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn log_histogram_quantiles() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        assert!((468..=500).contains(&p50), "p50 = {p50}");
+        assert!((959..=990).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn log_histogram_merge_is_sharding_invariant() {
+        let values: Vec<u64> = (0..500).map(|i| (i * i * 7919) % 100_000).collect();
+        let mut whole = LogHistogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut c = LogHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            [&mut a, &mut b, &mut c][i % 3].record(v);
+        }
+        // Merge in a different order than recording.
+        c.merge(&a);
+        c.merge(&b);
+        assert_eq!(c, whole);
+    }
+
+    #[test]
+    fn log_histogram_single_value_quantiles_are_exact() {
+        let mut h = LogHistogram::new();
+        h.record_n(777, 10);
+        assert_eq!(h.quantile(0.5), 777);
+        assert_eq!(h.quantile(0.99), 777);
+    }
+
+    #[test]
+    fn summary_percentiles_track_tail() {
+        let mut s = Summary::new();
+        for i in 1..=100 {
+            s.record(i as f64); // seconds-scale inputs
+        }
+        let p = s.percentiles();
+        assert!((p.p50() - 50.0).abs() / 50.0 < 0.05, "p50 = {}", p.p50());
+        assert!((p.p95() - 95.0).abs() / 95.0 < 0.05, "p95 = {}", p.p95());
+        assert!((p.p99() - 99.0).abs() / 99.0 < 0.05, "p99 = {}", p.p99());
+    }
+
+    #[test]
+    fn summary_merge_carries_percentiles() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for i in 1..=50 {
+            a.record(i as f64);
+        }
+        for i in 51..=100 {
+            b.record(i as f64);
+        }
+        a.merge(&b);
+        let p = a.percentiles();
+        assert!((p.p99() - 99.0).abs() / 99.0 < 0.05, "p99 = {}", p.p99());
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Deterministic telemetry for the Diablo benchmark suite.
+//!
+//! The paper's contribution is *diagnosis*, not a single throughput
+//! number: §5–§6 explain each chain's behaviour through per-phase
+//! breakdowns (where time goes in the mempool, consensus, execution
+//! and the network). This crate gives the reproduction the same
+//! capability without disturbing its two core guarantees:
+//!
+//! - **Determinism.** The telemetry clock ([`clock`]) reads the
+//!   simulation's virtual time by default, so recording is invisible to
+//!   the discrete-event engine; and every aggregation (counter sums,
+//!   gauge maxima, bucket-wise histogram merges, span totals) is
+//!   commutative and associative, so merged [`TelemetrySnapshot`]s are
+//!   bit-identical whether a block executed under
+//!   `Concurrency::Serial` or `Parallel(n)`.
+//! - **Zero cost when off.** Building the workspace with
+//!   `RUSTFLAGS="--cfg diablo_telemetry_off"` compiles every recording
+//!   function down to an empty `#[inline]` body and [`SpanGuard`] to a
+//!   zero-sized type with no `Drop`; snapshots are empty but the wire
+//!   and report plumbing still type-check.
+//!
+//! Recording goes through thread-local shards (see [`mod@self`]
+//! internals) registered in a global registry; [`snapshot`] freezes and
+//! merges them, [`reset`] clears them between runs. Use the macros for
+//! call sites:
+//!
+//! ```
+//! use diablo_telemetry::{counter, record, span};
+//!
+//! fn admit() {
+//!     span!("mempool.admit");
+//!     counter!("mempool.admitted");
+//!     record!("mempool.pool_depth", 42);
+//! }
+//! # admit();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod clock;
+mod snapshot;
+
+#[cfg(not(diablo_telemetry_off))]
+mod recorder;
+#[cfg(not(diablo_telemetry_off))]
+mod span;
+
+pub use snapshot::{HistogramSnapshot, SpanStat, TelemetrySnapshot};
+
+#[cfg(not(diablo_telemetry_off))]
+pub use span::SpanGuard;
+
+/// RAII span guard (no-op build): zero-sized, no `Drop`, fully erased
+/// by the optimizer.
+#[cfg(diablo_telemetry_off)]
+#[must_use = "a span measures the scope holding its guard"]
+pub struct SpanGuard;
+
+/// Whether telemetry is compiled in (`false` under
+/// `--cfg diablo_telemetry_off`).
+pub const fn enabled() -> bool {
+    cfg!(not(diablo_telemetry_off))
+}
+
+/// Adds `n` to the named monotonic counter.
+#[inline]
+pub fn counter(name: &'static str, n: u64) {
+    #[cfg(not(diablo_telemetry_off))]
+    recorder::with_local(|data| data.counter(name, n));
+    #[cfg(diablo_telemetry_off)]
+    let _ = (name, n);
+}
+
+/// Records a gauge observation; snapshots keep the high-watermark
+/// (maximum), which merges deterministically.
+#[inline]
+pub fn gauge(name: &'static str, v: i64) {
+    #[cfg(not(diablo_telemetry_off))]
+    recorder::with_local(|data| data.gauge(name, v));
+    #[cfg(diablo_telemetry_off)]
+    let _ = (name, v);
+}
+
+/// Records one value into the named log-linear histogram.
+#[inline]
+pub fn record(name: &'static str, v: u64) {
+    #[cfg(not(diablo_telemetry_off))]
+    recorder::with_local(|data| data.histogram(name, v));
+    #[cfg(diablo_telemetry_off)]
+    let _ = (name, v);
+}
+
+/// Records a [`diablo_sim::SimDuration`] into the named histogram, in
+/// microseconds. This is how the simulation attributes *modeled* time
+/// to a phase (consensus round, execution, network transfer).
+#[inline]
+pub fn record_duration(name: &'static str, d: diablo_sim::SimDuration) {
+    record(name, d.as_micros());
+}
+
+/// Opens a scoped span; the returned guard closes it on drop. Prefer
+/// the [`span!`] macro, which binds the guard for you.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    #[cfg(not(diablo_telemetry_off))]
+    return span::enter(name);
+    #[cfg(diablo_telemetry_off)]
+    {
+        let _ = name;
+        SpanGuard
+    }
+}
+
+/// Freezes all recorders into a sorted, mergeable snapshot. Empty in
+/// no-op builds.
+pub fn snapshot() -> TelemetrySnapshot {
+    #[cfg(not(diablo_telemetry_off))]
+    return recorder::snapshot();
+    #[cfg(diablo_telemetry_off)]
+    TelemetrySnapshot::default()
+}
+
+/// Clears all recorders (and rewinds nothing else: the clock is managed
+/// separately via [`clock`]). Benchmark runs call this at start so each
+/// snapshot covers exactly one run.
+pub fn reset() {
+    #[cfg(not(diablo_telemetry_off))]
+    recorder::reset();
+}
+
+/// Increments a counter: `counter!("name")` adds 1,
+/// `counter!("name", n)` adds `n`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {
+        $crate::counter($name, 1)
+    };
+    ($name:expr, $n:expr) => {
+        $crate::counter($name, $n)
+    };
+}
+
+/// Records a gauge observation (snapshot keeps the maximum).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $v:expr) => {
+        $crate::gauge($name, $v)
+    };
+}
+
+/// Records a `u64` into a histogram: `record!("name", value)`.
+#[macro_export]
+macro_rules! record {
+    ($name:expr, $v:expr) => {
+        $crate::record($name, $v)
+    };
+}
+
+/// Records a `SimDuration` into a histogram, in microseconds.
+#[macro_export]
+macro_rules! record_duration {
+    ($name:expr, $d:expr) => {
+        $crate::record_duration($name, $d)
+    };
+}
+
+/// Opens a span covering the rest of the enclosing scope:
+/// `span!("consensus.ba_star.round")`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _diablo_telemetry_span = $crate::span($name);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    // Global-state lifecycle tests (reset, cross-thread merge,
+    // determinism) live in `tests/` so each runs in its own process;
+    // unit tests here stick to names no other test touches and never
+    // call `reset`.
+
+    #[test]
+    fn counters_accumulate() {
+        super::counter("test.lib.counter_a", 2);
+        super::counter!("test.lib.counter_a");
+        let snap = super::snapshot();
+        if super::enabled() {
+            assert_eq!(snap.counter("test.lib.counter_a"), Some(3));
+        } else {
+            assert!(snap.is_empty());
+        }
+    }
+
+    #[test]
+    fn histograms_record() {
+        for v in [1u64, 10, 100, 1000] {
+            super::record!("test.lib.hist_a", v);
+        }
+        super::record_duration!("test.lib.hist_a", diablo_sim::SimDuration::from_millis(1));
+        let snap = super::snapshot();
+        if super::enabled() {
+            let h = snap.histogram("test.lib.hist_a").unwrap();
+            assert_eq!(h.count, 5);
+            assert_eq!(h.max, 1000);
+        }
+    }
+
+    #[test]
+    fn gauges_keep_watermark() {
+        super::gauge!("test.lib.gauge_a", 5);
+        super::gauge!("test.lib.gauge_a", -3);
+        let snap = super::snapshot();
+        if super::enabled() {
+            let v = snap
+                .gauges
+                .iter()
+                .find(|(n, _)| n == "test.lib.gauge_a")
+                .map(|(_, v)| *v);
+            assert_eq!(v, Some(5));
+        }
+    }
+
+    #[test]
+    fn spans_nest() {
+        {
+            super::span!("test.lib.outer");
+            {
+                super::span!("test.lib.inner");
+            }
+        }
+        let snap = super::snapshot();
+        if super::enabled() {
+            let outer = snap.spans.iter().find(|(n, _)| n == "test.lib.outer");
+            let inner = snap
+                .spans
+                .iter()
+                .find(|(n, _)| n == "test.lib.outer;test.lib.inner");
+            assert!(outer.is_some(), "outer span missing: {:?}", snap.spans);
+            assert!(inner.is_some(), "nested path missing: {:?}", snap.spans);
+        }
+    }
+}

@@ -356,6 +356,10 @@ impl Interpreter {
         if result.is_err() {
             rollback(journal, state);
         }
+        diablo_telemetry::counter!("vm.metered.calls");
+        if let Ok(receipt) = &result {
+            diablo_telemetry::record!("vm.metered.gas_per_call", receipt.gas_used);
+        }
         result
     }
 

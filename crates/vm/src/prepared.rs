@@ -442,6 +442,23 @@ fn run_block<const METERED: bool, S: StateAccess>(
     Ok(Next::FallThrough)
 }
 
+/// Telemetry histogram name for per-entry gas. Entry ids are dense and
+/// small (contracts expose a handful of entry points); everything past
+/// the table collapses into the last bucket.
+fn entry_gas_metric(entry: EntryId) -> &'static str {
+    const NAMES: [&str; 8] = [
+        "vm.prepared.gas.entry0",
+        "vm.prepared.gas.entry1",
+        "vm.prepared.gas.entry2",
+        "vm.prepared.gas.entry3",
+        "vm.prepared.gas.entry4",
+        "vm.prepared.gas.entry5",
+        "vm.prepared.gas.entry6",
+        "vm.prepared.gas.entry7plus",
+    ];
+    NAMES[entry.index().min(NAMES.len() - 1)]
+}
+
 impl Interpreter {
     /// Executes `entry` of a prepared program under `ctx` against
     /// `state` — the fast path equivalent of
@@ -496,6 +513,7 @@ impl Interpreter {
         let allowance = frame.budget.unwrap_or(u64::MAX).min(ctx.gas_limit);
         let blocks = prepared.blocks.as_slice();
         let mut bi = start_block as usize;
+        let mut fell_back = false;
         let result = loop {
             let block = blocks[bi];
             let code = &prepared.code[block.start as usize..block.end as usize];
@@ -510,6 +528,7 @@ impl Interpreter {
                 frame.ops += block.len();
                 run_block::<false, S>(&mut frame, code, block.start as usize, state)
             } else {
+                fell_back = true;
                 run_block::<true, S>(&mut frame, code, block.start as usize, state)
             };
             match next {
@@ -534,6 +553,13 @@ impl Interpreter {
 
         if result.is_err() {
             rollback(frame.journal, state);
+        }
+        diablo_telemetry::counter!("vm.prepared.calls");
+        if fell_back {
+            diablo_telemetry::counter!("vm.prepared.precharge_fallbacks");
+        }
+        if let Ok(receipt) = &result {
+            diablo_telemetry::record!(entry_gas_metric(entry), receipt.gas_used);
         }
         result
     }

@@ -25,6 +25,31 @@ for seed in 0xd1ab70 0xb10c5 0x7; do
         cargo test -q --release --offline -p diablo-chains --test parallel_differential
 done
 
+# Telemetry smoke: one Exchange benchmark with telemetry on must emit
+# a results document whose `telemetry` section parses and carries the
+# pipeline's headline counters (compare validates the JSON reader path
+# on the same file).
+echo "==> telemetry smoke (Exchange run, JSON telemetry section)"
+tmp_json="$(mktemp /tmp/diablo-telemetry.XXXXXX.json)"
+cargo run -q --release --offline --bin diablo -- run --chain=quorum \
+    --output="$tmp_json" workloads/exchange-apple.yaml >/dev/null
+for key in '"telemetry":{' '"counters":{' '"mempool.admitted"' \
+    '"consensus.blocks.committed"' '"histograms":{' '"spans":{'; do
+    grep -qF "$key" "$tmp_json" || {
+        echo "telemetry smoke: missing $key in $tmp_json" >&2
+        exit 1
+    }
+done
+cargo run -q --release --offline --bin diablo -- compare "$tmp_json" "$tmp_json" >/dev/null
+rm -f "$tmp_json"
+
+# Disabled-build check: with telemetry compiled out, the no-op macros
+# must still type-check everywhere and tier-1 must pass. A separate
+# target dir keeps the two configurations' caches apart.
+echo "==> telemetry-off build + tier-1 (--cfg diablo_telemetry_off)"
+RUSTFLAGS="--cfg diablo_telemetry_off" CARGO_TARGET_DIR=target/telemetry-off \
+    cargo test -q --offline
+
 echo "==> cargo doc --no-deps --offline --workspace (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 

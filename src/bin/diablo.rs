@@ -21,7 +21,7 @@ use std::process::ExitCode;
 use diablo::chains::Chain;
 use diablo::core::analysis::{latency_cdf_dat, throughput_series_dat};
 use diablo::core::json::read_result_stats;
-use diablo::core::output::{results_csv, results_json};
+use diablo::core::output::{results_csv, results_json_with_telemetry};
 use diablo::core::primary::run_with_setup;
 use diablo::core::wire::{run_secondary, serve_primary};
 use diablo::core::{run_local, BenchmarkOptions, Report, Setup};
@@ -102,7 +102,8 @@ fn parse_common(args: &Args) -> Result<(Chain, DeploymentKind, BenchmarkOptions,
 
 fn emit(report: &Report, args: &Args) -> Result<(), String> {
     if let Some(path) = args.get("output") {
-        std::fs::write(path, results_json(&report.result)).map_err(|e| e.to_string())?;
+        std::fs::write(path, results_json_with_telemetry(&report.result, &report.telemetry))
+            .map_err(|e| e.to_string())?;
         eprintln!("wrote {path}");
     }
     if let Some(path) = args.get("csv") {

@@ -5,6 +5,7 @@
 //! integration tests and downstream users can depend on a single crate:
 //!
 //! - [`sim`] — deterministic discrete-event simulation kernel,
+//! - [`telemetry`] — deterministic counters, histograms and spans,
 //! - [`net`] — geo-distributed network and deployment configurations,
 //! - [`vm`] — gas-metered smart-contract virtual machine (4 flavors),
 //! - [`contracts`] — the five DApps of the paper plus native transfers,
@@ -18,5 +19,6 @@ pub use diablo_contracts as contracts;
 pub use diablo_core as core;
 pub use diablo_net as net;
 pub use diablo_sim as sim;
+pub use diablo_telemetry as telemetry;
 pub use diablo_vm as vm;
 pub use diablo_workloads as workloads;
