@@ -40,9 +40,24 @@ fn main() {
     println!("{}", "-".repeat(64));
     for chain in Chain::ALL {
         let baseline = run(chain, FaultPlan::none());
-        let crash_f = run(chain, FaultPlan::crash_nodes(f, SimTime::from_secs(60)));
-        let crash_f1 = run(chain, FaultPlan::crash_nodes(f + 1, SimTime::from_secs(60)));
-        let slow = run(chain, FaultPlan::slow_network(SimTime::from_secs(60), 4.0));
+        let crash_f = run(
+            chain,
+            FaultPlan::builder()
+                .crash_many(f, SimTime::from_secs(60))
+                .build(),
+        );
+        let crash_f1 = run(
+            chain,
+            FaultPlan::builder()
+                .crash_many(f + 1, SimTime::from_secs(60))
+                .build(),
+        );
+        let slow = run(
+            chain,
+            FaultPlan::builder()
+                .slowdown(SimTime::from_secs(60), 4.0)
+                .build(),
+        );
         println!(
             "{:<10} {:>8.1} TPS {:>8.1} TPS {:>8.1} TPS {:>8.1} TPS",
             chain.name(),

@@ -1,0 +1,334 @@
+//! Textual fault directives.
+//!
+//! The `fault:` section of a benchmark spec and the `--crash`/
+//! `--partition`/… CLI flags share one grammar, parsed here into
+//! [`FaultPlanBuilder`] calls:
+//!
+//! | key              | value                                  | example              |
+//! |------------------|----------------------------------------|----------------------|
+//! | `crash`          | `NODES@AT[..RECOVER]`                  | `4@30..60`           |
+//! | `partition`      | `GROUP/GROUP[/..]@FROM..UNTIL`         | `0-6/7-9@30..60`     |
+//! | `loss`           | `RATE@FROM..UNTIL[,link=A-B]`          | `5%@10..40,link=0-3` |
+//! | `corrupt`        | `RATE@FROM..UNTIL`                     | `0.1@10..40`         |
+//! | `slowdown`       | `FACTOR@AT`                            | `4@60`               |
+//! | `kill-secondary` | `INDEX@AT`                             | `1@45`               |
+//! | `retry`          | `ATTEMPTSxBACKOFF_MS/TIMEOUT_MS`       | `3x500/10000`        |
+//!
+//! Times are seconds from benchmark start; `NODES` is either a count
+//! (`4` crashes nodes `0..4`) or an explicit list (`1,3,8`); node
+//! groups are comma-separated indices and `A-B` ranges; rates accept
+//! `0.1` or `10%`.
+
+use crate::faults::{FaultPlanBuilder, RetryPolicy};
+use diablo_sim::{SimDuration, SimTime};
+
+/// Applies one `key: value` fault directive to a builder. Returns a
+/// message describing the malformed directive on failure.
+pub fn apply_directive(
+    builder: FaultPlanBuilder,
+    key: &str,
+    value: &str,
+) -> Result<FaultPlanBuilder, String> {
+    let bad = |why: &str| format!("fault directive `{key}: {value}`: {why}");
+    match key {
+        "crash" => {
+            let (nodes, when) = split_once(value, '@').ok_or_else(|| bad("expected NODES@AT"))?;
+            let nodes = parse_node_list(nodes).map_err(|e| bad(&e))?;
+            let (at, recover) = match split_once(when, '.') {
+                Some((from, until)) => {
+                    let until = until.strip_prefix('.').ok_or_else(|| bad("expected AT..RECOVER"))?;
+                    (parse_secs(from).map_err(|e| bad(&e))?, Some(parse_secs(until).map_err(|e| bad(&e))?))
+                }
+                None => (parse_secs(when).map_err(|e| bad(&e))?, None),
+            };
+            let mut b = builder;
+            for node in nodes {
+                b = b.crash(node, at);
+                if let Some(rec) = recover {
+                    b = b.recover(node, rec);
+                }
+            }
+            Ok(b)
+        }
+        "partition" => {
+            let (groups, window) =
+                split_once(value, '@').ok_or_else(|| bad("expected GROUPS@FROM..UNTIL"))?;
+            let (from, until) = parse_window(window).map_err(|e| bad(&e))?;
+            let groups: Vec<Vec<usize>> = groups
+                .split('/')
+                .map(parse_group)
+                .collect::<Result<_, _>>()
+                .map_err(|e| bad(&e))?;
+            if groups.len() < 2 {
+                return Err(bad("need at least two `/`-separated groups"));
+            }
+            let refs: Vec<&[usize]> = groups.iter().map(|g| g.as_slice()).collect();
+            Ok(builder.partition_groups(&refs, from, until))
+        }
+        "loss" => {
+            let mut link = None;
+            let mut spec = value;
+            if let Some((head, opt)) = split_once(value, ',') {
+                let pair = opt
+                    .trim()
+                    .strip_prefix("link=")
+                    .ok_or_else(|| bad("expected `,link=A-B`"))?;
+                let (a, b) = split_once(pair, '-').ok_or_else(|| bad("expected `link=A-B`"))?;
+                link = Some((
+                    parse_index(a).map_err(|e| bad(&e))?,
+                    parse_index(b).map_err(|e| bad(&e))?,
+                ));
+                spec = head;
+            }
+            let (rate, window) =
+                split_once(spec, '@').ok_or_else(|| bad("expected RATE@FROM..UNTIL"))?;
+            let rate = parse_rate(rate).map_err(|e| bad(&e))?;
+            let (from, until) = parse_window(window).map_err(|e| bad(&e))?;
+            Ok(match link {
+                Some((a, b)) => builder.link_loss(a, b, rate, from, until),
+                None => builder.loss(rate, from, until),
+            })
+        }
+        "corrupt" => {
+            let (rate, window) =
+                split_once(value, '@').ok_or_else(|| bad("expected RATE@FROM..UNTIL"))?;
+            let rate = parse_rate(rate).map_err(|e| bad(&e))?;
+            let (from, until) = parse_window(window).map_err(|e| bad(&e))?;
+            Ok(builder.corrupt(rate, from, until))
+        }
+        "slowdown" => {
+            let (factor, at) = split_once(value, '@').ok_or_else(|| bad("expected FACTOR@AT"))?;
+            let factor: f64 = factor
+                .trim()
+                .parse()
+                .map_err(|_| bad("factor must be a number"))?;
+            Ok(builder.slowdown(parse_secs(at).map_err(|e| bad(&e))?, factor))
+        }
+        "kill-secondary" => {
+            let (idx, at) = split_once(value, '@').ok_or_else(|| bad("expected INDEX@AT"))?;
+            Ok(builder.kill_secondary(
+                parse_index(idx).map_err(|e| bad(&e))?,
+                parse_secs(at).map_err(|e| bad(&e))?,
+            ))
+        }
+        "retry" => {
+            let (attempts, rest) =
+                split_once(value, 'x').ok_or_else(|| bad("expected ATTEMPTSxBACKOFF_MS/TIMEOUT_MS"))?;
+            let (backoff, timeout) =
+                split_once(rest, '/').ok_or_else(|| bad("expected BACKOFF_MS/TIMEOUT_MS"))?;
+            let attempts: u32 = attempts
+                .trim()
+                .parse()
+                .map_err(|_| bad("attempts must be an integer"))?;
+            if attempts == 0 {
+                return Err(bad("attempts must be at least 1"));
+            }
+            let backoff: u64 = backoff
+                .trim()
+                .parse()
+                .map_err(|_| bad("backoff must be milliseconds"))?;
+            let timeout: u64 = timeout
+                .trim()
+                .parse()
+                .map_err(|_| bad("timeout must be milliseconds"))?;
+            Ok(builder.retry(RetryPolicy {
+                attempts,
+                backoff: SimDuration::from_millis(backoff),
+                timeout: SimDuration::from_millis(timeout),
+            }))
+        }
+        _ => Err(format!(
+            "unknown fault directive `{key}` (expected crash, partition, loss, corrupt, slowdown, kill-secondary or retry)"
+        )),
+    }
+}
+
+fn split_once(s: &str, sep: char) -> Option<(&str, &str)> {
+    s.split_once(sep)
+}
+
+fn parse_index(s: &str) -> Result<usize, String> {
+    s.trim()
+        .parse()
+        .map_err(|_| format!("`{}` is not a node index", s.trim()))
+}
+
+/// `4` → `[0, 1, 2, 3]`; `1,3,8` / `0-4,7` → the listed indices.
+fn parse_node_list(s: &str) -> Result<Vec<usize>, String> {
+    let s = s.trim();
+    if !s.contains(',') && !s.contains('-') {
+        let count = parse_index(s)?;
+        return Ok((0..count).collect());
+    }
+    parse_group(s)
+}
+
+/// A partition group: explicit indices and `A-B` ranges only (a bare
+/// `4` is node 4, never a count).
+fn parse_group(s: &str) -> Result<Vec<usize>, String> {
+    let mut nodes = Vec::new();
+    for part in s.split(',') {
+        match split_once(part, '-') {
+            Some((a, b)) => {
+                let (a, b) = (parse_index(a)?, parse_index(b)?);
+                if b < a {
+                    return Err(format!("range `{}` runs backwards", part.trim()));
+                }
+                nodes.extend(a..=b);
+            }
+            None => nodes.push(parse_index(part)?),
+        }
+    }
+    Ok(nodes)
+}
+
+fn parse_secs(s: &str) -> Result<SimTime, String> {
+    let secs: f64 = s
+        .trim()
+        .parse()
+        .map_err(|_| format!("`{}` is not a time in seconds", s.trim()))?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!("`{}` is not a time in seconds", s.trim()));
+    }
+    Ok(SimTime::from_secs_f64_ceil(secs))
+}
+
+fn parse_window(s: &str) -> Result<(SimTime, SimTime), String> {
+    let (from, until) = s
+        .trim()
+        .split_once("..")
+        .ok_or_else(|| format!("`{}` is not a FROM..UNTIL window", s.trim()))?;
+    let (from, until) = (parse_secs(from)?, parse_secs(until)?);
+    if until <= from {
+        return Err(format!("window `{}` is empty", s.trim()));
+    }
+    Ok((from, until))
+}
+
+/// `0.1` or `10%` → `0.1`.
+fn parse_rate(s: &str) -> Result<f64, String> {
+    let s = s.trim();
+    let (num, scale) = match s.strip_suffix('%') {
+        Some(pct) => (pct, 100.0),
+        None => (s, 1.0),
+    };
+    let rate: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("`{s}` is not a rate (use 0.1 or 10%)"))?;
+    let rate = rate / scale;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("rate `{s}` is outside 0..1"));
+    }
+    Ok(rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn parse(key: &str, value: &str) -> FaultPlan {
+        apply_directive(FaultPlan::builder(), key, value)
+            .expect("directive parses")
+            .build()
+    }
+
+    #[test]
+    fn crash_count_and_recovery() {
+        assert_eq!(
+            parse("crash", "4@30"),
+            FaultPlan::builder().crash_many(4, t(30)).build()
+        );
+        assert_eq!(
+            parse("crash", "4@30..60"),
+            FaultPlan::builder()
+                .crash_many(4, t(30))
+                .recover_many(4, t(60))
+                .build()
+        );
+        assert_eq!(
+            parse("crash", "1,3@10"),
+            FaultPlan::builder().crash(1, t(10)).crash(3, t(10)).build()
+        );
+    }
+
+    #[test]
+    fn partition_groups_and_ranges() {
+        assert_eq!(
+            parse("partition", "0-6/7-9@30..60"),
+            FaultPlan::builder()
+                .partition(&[0, 1, 2, 3, 4, 5, 6], &[7, 8, 9], t(30), t(60))
+                .build()
+        );
+        assert_eq!(
+            parse("partition", "0,2/1,3/4@5..6"),
+            FaultPlan::builder()
+                .partition_groups(&[&[0, 2], &[1, 3], &[4]], t(5), t(6))
+                .build()
+        );
+    }
+
+    #[test]
+    fn loss_rates_and_links() {
+        assert_eq!(
+            parse("loss", "5%@10..40"),
+            FaultPlan::builder().loss(0.05, t(10), t(40)).build()
+        );
+        assert_eq!(
+            parse("loss", "0.25@10..40,link=0-3"),
+            FaultPlan::builder().link_loss(0, 3, 0.25, t(10), t(40)).build()
+        );
+    }
+
+    #[test]
+    fn corrupt_slowdown_kill_retry() {
+        assert_eq!(
+            parse("corrupt", "10%@10..40"),
+            FaultPlan::builder().corrupt(0.1, t(10), t(40)).build()
+        );
+        assert_eq!(
+            parse("slowdown", "4@60"),
+            FaultPlan::builder().slowdown(t(60), 4.0).build()
+        );
+        assert_eq!(
+            parse("kill-secondary", "1@45"),
+            FaultPlan::builder().kill_secondary(1, t(45)).build()
+        );
+        assert_eq!(
+            parse("retry", "5x100/2000"),
+            FaultPlan::builder()
+                .retry(RetryPolicy {
+                    attempts: 5,
+                    backoff: SimDuration::from_millis(100),
+                    timeout: SimDuration::from_millis(2000),
+                })
+                .build()
+        );
+    }
+
+    #[test]
+    fn malformed_directives_are_rejected() {
+        for (key, value) in [
+            ("crash", "4"),
+            ("crash", "x@30"),
+            ("partition", "0-4@30..60"),
+            ("partition", "0-4/5-9@60..30"),
+            ("loss", "150%@10..40"),
+            ("loss", "0.1@10..40,port=3"),
+            ("corrupt", "-0.5@10..40"),
+            ("slowdown", "4"),
+            ("retry", "0x100/2000"),
+            ("warp", "1@2"),
+        ] {
+            let err = apply_directive(FaultPlan::builder(), key, value)
+                .map(|_| ())
+                .expect_err(&format!("{key}: {value} should fail"));
+            assert!(!err.is_empty());
+        }
+    }
+}

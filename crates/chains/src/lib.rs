@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod chain;
+pub mod chaos;
 pub mod exec;
 pub mod faults;
 pub mod fees;
@@ -44,7 +45,7 @@ pub mod tx;
 pub use chain::Chain;
 pub use exec::{Concurrency, ExecMode, ExecutionEngine};
 pub use parallel::{plan_stats, ParallelExecutor, PlanStats};
-pub use faults::FaultPlan;
+pub use faults::{FaultPlan, FaultPlanBuilder, FaultTimeline, RetryPolicy};
 pub use fees::FeeMarket;
 pub use harness::{ChainHarness, HarnessOptions, PlannedTx};
 pub use mempool::{AdmitError, Mempool, MempoolPolicy};

@@ -24,6 +24,9 @@ pub enum TxStatus {
     DroppedExpired,
     /// Included in a block but the execution failed (revert, budget).
     Failed,
+    /// Rejected at submission (e.g. corrupted on the wire) and
+    /// abandoned after the client's retry policy ran out.
+    Rejected,
 }
 
 /// One transaction's lifecycle timestamps.

@@ -26,7 +26,7 @@ use diablo_workloads::Workload;
 
 use crate::chain::Chain;
 use crate::exec::{Concurrency, ExecMode, ExecutionEngine};
-use crate::faults::FaultPlan;
+use crate::faults::{FaultPlan, FaultTimeline};
 use crate::fees::FeeMarket;
 use crate::harness::{ChainHarness, HarnessOptions, PlannedTx};
 use crate::mempool::{AdmitError, Mempool};
@@ -267,6 +267,12 @@ pub struct ChainSim {
     deadline: SimTime,
     /// Injected faults.
     faults: FaultPlan,
+    /// The fault plan compiled against this deployment (sorted event
+    /// timeline; all per-tick queries are O(log faults)).
+    timeline: FaultTimeline,
+    /// Delay multiplier from message loss in the current round
+    /// (retransmissions); reset at every proposal.
+    round_stretch: f64,
 }
 
 impl ChainSim {
@@ -343,11 +349,15 @@ impl ChainSim {
             workload_end,
             deadline,
             faults: FaultPlan::none(),
+            timeline: FaultTimeline::empty(),
+            round_stretch: 1.0,
         }
     }
 
-    /// Attaches an injected-fault schedule.
+    /// Attaches an injected-fault schedule (compiled once against the
+    /// deployment's node count).
     pub(crate) fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.timeline = faults.compile(self.qmodel.node_count());
         self.faults = faults;
         self
     }
@@ -377,15 +387,64 @@ impl ChainSim {
             self.records.push(TxRecord::submitted_at(planned.at));
             // The collocated Secondary submits to its nearest node; the
             // transaction must gossip to the proposers before inclusion.
-            let site = (id as usize) % nodes;
-            let gossip = SimDuration::from_secs_f64(self.site_gossip_secs[site]);
+            let mut site = (id as usize) % nodes;
+            let mut submit_at = planned.at;
+            if !self.timeline.is_empty() {
+                // Corrupted submissions are rejected by the node; the
+                // client retries with exponential backoff until its
+                // policy runs out, then reports the transaction
+                // rejected.
+                match self.resolve_submission(planned.at) {
+                    Some(at) => submit_at = at,
+                    None => {
+                        let rec = &mut self.records[id as usize];
+                        rec.status = TxStatus::Rejected;
+                        rec.decided = Some(planned.at + self.faults.retry_policy().timeout);
+                        continue;
+                    }
+                }
+                // A crashed submission node refuses connections: the
+                // client deterministically fails over to the next live
+                // node.
+                if self.timeline.is_crashed(site, submit_at) {
+                    for off in 1..nodes {
+                        let alt = (site + off) % nodes;
+                        if !self.timeline.is_crashed(alt, submit_at) {
+                            diablo_telemetry::counter!("client.submit.rerouted");
+                            site = alt;
+                            break;
+                        }
+                    }
+                }
+            }
+            let mut gossip = SimDuration::from_secs_f64(self.site_gossip_secs[site]);
+            if !self.timeline.is_empty() {
+                // Lost gossip messages are retransmitted: the expected
+                // propagation time stretches by 1/(1-loss).
+                let loss = self.timeline.loss_rate(submit_at, site);
+                if loss > 0.0 {
+                    gossip = SimDuration::from_secs_f64(gossip.as_secs_f64() / (1.0 - loss));
+                }
+            }
             diablo_telemetry::record_duration!("net.submit.gossip_us", gossip);
+            let mut available = submit_at + gossip;
+            if !self.timeline.is_empty() {
+                // A transaction entering a non-committing partition
+                // component only reaches the proposers after the heal.
+                if let Some(p) = self.timeline.partition_at(available) {
+                    let comp = p.component.get(site).copied().unwrap_or(0);
+                    if comp != p.committing {
+                        available = available.max(p.until);
+                        diablo_telemetry::counter!("net.partition.deferred");
+                    }
+                }
+            }
             let tx = TxMeta {
                 id,
                 sender: planned.sender % self.params.accounts.max(1),
                 payload: planned.payload,
                 submitted: planned.at,
-                available: planned.at + gossip,
+                available,
                 wire_bytes: self.wire_estimate,
                 fee_cap_millis: self.fee.sign_fee_cap_millis(),
             };
@@ -407,6 +466,32 @@ impl ChainSim {
                 }
             }
         }
+    }
+
+    /// Resolves one submission against the corruption faults and the
+    /// client retry policy: returns the instant of the first accepted
+    /// attempt, or `None` when every attempt within the policy's
+    /// timeout window was corrupted and rejected.
+    fn resolve_submission(&mut self, planned_at: SimTime) -> Option<SimTime> {
+        let policy = self.faults.retry_policy();
+        let deadline = planned_at + policy.timeout;
+        let mut attempt_at = planned_at;
+        let mut backoff = policy.backoff;
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 && attempt_at > deadline {
+                break;
+            }
+            let rate = self.timeline.corruption_rate(attempt_at);
+            if rate > 0.0 && self.rng.chance(rate) {
+                diablo_telemetry::counter!("client.submit.corrupted");
+                attempt_at = attempt_at + backoff;
+                backoff = backoff * 2;
+                continue;
+            }
+            return Some(attempt_at);
+        }
+        diablo_telemetry::counter!("client.submit.rejected");
+        None
     }
 
     /// Effective per-block transaction capacity after gas limits and
@@ -446,9 +531,10 @@ impl ChainSim {
         d
     }
 
-    /// Scales a consensus delay by the injected network slowdown.
+    /// Scales a consensus delay by the injected network slowdown and
+    /// the current round's retransmission stretch.
     fn impaired(&self, d: SimDuration, now: SimTime) -> SimDuration {
-        let f = self.faults.delay_factor(now);
+        let f = self.timeline.delay_factor(now) * self.round_stretch;
         if f == 1.0 {
             d
         } else {
@@ -501,53 +587,11 @@ impl ChainSim {
         let leader = self.proposer % n;
         self.proposer = (self.proposer + 1) % n;
 
-        // Injected faults: a chain needing a quorum cannot commit once
-        // more than f nodes are down; a crashed leader wastes its round.
-        if !self.faults.is_empty() {
-            let crashed = self.faults.crashed_count(now);
-            let f = (n.saturating_sub(1)) / 3;
-            let quorum_lost = crashed > f
-                && matches!(
-                    self.params.consensus,
-                    ConsensusKind::Ibft { .. }
-                        | ConsensusKind::HotStuff { .. }
-                        | ConsensusKind::AlgorandBa { .. }
-                        | ConsensusKind::LeaderlessDbft { .. }
-                );
-            if quorum_lost {
-                // No quorum: the chain stalls; probe again shortly.
-                diablo_telemetry::counter!("consensus.stalls.no_quorum");
-                return SimDuration::from_millis(1_000);
-            }
-            if self.faults.is_crashed(leader, now) {
-                // The leader is down: the round is wasted on a timeout
-                // (view change, skipped slot, failed sortition round).
-                diablo_telemetry::counter!("consensus.rounds.leader_crashed");
-                return match self.params.consensus {
-                    ConsensusKind::HotStuff {
-                        pacemaker_base,
-                        pacemaker_cap,
-                        ..
-                    } => {
-                        let wasted = self.pacemaker.max(pacemaker_base);
-                        self.pacemaker = (self.pacemaker * 2).min(pacemaker_cap);
-                        wasted
-                    }
-                    ConsensusKind::Ibft { min_period, .. } => min_period * 3,
-                    ConsensusKind::Clique { period } => {
-                        self.commit_empty(now + period);
-                        period
-                    }
-                    ConsensusKind::AlgorandBa { round_base, .. } => round_base,
-                    ConsensusKind::AvalancheSnow { period_loaded, .. } => period_loaded,
-                    // Leaderless: a crashed node merely contributes no
-                    // proposal; the round proceeds without it.
-                    ConsensusKind::LeaderlessDbft { min_period, .. } => min_period,
-                    ConsensusKind::TowerBft { slot, .. } => {
-                        self.commit_empty(now + slot);
-                        slot
-                    }
-                };
+        // Injected faults: quorum loss, partitions, crashed leaders and
+        // lost messages can consume the round before consensus starts.
+        if !self.timeline.is_empty() {
+            if let Some(wasted) = self.fault_round(now, leader, n) {
+                return wasted;
             }
         }
 
@@ -708,6 +752,141 @@ impl ChainSim {
                 diablo_telemetry::record_duration!("consensus.tower_bft.round_us", slot + exec);
                 let commit = now + slot + exec;
                 self.commit_block(now, commit);
+                slot
+            }
+        }
+    }
+
+    /// Checks the fault timeline before a consensus round: returns the
+    /// length of a consumed round (stall probe, wasted view change)
+    /// when a fault prevents this proposal, `None` when the round may
+    /// proceed. Sets `round_stretch` for retransmission delays in the
+    /// proceeding case.
+    fn fault_round(&mut self, now: SimTime, leader: usize, n: usize) -> Option<SimDuration> {
+        self.round_stretch = 1.0;
+        let f = (n.saturating_sub(1)) / 3;
+        let quorum = 2 * f + 1;
+        let needs_quorum = matches!(
+            self.params.consensus,
+            ConsensusKind::Ibft { .. }
+                | ConsensusKind::HotStuff { .. }
+                | ConsensusKind::AlgorandBa { .. }
+                | ConsensusKind::LeaderlessDbft { .. }
+        );
+        // More than f nodes down: a chain needing a quorum of 2f+1
+        // cannot commit until enough nodes recover and catch up.
+        if needs_quorum && self.timeline.crashed_count(now) > f {
+            diablo_telemetry::counter!("consensus.stalls.no_quorum");
+            return Some(SimDuration::from_millis(1_000));
+        }
+        // Partitions: only the largest component keeps committing, and
+        // only if it still holds whatever the protocol needs.
+        if let Some(p) = self.timeline.partition_at(now) {
+            let leader_component = p.component.get(leader).copied().unwrap_or(0);
+            let committing = p.committing;
+            let live = p.committing_size();
+            if leader_component != committing {
+                // The proposer is cut off from the majority side: its
+                // round times out like a crashed leader's.
+                diablo_telemetry::counter!("consensus.rounds.leader_partitioned");
+                return Some(self.wasted_round(now));
+            }
+            match self.params.consensus {
+                // Deterministic BFT: the majority side still needs a
+                // 2f+1 quorum (counted over the full node set).
+                ConsensusKind::Ibft { .. }
+                | ConsensusKind::HotStuff { .. }
+                | ConsensusKind::LeaderlessDbft { .. }
+                | ConsensusKind::TowerBft { .. }
+                    if live < quorum =>
+                {
+                    diablo_telemetry::counter!("consensus.stalls.partition");
+                    return Some(SimDuration::from_millis(1_000));
+                }
+                // Clique PoA: each signer may only sign every
+                // floor(n/2)+1 blocks, so a half-or-smaller component
+                // cannot extend the chain.
+                ConsensusKind::Clique { .. } if live * 2 <= n => {
+                    diablo_telemetry::counter!("consensus.stalls.partition");
+                    return Some(SimDuration::from_millis(1_000));
+                }
+                // BA★ sortition: below half the stake the protocol
+                // stalls; above it, rounds whose selected proposers
+                // fall in a minority component fail probabilistically
+                // and gossip slows with the missing relays.
+                ConsensusKind::AlgorandBa { .. } => {
+                    if live * 2 <= n {
+                        diablo_telemetry::counter!("consensus.stalls.partition");
+                        return Some(SimDuration::from_millis(1_000));
+                    }
+                    let minority = 1.0 - live as f64 / n as f64;
+                    if self.rng.chance(minority) {
+                        diablo_telemetry::counter!("consensus.rounds.partition_degraded");
+                        return Some(self.wasted_round(now));
+                    }
+                    self.round_stretch = n as f64 / live as f64;
+                }
+                // Snow sampling: queries into the unreachable component
+                // time out, so confidence builds more slowly; sampled
+                // rounds occasionally fail outright.
+                ConsensusKind::AvalancheSnow { .. } => {
+                    let minority = 1.0 - live as f64 / n as f64;
+                    if self.rng.chance(minority) {
+                        diablo_telemetry::counter!("consensus.rounds.partition_degraded");
+                        return Some(self.wasted_round(now));
+                    }
+                    let stretch = n as f64 / live as f64;
+                    self.round_stretch = stretch * stretch;
+                }
+                _ => {}
+            }
+        }
+        // A crashed (or still catching-up) leader wastes its round on a
+        // timeout: view change, skipped slot, failed sortition round.
+        if self.timeline.is_crashed(leader, now) {
+            diablo_telemetry::counter!("consensus.rounds.leader_crashed");
+            return Some(self.wasted_round(now));
+        }
+        // Message loss: a lost proposal or vote consumes the round with
+        // a retransmission timeout; surviving rounds stretch by the
+        // expected number of retransmissions.
+        let loss = self.timeline.loss_rate(now, leader);
+        if loss > 0.0 {
+            if self.rng.chance(loss) {
+                diablo_telemetry::counter!("consensus.rounds.msg_lost");
+                return Some(self.wasted_round(now));
+            }
+            self.round_stretch *= 1.0 / (1.0 - loss);
+        }
+        None
+    }
+
+    /// The cost of a round consumed by a fault, per protocol: HotStuff
+    /// backs its pacemaker off, IBFT runs a view change, Clique and
+    /// TowerBFT advance an empty slot, BA★ burns a sortition round.
+    fn wasted_round(&mut self, now: SimTime) -> SimDuration {
+        match self.params.consensus {
+            ConsensusKind::HotStuff {
+                pacemaker_base,
+                pacemaker_cap,
+                ..
+            } => {
+                let wasted = self.pacemaker.max(pacemaker_base);
+                self.pacemaker = (self.pacemaker * 2).min(pacemaker_cap);
+                wasted
+            }
+            ConsensusKind::Ibft { min_period, .. } => min_period * 3,
+            ConsensusKind::Clique { period } => {
+                self.commit_empty(now + period);
+                period
+            }
+            ConsensusKind::AlgorandBa { round_base, .. } => round_base,
+            ConsensusKind::AvalancheSnow { period_loaded, .. } => period_loaded,
+            // Leaderless: a dead node merely contributes no proposal;
+            // the round proceeds without it after the batch timeout.
+            ConsensusKind::LeaderlessDbft { min_period, .. } => min_period,
+            ConsensusKind::TowerBft { slot, .. } => {
+                self.commit_empty(now + slot);
                 slot
             }
         }

@@ -92,6 +92,114 @@ impl Encoded {
     }
 }
 
+/// Why a [`Connector`] call failed.
+///
+/// Typed so callers — most importantly retry logic — can match on the
+/// error class instead of parsing strings: [`ConnectorError::is_transient`]
+/// distinguishes failures worth retrying (a node shedding load, a
+/// mangled submission) from specification errors that no retry fixes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConnectorError {
+    /// A [`ClientId`] that no [`Connector::create_client`] call of this
+    /// connector produced.
+    UnknownClient {
+        /// The offending client id.
+        client: u32,
+    },
+    /// A contract name the suite does not know at all.
+    UnknownContract {
+        /// The spec name.
+        name: String,
+    },
+    /// A known contract that was never deployed via
+    /// [`Connector::create_resource`].
+    NotDeployed {
+        /// The spec name.
+        name: String,
+    },
+    /// The deployed contract has no entry with this name.
+    UnknownFunction {
+        /// The contract's spec name.
+        contract: String,
+        /// The missing function.
+        function: String,
+    },
+    /// More call arguments than the ABI supports.
+    TooManyArguments {
+        /// The function called.
+        function: String,
+        /// Arguments given.
+        given: usize,
+        /// Arguments supported.
+        max: usize,
+    },
+    /// A call argument outside the ABI's representable range.
+    ArgumentOutOfRange {
+        /// The function called.
+        function: String,
+        /// The offending value.
+        value: i64,
+    },
+    /// A resource declaration that provisions nothing.
+    EmptyResource {
+        /// What was declared empty.
+        what: String,
+    },
+    /// The endpoint is shedding load (full queue, rate limit); the
+    /// submission may succeed later.
+    ResourceExhausted {
+        /// Which resource ran out.
+        what: String,
+    },
+    /// The endpoint rejected the submission outright (corrupted
+    /// payload, failed prevalidation).
+    Rejected {
+        /// The node's stated reason.
+        reason: String,
+    },
+}
+
+impl ConnectorError {
+    /// Whether retrying the same call later could succeed: true only
+    /// for load-dependent failures, never for specification errors.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ConnectorError::ResourceExhausted { .. } | ConnectorError::Rejected { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for ConnectorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnectorError::UnknownClient { client } => write!(f, "unknown client {client}"),
+            ConnectorError::UnknownContract { name } => write!(f, "unknown contract `{name}`"),
+            ConnectorError::NotDeployed { name } => write!(f, "contract `{name}` not deployed"),
+            ConnectorError::UnknownFunction { contract, function } => {
+                write!(f, "contract `{contract}` has no function `{function}`")
+            }
+            ConnectorError::TooManyArguments {
+                function,
+                given,
+                max,
+            } => write!(
+                f,
+                "function `{function}` called with {given} arguments (max {max})"
+            ),
+            ConnectorError::ArgumentOutOfRange { function, value } => {
+                write!(f, "argument {value} out of range for `{function}`")
+            }
+            ConnectorError::EmptyResource { what } => write!(f, "{what} must be non-empty"),
+            ConnectorError::ResourceExhausted { what } => write!(f, "{what} exhausted"),
+            ConnectorError::Rejected { reason } => write!(f, "submission rejected: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectorError {}
+
 /// The four-function blockchain abstraction.
 pub trait Connector {
     /// The adapter/chain name.
@@ -99,18 +207,19 @@ pub trait Connector {
 
     /// Creates a client that submits through the endpoints matching the
     /// `view` patterns (function 1).
-    fn create_client(&mut self, view: &[String]) -> Result<ClientId, String>;
+    fn create_client(&mut self, view: &[String]) -> Result<ClientId, ConnectorError>;
 
     /// Provisions a resource: funds accounts or deploys a contract
     /// (function 2).
-    fn create_resource(&mut self, resource: &ResourceSpec) -> Result<(), String>;
+    fn create_resource(&mut self, resource: &ResourceSpec) -> Result<(), ConnectorError>;
 
     /// Encodes (presigns) one interaction for submission at `at`
     /// (function 3).
-    fn encode(&mut self, interaction: &Interaction, at: SimTime) -> Result<Encoded, String>;
+    fn encode(&mut self, interaction: &Interaction, at: SimTime)
+        -> Result<Encoded, ConnectorError>;
 
     /// Schedules an encoded interaction on a client (function 4).
-    fn trigger(&mut self, client: ClientId, encoded: Encoded) -> Result<(), String>;
+    fn trigger(&mut self, client: ClientId, encoded: Encoded) -> Result<(), ConnectorError>;
 }
 
 /// Connector state shared by all simulated chains: tracks declared
@@ -179,7 +288,7 @@ impl Connector for SimConnector {
         &self.name
     }
 
-    fn create_client(&mut self, _view: &[String]) -> Result<ClientId, String> {
+    fn create_client(&mut self, _view: &[String]) -> Result<ClientId, ConnectorError> {
         // Every simulated node serves every view pattern; the pattern
         // restricts placement, which the simulator derives from the
         // deployment configuration.
@@ -187,17 +296,21 @@ impl Connector for SimConnector {
         Ok(ClientId(self.plans.len() as u32 - 1))
     }
 
-    fn create_resource(&mut self, resource: &ResourceSpec) -> Result<(), String> {
+    fn create_resource(&mut self, resource: &ResourceSpec) -> Result<(), ConnectorError> {
         match resource {
             ResourceSpec::Accounts { number } => {
                 if *number == 0 {
-                    return Err("account pool must be non-empty".to_string());
+                    return Err(ConnectorError::EmptyResource {
+                        what: "account pool".to_string(),
+                    });
                 }
                 self.accounts = self.accounts.max(*number);
                 Ok(())
             }
             ResourceSpec::Contract { name } => {
-                let dapp = DApp::parse(name).ok_or_else(|| format!("unknown contract `{name}`"))?;
+                let dapp = DApp::parse(name).ok_or_else(|| ConnectorError::UnknownContract {
+                    name: name.clone(),
+                })?;
                 if self.contract(name).is_none() {
                     self.contracts.push((name.clone(), dapp));
                 }
@@ -206,7 +319,11 @@ impl Connector for SimConnector {
         }
     }
 
-    fn encode(&mut self, interaction: &Interaction, at: SimTime) -> Result<Encoded, String> {
+    fn encode(
+        &mut self,
+        interaction: &Interaction,
+        at: SimTime,
+    ) -> Result<Encoded, ConnectorError> {
         let planned = match interaction {
             Interaction::Transfer { from, .. } => PlannedTx {
                 at,
@@ -219,28 +336,36 @@ impl Connector for SimConnector {
                 function,
                 args,
             } => {
-                let dapp = self
-                    .contract(contract)
-                    .ok_or_else(|| format!("contract `{contract}` not deployed"))?;
+                let dapp =
+                    self.contract(contract)
+                        .ok_or_else(|| ConnectorError::NotDeployed {
+                            name: contract.clone(),
+                        })?;
                 // Resolve the spec's function string to an entry index;
                 // an empty function string means the default rotation.
                 let call = if function.is_empty() {
                     None
                 } else {
-                    let entry =
-                        diablo_contracts::calls::entry_index(dapp, function).ok_or_else(|| {
-                            format!("contract `{contract}` has no function `{function}`")
-                        })?;
+                    let entry = diablo_contracts::calls::entry_index(dapp, function).ok_or_else(
+                        || ConnectorError::UnknownFunction {
+                            contract: contract.clone(),
+                            function: function.clone(),
+                        },
+                    )?;
                     if args.len() > 2 {
-                        return Err(format!(
-                            "function `{function}` called with {} arguments (max 2)",
-                            args.len()
-                        ));
+                        return Err(ConnectorError::TooManyArguments {
+                            function: function.clone(),
+                            given: args.len(),
+                            max: 2,
+                        });
                     }
                     let mut packed = [0i32; 2];
                     for (slot, &a) in packed.iter_mut().zip(args.iter()) {
-                        *slot = i32::try_from(a)
-                            .map_err(|_| format!("argument {a} out of range for `{function}`"))?;
+                        *slot =
+                            i32::try_from(a).map_err(|_| ConnectorError::ArgumentOutOfRange {
+                                function: function.clone(),
+                                value: a,
+                            })?;
                     }
                     Some(CallSel {
                         entry,
@@ -260,11 +385,11 @@ impl Connector for SimConnector {
         Ok(Encoded { planned })
     }
 
-    fn trigger(&mut self, client: ClientId, encoded: Encoded) -> Result<(), String> {
+    fn trigger(&mut self, client: ClientId, encoded: Encoded) -> Result<(), ConnectorError> {
         let plan = self
             .plans
             .get_mut(client.0 as usize)
-            .ok_or_else(|| format!("unknown client {}", client.0))?;
+            .ok_or(ConnectorError::UnknownClient { client: client.0 })?;
         plan.push(encoded.planned);
         Ok(())
     }
@@ -313,7 +438,14 @@ mod tests {
                 name: "ponzi".into(),
             })
             .unwrap_err();
-        assert!(err.contains("unknown contract"));
+        assert_eq!(
+            err,
+            ConnectorError::UnknownContract {
+                name: "ponzi".into()
+            }
+        );
+        assert!(err.to_string().contains("unknown contract"));
+        assert!(!err.is_transient(), "a spec error is never retryable");
         let i = Interaction::Invoke {
             from: 0,
             contract: "dota".into(),
@@ -321,7 +453,24 @@ mod tests {
             args: vec![],
         };
         let err = c.encode(&i, SimTime::ZERO).unwrap_err();
-        assert!(err.contains("not deployed"));
+        assert_eq!(
+            err,
+            ConnectorError::NotDeployed {
+                name: "dota".into()
+            }
+        );
+    }
+
+    #[test]
+    fn connector_error_is_a_std_error() {
+        let err: Box<dyn std::error::Error> = Box::new(ConnectorError::Rejected {
+            reason: "corrupted payload".into(),
+        });
+        assert!(err.to_string().contains("corrupted payload"));
+        let transient = ConnectorError::ResourceExhausted {
+            what: "mempool".into(),
+        };
+        assert!(transient.is_transient());
     }
 
     #[test]
@@ -356,6 +505,9 @@ mod tests {
                 SimTime::ZERO,
             )
             .unwrap();
-        assert!(c.trigger(ClientId(7), e).is_err());
+        assert_eq!(
+            c.trigger(ClientId(7), e),
+            Err(ConnectorError::UnknownClient { client: 7 })
+        );
     }
 }

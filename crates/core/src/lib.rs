@@ -39,7 +39,8 @@ pub mod wire;
 pub mod yaml;
 
 pub use abstraction::{
-    ClientId, Connector, Encoded, Interaction, InteractionEvent, ResourceSpec, SimConnector,
+    ClientId, Connector, ConnectorError, Encoded, Interaction, InteractionEvent, ResourceSpec,
+    SimConnector,
 };
 pub use bytebuf::{ByteBuf, ByteReader};
 pub use primary::{run_local, BenchmarkOptions};

@@ -41,6 +41,7 @@ pub fn status_name(status: TxStatus) -> &'static str {
         TxStatus::DroppedPerSender => "dropped-per-sender",
         TxStatus::DroppedExpired => "dropped-expired",
         TxStatus::Failed => "aborted",
+        TxStatus::Rejected => "rejected",
     }
 }
 

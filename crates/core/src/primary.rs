@@ -32,6 +32,9 @@ pub struct BenchmarkOptions {
     pub grace_secs: u64,
     /// Number of Secondaries to dispatch across.
     pub secondaries: usize,
+    /// Faults injected on top of the spec's own `fault:` section (the
+    /// CLI's chaos flags land here; merged with the spec's plan).
+    pub faults: diablo_chains::FaultPlan,
 }
 
 impl Default for BenchmarkOptions {
@@ -42,8 +45,30 @@ impl Default for BenchmarkOptions {
             concurrency: Concurrency::Serial,
             grace_secs: 60,
             secondaries: 2,
+            faults: diablo_chains::FaultPlan::none(),
         }
     }
+}
+
+/// Drops from `plan` every transaction a killed Secondary would have
+/// submitted from its death on: Secondary `si` owns the client range
+/// `ranges[si]`, and a dead worker submits nothing after its kill
+/// instant. Returns the indices of the Secondaries that die.
+pub(crate) fn apply_secondary_kills(
+    faults: &diablo_chains::FaultPlan,
+    ranges: &[(u32, u32)],
+    plans: &mut [Vec<PlannedTx>],
+) -> Vec<usize> {
+    let mut lost = Vec::new();
+    for (si, plan) in plans.iter_mut().enumerate().take(ranges.len()) {
+        if let Some(at) = faults.kill_of_secondary(si) {
+            let before = plan.len();
+            plan.retain(|tx| tx.at < at);
+            diablo_telemetry::counter!("secondary.killed_txs", (before - plan.len()) as u64);
+            lost.push(si);
+        }
+    }
+    lost
 }
 
 /// Splits `clients` into exactly `parts` contiguous ranges.
@@ -104,7 +129,7 @@ pub fn run_with_setup(
     // Validate resources once on a scratch connector; this also resolves
     // the DApp the simulated backend will deploy.
     let mut scratch = adapters::connector(chain);
-    declare_resources(&spec, &mut scratch)?;
+    declare_resources(&spec, &mut scratch).map_err(|e| e.to_string())?;
     let dapp = scratch.sole_dapp();
     if dapp.is_none() && scratch.contract_count() > 1 {
         return Err("the simulated backend deploys one DApp per benchmark".to_string());
@@ -119,8 +144,8 @@ pub fn run_with_setup(
                 let spec = &spec;
                 scope.spawn(move || {
                     let mut conn = adapters::connector(chain);
-                    declare_resources(spec, &mut conn)?;
-                    plan_range(spec, range, &mut conn)?;
+                    declare_resources(spec, &mut conn).map_err(|e| e.to_string())?;
+                    plan_range(spec, range, &mut conn).map_err(|e| e.to_string())?;
                     Ok(conn.take_plan())
                 })
             })
@@ -130,10 +155,14 @@ pub fn run_with_setup(
             .map(|h| h.join().expect("planner thread panicked"))
             .collect()
     });
-    let mut merged: Vec<PlannedTx> = Vec::new();
-    for plan in plans {
-        merged.extend(plan?);
-    }
+    let mut plans: Vec<Vec<PlannedTx>> = plans.into_iter().collect::<Result<_, _>>()?;
+
+    // The effective fault schedule: the spec's own `fault:` section
+    // plus whatever the invocation added (CLI chaos flags).
+    let faults = spec.fault.clone().merged(options.faults.clone());
+    let lost_secondaries = apply_secondary_kills(&faults, &ranges, &mut plans);
+
+    let mut merged: Vec<PlannedTx> = plans.into_iter().flatten().collect();
     merged.sort_by_key(|t| t.at);
 
     let harness_options = HarnessOptions {
@@ -142,7 +171,7 @@ pub fn run_with_setup(
         concurrency: options.concurrency,
         grace_secs: options.grace_secs,
         params: None,
-        faults: diablo_chains::FaultPlan::none(),
+        faults: faults.clone(),
     };
     let secondaries = ranges.len();
     let result = match ChainHarness::with_config(chain, setup.config.clone(), dapp, harness_options)
@@ -160,6 +189,8 @@ pub fn run_with_setup(
         secondaries,
         clients,
         telemetry: diablo_telemetry::snapshot(),
+        faults,
+        lost_secondaries,
     })
 }
 

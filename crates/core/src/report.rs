@@ -2,8 +2,8 @@
 
 use std::fmt::Write as _;
 
-use diablo_chains::{RunResult, TxStatus};
-use diablo_sim::Summary;
+use diablo_chains::{FaultPlan, RunResult, TxStatus};
+use diablo_sim::{SimTime, Summary};
 use diablo_telemetry::TelemetrySnapshot;
 
 /// The aggregated outcome of one benchmark run.
@@ -19,6 +19,14 @@ pub struct Report {
     /// recorder plus every Secondary's (empty when telemetry is
     /// compiled out).
     pub telemetry: TelemetrySnapshot,
+    /// The effective fault schedule of the run (spec `fault:` section
+    /// merged with the invocation's chaos flags); empty when the run
+    /// was fault-free.
+    pub faults: FaultPlan,
+    /// Indices of Secondaries that died mid-benchmark (their plans were
+    /// truncated, or — in distributed mode — their results never
+    /// arrived and the aggregation is partial).
+    pub lost_secondaries: Vec<usize>,
 }
 
 /// The pipeline phase a telemetry metric belongs to, by name prefix;
@@ -63,6 +71,7 @@ impl Report {
             + r.count_status(TxStatus::DroppedPerSender)
             + r.count_status(TxStatus::DroppedExpired);
         let failed = r.count_status(TxStatus::Failed);
+        let rejected = r.count_status(TxStatus::Rejected);
         let pending = r.count_status(TxStatus::Pending);
         let mut latencies = Summary::new();
         for rec in &r.records {
@@ -74,7 +83,7 @@ impl Report {
         let mut out = format!(
             "benchmark {} on {} ({} secondaries, {} clients)\n\
              {sent} transactions sent, {committed} committed, {dropped} dropped, \
-             {failed} aborted, {pending} pending\n\
+             {failed} aborted, {rejected} rejected, {pending} pending\n\
              average load: {:.1} tx/s\n\
              average throughput: {:.1} tx/s\n\
              average latency: {:.1} s, median latency: {:.1} s\n\
@@ -90,7 +99,81 @@ impl Report {
             tail.p95(),
             tail.p99(),
         );
+        out.push_str(&self.fault_summary());
         out.push_str(&self.phase_breakdown());
+        out
+    }
+
+    /// The fault-period vs healthy-period latency split printed under
+    /// `--stat` when the run injected faults: committed transactions
+    /// are bucketed by whether their submission instant fell inside any
+    /// active fault window ([`FaultPlan::active_windows`]). Empty for
+    /// fault-free runs with no lost Secondaries.
+    pub fn fault_summary(&self) -> String {
+        let mut out = String::new();
+        if !self.lost_secondaries.is_empty() {
+            let ids: Vec<String> = self
+                .lost_secondaries
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let _ = writeln!(
+                out,
+                "warning: secondaries [{}] died mid-benchmark; results are partial",
+                ids.join(", ")
+            );
+        }
+        if self.faults.is_empty() {
+            return out;
+        }
+        let r = &self.result;
+        // The horizon closes every open-ended window (permanent crash,
+        // slowdown) at the end of the observed run.
+        let mut horizon = SimTime::from_millis((r.workload_secs * 1000.0) as u64);
+        for rec in &r.records {
+            horizon = horizon.max(rec.submitted);
+            if let Some(d) = rec.decided {
+                horizon = horizon.max(d);
+            }
+        }
+        let windows = self.faults.active_windows(horizon);
+        let fault_secs: f64 = windows
+            .iter()
+            .map(|&(from, until)| until.as_secs_f64() - from.as_secs_f64())
+            .sum();
+        let in_fault =
+            |t: SimTime| windows.iter().any(|&(from, until)| t >= from && t < until);
+        let mut faulty = Summary::new();
+        let mut healthy = Summary::new();
+        for rec in &r.records {
+            if let Some(l) = rec.latency_secs() {
+                if in_fault(rec.submitted) {
+                    faulty.record(l);
+                } else {
+                    healthy.record(l);
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "fault windows: {} spanning {:.1} s",
+            windows.len(),
+            fault_secs
+        );
+        let _ = writeln!(
+            out,
+            "fault-period latency: avg {:.2} s, p95 {:.2} s ({} committed)",
+            faulty.mean(),
+            faulty.percentiles().p95(),
+            faulty.count()
+        );
+        let _ = writeln!(
+            out,
+            "healthy-period latency: avg {:.2} s, p95 {:.2} s ({} committed)",
+            healthy.mean(),
+            healthy.percentiles().p95(),
+            healthy.count()
+        );
         out
     }
 
@@ -172,6 +255,8 @@ mod tests {
             secondaries: 2,
             clients: 4,
             telemetry: TelemetrySnapshot::default(),
+            faults: FaultPlan::none(),
+            lost_secondaries: Vec::new(),
         }
     }
 
@@ -231,8 +316,38 @@ mod tests {
             secondaries: 1,
             clients: 1,
             telemetry: TelemetrySnapshot::default(),
+            faults: FaultPlan::none(),
+            lost_secondaries: Vec::new(),
         };
         assert!(!r.able());
         assert!(r.stats_text().contains("budget exceeded"));
+    }
+
+    #[test]
+    fn fault_summary_splits_latency_by_window() {
+        let mut r = report();
+        // One fault window 0..10 s; the report's records submit at 1 s,
+        // so every committed transaction lands in the faulty bucket.
+        r.faults = FaultPlan::builder()
+            .partition(&[0, 1], &[2, 3], SimTime::from_secs(0), SimTime::from_secs(10))
+            .build();
+        let text = r.stats_text();
+        assert!(text.contains("fault windows: 1 spanning 10.0 s"), "{text}");
+        assert!(text.contains("fault-period latency: avg 3.00 s"), "{text}");
+        assert!(text.contains("(1 committed)"), "{text}");
+        assert!(text.contains("healthy-period latency"), "{text}");
+        // Fault-free reports print no fault section at all.
+        assert!(!report().stats_text().contains("fault windows"));
+    }
+
+    #[test]
+    fn lost_secondaries_are_called_out() {
+        let mut r = report();
+        r.lost_secondaries = vec![1, 3];
+        let text = r.stats_text();
+        assert!(
+            text.contains("secondaries [1, 3] died mid-benchmark"),
+            "{text}"
+        );
     }
 }

@@ -8,7 +8,7 @@
 
 use diablo_sim::{SimDuration, SimTime};
 
-use crate::abstraction::{Connector, Interaction, ResourceSpec};
+use crate::abstraction::{Connector, ConnectorError, Interaction, ResourceSpec};
 use crate::spec::{BenchmarkSpec, InteractionSpec, WorkloadGroup};
 
 /// Submission tick used when expanding load curves, matching the
@@ -42,7 +42,7 @@ fn locate_client(spec: &BenchmarkSpec, global: u32) -> Option<(&WorkloadGroup, u
 pub fn declare_resources(
     spec: &BenchmarkSpec,
     connector: &mut dyn Connector,
-) -> Result<(), String> {
+) -> Result<(), ConnectorError> {
     for group in &spec.workloads {
         for behavior in &group.behaviors {
             match &behavior.interaction {
@@ -74,11 +74,11 @@ pub fn plan_range(
     spec: &BenchmarkSpec,
     range: (u32, u32),
     connector: &mut dyn Connector,
-) -> Result<PlanStats, String> {
+) -> Result<PlanStats, ConnectorError> {
     let mut stats = PlanStats::default();
     for global in range.0..range.1 {
         let (group, _) = locate_client(spec, global)
-            .ok_or_else(|| format!("client index {global} out of range"))?;
+            .ok_or(ConnectorError::UnknownClient { client: global })?;
         let client = connector.create_client(&group.view)?;
         stats.clients += 1;
         for (bi, behavior) in group.behaviors.iter().enumerate() {
@@ -193,7 +193,10 @@ mod tests {
         let spec = BenchmarkSpec::parse(PAPER_DOTA_SPEC).unwrap();
         let mut conn = SimConnector::new("test");
         declare_resources(&spec, &mut conn).unwrap();
-        assert!(plan_range(&spec, (2, 4), &mut conn).is_err());
+        assert_eq!(
+            plan_range(&spec, (2, 4), &mut conn),
+            Err(ConnectorError::UnknownClient { client: 3 })
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use std::fmt;
 
+use diablo_chains::FaultPlan;
 use diablo_workloads::Workload;
 
 use crate::yaml::{self, Value};
@@ -17,6 +18,9 @@ use crate::yaml::{self, Value};
 pub struct BenchmarkSpec {
     /// The workload groups (the `workloads:` list).
     pub workloads: Vec<WorkloadGroup>,
+    /// Faults injected during the run (the optional `fault:` section;
+    /// empty when absent).
+    pub fault: FaultPlan,
 }
 
 /// One entry of the `workloads:` list: `number` identical clients.
@@ -106,7 +110,11 @@ impl BenchmarkSpec {
         if workloads.is_empty() {
             return Err(err("`workloads` is empty"));
         }
-        Ok(BenchmarkSpec { workloads })
+        let fault = match root.get("fault") {
+            Some(section) => parse_faults(section)?,
+            None => FaultPlan::none(),
+        };
+        Ok(BenchmarkSpec { workloads, fault })
     }
 
     /// Total number of clients across all groups.
@@ -298,6 +306,41 @@ fn parse_behavior(v: &Value) -> Result<Behavior, SpecError> {
     Ok(Behavior { interaction, load })
 }
 
+/// Parses the `fault:` section: each key is a directive kind (`crash`,
+/// `partition`, `loss`, `corrupt`, `slowdown`, `kill-secondary`,
+/// `retry`), each value one directive string or a list of them (see
+/// `diablo_chains::chaos` for the grammar):
+///
+/// ```yaml
+/// fault:
+///   crash: "3@30..60"
+///   partition: "0-6/7-9@70..100"
+///   loss: [ "5%@10..40", "10%@50..60,link=0-3" ]
+///   retry: "3x500/10000"
+/// ```
+fn parse_faults(section: &Value) -> Result<FaultPlan, SpecError> {
+    let map = section
+        .as_map()
+        .ok_or_else(|| err("`fault` must map directive kinds to directives"))?;
+    let mut builder = FaultPlan::builder();
+    for (key, value) in map {
+        let directives: Vec<&str> = match value.as_list() {
+            Some(items) => items
+                .iter()
+                .map(|i| i.as_str().ok_or_else(|| err("fault directives must be strings")))
+                .collect::<Result<_, _>>()?,
+            None => vec![value
+                .as_str()
+                .ok_or_else(|| err("fault directives must be strings"))?],
+        };
+        for directive in directives {
+            builder =
+                diablo_chains::chaos::apply_directive(builder, key, directive).map_err(err)?;
+        }
+    }
+    Ok(builder.build())
+}
+
 /// Parses `"update(1, 1)"` into `("update", [1, 1])`.
 fn parse_call(call: &str) -> Result<(String, Vec<i64>), SpecError> {
     let call = call.trim();
@@ -472,6 +515,43 @@ workloads:
         assert!(BenchmarkSpec::parse("other: 1\n").is_err());
         let e = BenchmarkSpec::parse("workloads:\n  - number: 1\n").unwrap_err();
         assert!(e.0.contains("client"), "{e}");
+    }
+
+    #[test]
+    fn fault_section_parses() {
+        use diablo_sim::SimTime;
+        let text = r#"
+workloads:
+  - number: 1
+    client:
+      behavior:
+        - interaction: !transfer
+            from: { sample: !account { number: 10 } }
+          load:
+            0: 10
+            60: 0
+fault:
+  crash: "3@30..50"
+  partition: "0-6/7-9@10..20"
+  loss: [ "5%@10..40" ]
+  retry: "3x500/10000"
+"#;
+        let spec = BenchmarkSpec::parse(text).unwrap();
+        let t = SimTime::from_secs;
+        let expected = FaultPlan::builder()
+            .crash_many(3, t(30))
+            .recover_many(3, t(50))
+            .partition(&[0, 1, 2, 3, 4, 5, 6], &[7, 8, 9], t(10), t(20))
+            .loss(0.05, t(10), t(40))
+            .retry(diablo_chains::RetryPolicy::default())
+            .build();
+        assert_eq!(spec.fault, expected);
+        // Absent section means no faults.
+        assert!(BenchmarkSpec::parse(PAPER_DOTA_SPEC).unwrap().fault.is_empty());
+        // Malformed directives surface as spec errors.
+        let bad = text.replace("3@30..50", "what");
+        let e = BenchmarkSpec::parse(&bad).unwrap_err();
+        assert!(e.0.contains("fault directive"), "{e}");
     }
 
     #[test]

@@ -34,6 +34,12 @@ const MAX_FRAME: usize = 64 << 20;
 /// Transactions per `Plan`/`Outcomes` frame.
 const CHUNK: usize = 16_384;
 
+/// How long the Primary waits on a Secondary before declaring it dead
+/// and aggregating without it (the deadline of the Secondary-death
+/// fault path). Generous for CI machines; a crashed worker trips it in
+/// one read.
+const SECONDARY_DEADLINE: std::time::Duration = std::time::Duration::from_secs(30);
+
 /// One planned transaction on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WireTx {
@@ -373,6 +379,7 @@ fn status_to_wire(status: TxStatus) -> u8 {
         TxStatus::DroppedPerSender => 3,
         TxStatus::DroppedExpired => 4,
         TxStatus::Failed => 5,
+        TxStatus::Rejected => 6,
     }
 }
 
@@ -384,6 +391,7 @@ fn status_from_wire(code: u8) -> Result<TxStatus, String> {
         3 => TxStatus::DroppedPerSender,
         4 => TxStatus::DroppedExpired,
         5 => TxStatus::Failed,
+        6 => TxStatus::Rejected,
         other => return Err(format!("unknown status code {other}")),
     })
 }
@@ -475,12 +483,16 @@ pub fn serve_primary(
     let clients = spec.client_count();
     let ranges = partition_clients(clients, n_secondaries);
 
+    // The effective fault schedule: the spec's own `fault:` section
+    // plus the invocation's chaos flags.
+    let faults = spec.fault.clone().merged(options.faults.clone());
+
     // The report's telemetry covers exactly this experiment.
     diablo_telemetry::reset();
 
     // Resolve the DApp once for the backend.
     let mut scratch = adapters::connector(chain);
-    declare_resources(&spec, &mut scratch)?;
+    declare_resources(&spec, &mut scratch).map_err(|e| e.to_string())?;
     let dapp = scratch.sole_dapp();
 
     // Accept the Secondaries and dispatch their shares.
@@ -503,23 +515,69 @@ pub fn serve_primary(
         streams.push(stream);
     }
 
-    // Collect plans.
+    // Collect plans. Every read from here on runs under a deadline: a
+    // Secondary that dies mid-benchmark must not hang the Primary, so a
+    // timed-out (or closed) stream marks the Secondary as dead, its
+    // partial plan is discarded, and aggregation proceeds without it.
+    // (`dead` tracks streams actually gone from the wire; a Secondary
+    // killed *in simulation* by the fault plan stays connected and
+    // keeps exchanging messages.)
+    let mut dead = vec![false; streams.len()];
     let mut merged: Vec<PlannedTx> = Vec::new();
     let mut origin: Vec<(u32, u32)> = Vec::new(); // (secondary, local index)
+    let mut planned_counts: Vec<u32> = vec![0; streams.len()];
     for (si, stream) in streams.iter_mut().enumerate() {
+        let _ = stream.set_read_timeout(Some(SECONDARY_DEADLINE));
+        let start = merged.len();
         let mut local = 0u32;
         loop {
-            match read_message(stream)? {
-                Message::Plan { txs } => {
+            match read_message(stream) {
+                Ok(Message::Plan { txs }) => {
                     for wire in &txs {
                         merged.push(wire_to_planned(wire)?);
                         origin.push((si as u32, local));
                         local += 1;
                     }
                 }
-                Message::PlanDone => break,
-                other => return Err(format!("expected Plan, got {other:?}")),
+                Ok(Message::PlanDone) => break,
+                Ok(other) => return Err(format!("expected Plan, got {other:?}")),
+                Err(_) => {
+                    dead[si] = true;
+                    break;
+                }
             }
+        }
+        if dead[si] {
+            merged.truncate(start);
+            origin.truncate(start);
+            diablo_telemetry::counter!("secondary.lost", 1);
+        } else {
+            planned_counts[si] = local;
+        }
+    }
+
+    // Apply declared Secondary kills: a worker killed at T submits
+    // nothing from T on, so its later transactions leave the plan (the
+    // worker itself is still connected — its death is simulated — and
+    // later receives Pending fillers for the dropped entries).
+    if !faults.secondary_kills().is_empty() {
+        let mut dropped = 0u64;
+        let mut keep = vec![true; merged.len()];
+        for (i, tx) in merged.iter().enumerate() {
+            let (si, _) = origin[i];
+            if let Some(at) = faults.kill_of_secondary(si as usize) {
+                if tx.at >= at {
+                    keep[i] = false;
+                    dropped += 1;
+                }
+            }
+        }
+        if dropped > 0 {
+            let mut it = keep.iter();
+            merged.retain(|_| *it.next().unwrap());
+            let mut it = keep.iter();
+            origin.retain(|_| *it.next().unwrap());
+            diablo_telemetry::counter!("secondary.killed_txs", dropped);
         }
     }
 
@@ -535,70 +593,105 @@ pub fn serve_primary(
         concurrency: options.concurrency,
         grace_secs: options.grace_secs,
         params: None,
-        faults: diablo_chains::FaultPlan::none(),
+        faults: faults.clone(),
     };
     let result = match ChainHarness::new(chain, deployment, dapp, harness_options) {
         Ok(h) => h.run(merged_sorted, workload_name, spec.duration_secs() as f64),
         Err(reason) => RunResult::unable(chain, workload_name, spec.duration_secs() as f64, reason),
     };
 
-    // Route outcomes back in each Secondary's planning order.
-    let mut per_secondary: Vec<Vec<WireOutcome>> = vec![Vec::new(); streams.len()];
-    for (pos, &idx) in order.iter().enumerate() {
-        let (si, local) = origin[idx];
-        let rec = &result.records[pos];
-        let outcome = WireOutcome {
-            status: status_to_wire(rec.status),
-            submit_us: rec.submitted.as_micros(),
-            decide_us: rec.decided.map(|d| d.as_micros()).unwrap_or(u64::MAX),
-        };
-        let bucket = &mut per_secondary[si as usize];
-        if bucket.len() <= local as usize {
-            bucket.resize(
-                local as usize + 1,
+    // Route outcomes back in each Secondary's planning order. Buckets
+    // start at the full planned size so entries the kill schedule
+    // removed still answer as Pending (a Secondary checks it got one
+    // outcome per planned transaction).
+    let mut per_secondary: Vec<Vec<WireOutcome>> = planned_counts
+        .iter()
+        .map(|&n| {
+            vec![
                 WireOutcome {
                     status: 0,
                     submit_us: 0,
                     decide_us: u64::MAX,
-                },
-            );
-        }
-        bucket[local as usize] = outcome;
+                };
+                n as usize
+            ]
+        })
+        .collect();
+    for (pos, &idx) in order.iter().enumerate() {
+        let (si, local) = origin[idx];
+        let rec = &result.records[pos];
+        per_secondary[si as usize][local as usize] = WireOutcome {
+            status: status_to_wire(rec.status),
+            submit_us: rec.submitted.as_micros(),
+            decide_us: rec.decided.map(|d| d.as_micros()).unwrap_or(u64::MAX),
+        };
     }
-    for (stream, outcomes) in streams.iter_mut().zip(per_secondary) {
-        for chunk in outcomes.chunks(CHUNK) {
-            write_message(
-                stream,
-                &Message::Outcomes {
-                    txs: chunk.to_vec(),
-                },
-            )?;
+    for (si, (stream, outcomes)) in streams.iter_mut().zip(per_secondary).enumerate() {
+        if dead[si] {
+            continue; // gone from the wire; nothing to answer
         }
-        write_message(stream, &Message::OutcomesDone)?;
+        let send = (|| -> Result<(), String> {
+            for chunk in outcomes.chunks(CHUNK) {
+                write_message(
+                    stream,
+                    &Message::Outcomes {
+                        txs: chunk.to_vec(),
+                    },
+                )?;
+            }
+            write_message(stream, &Message::OutcomesDone)
+        })();
+        if send.is_err() {
+            diablo_telemetry::counter!("secondary.lost", 1);
+            dead[si] = true;
+        }
     }
 
     // Aggregate the Secondaries' statistics and telemetry reports. The
     // Primary ran the chain itself, so its own recorder holds the run's
     // simulation telemetry; the Secondaries contribute their
-    // planning-side snapshots, merged commutatively.
+    // planning-side snapshots, merged commutatively. A Secondary that
+    // dies before reporting is skipped: the aggregation is partial
+    // rather than hung.
     let mut telemetry = diablo_telemetry::snapshot();
-    for stream in streams.iter_mut() {
-        match read_message(stream)? {
-            Message::Stats { .. } => {}
-            other => return Err(format!("expected Stats, got {other:?}")),
+    for (si, stream) in streams.iter_mut().enumerate() {
+        if dead[si] {
+            continue;
         }
-        match read_message(stream)? {
-            Message::Telemetry { snapshot } => telemetry.merge(&snapshot),
-            other => return Err(format!("expected Telemetry, got {other:?}")),
+        let collect = (|| -> Result<diablo_telemetry::TelemetrySnapshot, String> {
+            match read_message(stream)? {
+                Message::Stats { .. } => {}
+                other => return Err(format!("expected Stats, got {other:?}")),
+            }
+            let snapshot = match read_message(stream)? {
+                Message::Telemetry { snapshot } => snapshot,
+                other => return Err(format!("expected Telemetry, got {other:?}")),
+            };
+            let _ = write_message(stream, &Message::Done);
+            Ok(snapshot)
+        })();
+        match collect {
+            Ok(snapshot) => telemetry.merge(&snapshot),
+            Err(_) => {
+                diablo_telemetry::counter!("secondary.lost", 1);
+                dead[si] = true;
+            }
         }
-        write_message(stream, &Message::Done)?;
     }
+
+    // The report's lost set: workers gone from the wire plus workers
+    // the fault plan killed in simulation.
+    let lost_secondaries: Vec<usize> = (0..streams.len())
+        .filter(|&si| dead[si] || faults.kill_of_secondary(si).is_some())
+        .collect();
 
     Ok(Report {
         result,
         secondaries: streams.len(),
         clients,
         telemetry,
+        faults,
+        lost_secondaries,
     })
 }
 
@@ -633,8 +726,8 @@ pub fn run_secondary(addr: &str, tag: &str) -> Result<String, String> {
     // would lag a live deployment, so we warn on that.
     let plan_started = std::time::Instant::now();
     let mut conn = adapters::connector(chain);
-    declare_resources(&spec, &mut conn)?;
-    plan_range(&spec, range, &mut conn)?;
+    declare_resources(&spec, &mut conn).map_err(|e| e.to_string())?;
+    plan_range(&spec, range, &mut conn).map_err(|e| e.to_string())?;
     let plan = conn.take_plan();
     let planned = plan.len();
     diablo_telemetry::counter!("secondary.planned_txs", planned as u64);
@@ -844,6 +937,7 @@ mod tests {
             TxStatus::DroppedPerSender,
             TxStatus::DroppedExpired,
             TxStatus::Failed,
+            TxStatus::Rejected,
         ] {
             assert_eq!(status_from_wire(status_to_wire(status)).unwrap(), status);
         }

@@ -11,7 +11,9 @@
 //!
 //! Run with: `cargo run --release --example custom_chain`
 
-use diablo::core::abstraction::{ClientId, Connector, Encoded, Interaction, ResourceSpec};
+use diablo::core::abstraction::{
+    ClientId, Connector, ConnectorError, Encoded, Interaction, ResourceSpec,
+};
 use diablo::core::secondary::{declare_resources, plan_range};
 use diablo::core::spec::BenchmarkSpec;
 use diablo::core::SimConnector;
@@ -43,12 +45,12 @@ impl Connector for InstantChain {
     }
 
     // Function 1: s.create_client(E).
-    fn create_client(&mut self, view: &[String]) -> Result<ClientId, String> {
+    fn create_client(&mut self, view: &[String]) -> Result<ClientId, ConnectorError> {
         self.inner.create_client(view)
     }
 
     // Function 2: create_resource(φʳ).
-    fn create_resource(&mut self, resource: &ResourceSpec) -> Result<(), String> {
+    fn create_resource(&mut self, resource: &ResourceSpec) -> Result<(), ConnectorError> {
         self.inner.create_resource(resource)
     }
 
@@ -57,12 +59,12 @@ impl Connector for InstantChain {
         &mut self,
         interaction: &Interaction,
         at: diablo::sim::SimTime,
-    ) -> Result<Encoded, String> {
+    ) -> Result<Encoded, ConnectorError> {
         self.inner.encode(interaction, at)
     }
 
     // Function 4: c.trigger(e) — the toy sequencer commits after 50 ms.
-    fn trigger(&mut self, _client: ClientId, encoded: Encoded) -> Result<(), String> {
+    fn trigger(&mut self, _client: ClientId, encoded: Encoded) -> Result<(), ConnectorError> {
         let submit = encoded.at();
         let decide = submit + SimDuration::from_millis(50);
         self.commits

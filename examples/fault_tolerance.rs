@@ -32,11 +32,22 @@ fn main() {
         ("no faults", FaultPlan::none()),
         (
             "crash f at t=60s",
-            FaultPlan::crash_nodes(f, SimTime::from_secs(60)),
+            FaultPlan::builder()
+                .crash_many(f, SimTime::from_secs(60))
+                .build(),
         ),
         (
             "crash f+1 at t=60s",
-            FaultPlan::crash_nodes(f + 1, SimTime::from_secs(60)),
+            FaultPlan::builder()
+                .crash_many(f + 1, SimTime::from_secs(60))
+                .build(),
+        ),
+        (
+            "crash f+1, heal 90s",
+            FaultPlan::builder()
+                .crash_many(f + 1, SimTime::from_secs(60))
+                .recover_many(f + 1, SimTime::from_secs(90))
+                .build(),
         ),
     ] {
         let r = Experiment::new(Chain::Quorum, DeploymentKind::Devnet, workload.clone())
@@ -51,5 +62,8 @@ fn main() {
             r.commit_ratio() * 100.0
         );
     }
-    println!("\nIBFT tolerates f Byzantine nodes; one more and the quorum is gone.");
+    println!(
+        "\nIBFT tolerates f Byzantine nodes; one more and the quorum is gone — until \
+         the crashed nodes rejoin and catch up."
+    );
 }

@@ -43,6 +43,24 @@ done
 cargo run -q --release --offline --bin diablo -- compare "$tmp_json" "$tmp_json" >/dev/null
 rm -f "$tmp_json"
 
+# Chaos smoke: a pinned-seed run with crash-recovery, a partition and
+# message loss (flags on top of the workload's own fault: section) must
+# be byte-identical across two invocations — fault injection draws all
+# its randomness from the seeded simulation RNG.
+echo "==> chaos smoke (pinned-seed partition run, byte-compared)"
+chaos_a="$(mktemp /tmp/diablo-chaos-a.XXXXXX.json)"
+chaos_b="$(mktemp /tmp/diablo-chaos-b.XXXXXX.json)"
+for out in "$chaos_a" "$chaos_b"; do
+    cargo run -q --release --offline --bin diablo -- run --chain=quorum \
+        --seed=11 --crash=2@10..25 --loss=10%@0..40 \
+        --output="$out" workloads/exchange-partition.yaml >/dev/null
+done
+cmp "$chaos_a" "$chaos_b" || {
+    echo "chaos smoke: pinned-seed runs differ" >&2
+    exit 1
+}
+rm -f "$chaos_a" "$chaos_b"
+
 # Disabled-build check: with telemetry compiled out, the no-op macros
 # must still type-check everywhere and tier-1 must pass. A separate
 # target dir keeps the two configurations' caches apart.

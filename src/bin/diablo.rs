@@ -60,16 +60,59 @@ impl Args {
     fn has(&self, key: &str) -> bool {
         self.get(key).is_some()
     }
+
+    /// Every value given for a repeatable flag, in invocation order
+    /// (chaos flags like `--crash` may appear more than once).
+    fn all(&self, key: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+}
+
+/// The chaos flags: each maps to a `fault:` directive of the same name
+/// ([`diablo::chains::chaos`]), so CLI and YAML share one grammar.
+const CHAOS_FLAGS: [&str; 7] = [
+    "crash",
+    "partition",
+    "loss",
+    "corrupt",
+    "slowdown",
+    "kill-secondary",
+    "retry",
+];
+
+/// Builds a fault plan from the invocation's chaos flags.
+fn parse_chaos(args: &Args) -> Result<diablo::chains::FaultPlan, String> {
+    let mut builder = diablo::chains::FaultPlan::builder();
+    for key in CHAOS_FLAGS {
+        for value in args.all(key) {
+            builder = diablo::chains::chaos::apply_directive(builder, key, value)?;
+        }
+    }
+    Ok(builder.build())
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  diablo run --chain=<name> [--deployment=<name>] [--secondaries=N] \
-         [--seed=N] [--output=FILE] [--csv=FILE] [--series=FILE] [--cdf=FILE] [--stat] <workload.yaml>\n  \
+         [--seed=N] [--output=FILE] [--csv=FILE] [--series=FILE] [--cdf=FILE] [--stat] \
+         [chaos flags] <workload.yaml>\n  \
          diablo primary --secondaries=N --chain=<name> [--port=P] [--deployment=<name>] \
-         [--output=FILE] [--csv=FILE] [--stat] <workload.yaml>\n  \
+         [--output=FILE] [--csv=FILE] [--stat] [chaos flags] <workload.yaml>\n  \
          diablo secondary --primary=<addr> [--tag=<zone>]\n  \
-         diablo compare <a.results.json> <b.results.json>\n\nchains: {}\ndeployments: {}",
+         diablo compare <a.results.json> <b.results.json>\n\n\
+         chaos flags (repeatable; same grammar as the spec's `fault:` section):\n  \
+         --crash=NODES@AT[..RECOVER]      crash nodes, optionally recovering\n  \
+         --partition=GRP/GRP@FROM..UNTIL  split the network into components\n  \
+         --loss=RATE@FROM..UNTIL[,link=A-B]  drop consensus messages\n  \
+         --corrupt=RATE@FROM..UNTIL       corrupt client submissions\n  \
+         --slowdown=FACTOR@AT             stretch network delays\n  \
+         --kill-secondary=IDX@AT          kill a load-generating worker\n  \
+         --retry=ATTEMPTSxBACKOFF_MS/TIMEOUT_MS  client retry policy\n\n\
+         chains: {}\ndeployments: {}",
         Chain::ALL.map(|c| c.name().to_lowercase()).join(", "),
         DeploymentKind::ALL.map(|d| d.name()).join(", ")
     );
@@ -92,6 +135,7 @@ fn parse_common(args: &Args) -> Result<(Chain, DeploymentKind, BenchmarkOptions,
     if let Some(s) = args.get("seed") {
         options.seed = s.parse().map_err(|_| "bad --seed")?;
     }
+    options.faults = parse_chaos(args)?;
     let spec_path = args
         .positional
         .get(1)
@@ -138,6 +182,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         if let Some(seed) = args.get("seed") {
             options.seed = seed.parse().map_err(|_| "bad --seed")?;
         }
+        options.faults = parse_chaos(args)?;
         let spec_path = args
             .positional
             .get(1)

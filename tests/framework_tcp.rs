@@ -1,12 +1,12 @@
 //! Integration: the distributed Primary/Secondary mode over localhost
 //! TCP, exercising the wire protocol end to end.
 
-use std::net::TcpListener;
+use std::net::{TcpListener, TcpStream};
 use std::thread;
 
 use diablo::chains::Chain;
 use diablo::core::primary::BenchmarkOptions;
-use diablo::core::wire::{run_secondary, serve_primary};
+use diablo::core::wire::{read_message, run_secondary, serve_primary, write_message, Message};
 use diablo::net::DeploymentKind;
 
 const SPEC: &str = r#"
@@ -74,6 +74,109 @@ fn four_secondaries_same_totals_as_one() {
     let (four, _) = run_distributed(4);
     assert_eq!(one.result.submitted(), four.result.submitted());
     assert_eq!(one.result.committed(), four.result.committed());
+}
+
+#[test]
+fn dead_secondary_yields_a_partial_aggregation() {
+    // One live Secondary and one that dies right after its assignment
+    // (Hello → Assign → dropped connection). The Primary must detect
+    // the death, discard the dead worker's share and aggregate the
+    // live worker's results instead of hanging.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+
+    let live = {
+        let addr = addr.clone();
+        thread::spawn(move || run_secondary(&addr, "survivor"))
+    };
+    let dying = thread::spawn(move || {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        write_message(
+            &mut stream,
+            &Message::Hello {
+                tag: "doomed".to_string(),
+            },
+        )
+        .expect("hello");
+        match read_message(&mut stream).expect("assign") {
+            Message::Assign { .. } => {} // crash before planning anything
+            other => panic!("expected Assign, got {other:?}"),
+        }
+    });
+
+    let report = serve_primary(
+        &listener,
+        Chain::Quorum,
+        DeploymentKind::Testnet,
+        SPEC,
+        "tcp-partial",
+        &BenchmarkOptions::default(),
+        2,
+    )
+    .expect("primary must not hang on a dead secondary");
+    dying.join().expect("dying thread");
+    let live_stats = live.join().expect("join").expect("survivor");
+
+    assert_eq!(report.secondaries, 2);
+    assert_eq!(
+        report.lost_secondaries.len(),
+        1,
+        "exactly one worker died: {:?}",
+        report.lost_secondaries
+    );
+    // Only the live worker's 2 clients submitted: 2 × 50 TPS × 10 s.
+    assert_eq!(report.result.submitted(), 1_000);
+    assert!(
+        report.result.commit_ratio() > 0.9,
+        "{}",
+        report.result.summary()
+    );
+    assert!(live_stats.contains("1000 sent"), "{live_stats}");
+    // The partial aggregation is called out in the stats text.
+    assert!(
+        report.stats_text().contains("died mid-benchmark"),
+        "{}",
+        report.stats_text()
+    );
+}
+
+#[test]
+fn killed_secondary_truncates_its_share() {
+    // A declared `kill-secondary` fault: worker 1 dies (in simulation)
+    // at t = 5 s of a 10 s workload. Its transactions from 5 s on leave
+    // the plan, while the worker itself — alive on the wire — still
+    // gets one outcome per planned transaction.
+    use diablo::sim::SimTime;
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let handles: Vec<_> = (0..2)
+        .map(|i| {
+            let addr = addr.clone();
+            thread::spawn(move || run_secondary(&addr, &format!("zone-{i}")))
+        })
+        .collect();
+    let options = BenchmarkOptions {
+        faults: diablo::chains::FaultPlan::builder()
+            .kill_secondary(1, SimTime::from_secs(5))
+            .build(),
+        ..BenchmarkOptions::default()
+    };
+    let report = serve_primary(
+        &listener,
+        Chain::Quorum,
+        DeploymentKind::Testnet,
+        SPEC,
+        "tcp-killed",
+        &options,
+        2,
+    )
+    .expect("primary");
+    for h in handles {
+        h.join().expect("join").expect("secondary");
+    }
+    assert_eq!(report.lost_secondaries, vec![1]);
+    // Worker 0 submits its full 1000; worker 1 only the first half.
+    assert_eq!(report.result.submitted(), 1_500);
 }
 
 #[test]

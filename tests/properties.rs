@@ -1,6 +1,6 @@
 //! Cross-crate property tests, on the in-tree `diablo-testkit` harness.
 
-use diablo::chains::{Chain, Experiment};
+use diablo::chains::{Chain, Experiment, FaultPlan, RetryPolicy};
 use diablo::core::yaml;
 use diablo::net::DeploymentKind;
 use diablo::workloads::Workload;
@@ -85,6 +85,46 @@ fn chain_runs_conserve_transactions() {
                     prop_assert!(l >= 0.0);
                 }
             }
+            Ok(())
+        },
+    );
+}
+
+/// A fault plan that declares no faults — even one built through the
+/// fluent builder and carrying a retry policy — leaves a pinned-seed
+/// run byte-identical to a run with no plan at all: the fault path must
+/// draw no randomness while idle, whatever the chain, load or seed.
+#[test]
+fn empty_fault_plans_change_nothing() {
+    Property::new("empty_fault_plans_change_nothing").cases(8).check(
+        &(
+            f64s(50.0..1_000.0),
+            u64s(0..=999),
+            usizes(0..=5),
+            u64s(1..=5),
+        ),
+        |(tps, seed, chain_idx, attempts)| {
+            let chain = Chain::ALL[*chain_idx];
+            let workload = diablo::workloads::traces::constant(*tps, 8);
+            let baseline = Experiment::new(chain, DeploymentKind::Testnet, workload.clone())
+                .with_seed(*seed)
+                .run();
+            let plan = FaultPlan::builder()
+                .retry(RetryPolicy {
+                    attempts: *attempts as u32,
+                    ..Default::default()
+                })
+                .build();
+            prop_assert!(plan.is_empty(), "a retry policy alone is not a fault");
+            let faulted = Experiment::new(chain, DeploymentKind::Testnet, workload)
+                .with_seed(*seed)
+                .with_faults(plan)
+                .run();
+            prop_assert_eq!(
+                diablo::core::output::results_json(&baseline),
+                diablo::core::output::results_json(&faulted),
+                "an empty fault plan perturbed the run"
+            );
             Ok(())
         },
     );
