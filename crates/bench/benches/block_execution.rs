@@ -1,80 +1,130 @@
-//! Benchmark: committed-block execution, serial vs deterministic parallel.
+//! Benchmark: committed-block execution — serial vs static-parallel vs
+//! optimistic.
 //!
 //! Measures [`ExecutionEngine::execute_block`] over whole committed
-//! blocks at 1, 2, 4 and 8 worker threads. Two block shapes bracket the
-//! scheduler:
+//! blocks under every [`Concurrency`] mode at 2, 4 and 8 worker
+//! threads. Four block shapes bracket the two schedulers (the execution
+//! model, including when each mode wins, is specified in
+//! `docs/EXECUTION.md`):
 //!
 //! - a 10k-transaction Exchange block: the workload rotates five stocks,
 //!   so static read/write-set analysis decomposes the block into five
-//!   independent components and the parallel executor genuinely runs
-//!   multi-threaded (the `.../serial` vs `.../parallel4` pair in
-//!   `BENCH_block_execution.json` records the speedup — bounded by
-//!   min(threads, components, CPU cores), so a single-core runner shows
-//!   parity while a 4-core machine approaches the 2.5× component-balance
-//!   ceiling);
-//! - a Gaming block: every `update` call has a dynamic footprint, so the
-//!   executor must fall back to ordered serial execution — this pair
-//!   bounds the cost of planning a block that cannot be parallelized.
+//!   independent components — the static scheduler's best case, and a
+//!   check of what optimistic speculation costs on conflict-light
+//!   traffic it commits in one round;
+//! - a Gaming block spread over 64 players: every `update` has a
+//!   *dynamic* footprint, so the static executor is forced into its
+//!   ordered serial fallback while the optimistic executor can speculate
+//!   the independent per-player chains concurrently — the case this
+//!   executor exists for (speedup is bounded by min(threads, cores);
+//!   a single-core runner records pure protocol overhead instead);
+//! - a hot Gaming block (every transaction updates player 1): a single
+//!   fully-dependent chain no scheduler can speed up — this bounds the
+//!   optimistic protocol's worst-case re-execution overhead over plain
+//!   serial execution;
+//! - a Mobility block on the MoveVM: dynamic read-only probes that all
+//!   trip the flavor's hard compute budget — dynamic footprints without
+//!   conflicts, where speculation commits everything in one round.
 //!
 //! Every timed sample re-runs the block from a freshly deployed contract
 //! and asserts the costs are bit-identical to a serial reference run, so
-//! the ci.sh smoke pass doubles as a wiring check.
+//! the ci.sh smoke pass doubles as a wiring check for both executors.
 
 use diablo_testkit::bench::{black_box, Bench};
 
+use diablo_chains::tx::CallSel;
 use diablo_chains::{Concurrency, ExecMode, ExecutionEngine, Payload};
 use diablo_contracts::DApp;
 use diablo_vm::VmFlavor;
 
-/// A freshly deployed Exact-mode engine for `dapp` on geth.
-fn engine(dapp: DApp, concurrency: Concurrency) -> ExecutionEngine {
-    ExecutionEngine::with_dapp(VmFlavor::Geth, ExecMode::Exact, dapp)
-        .expect("dapp builds on geth")
+/// A freshly deployed Exact-mode engine for `dapp` on `flavor`.
+fn engine(flavor: VmFlavor, dapp: DApp, concurrency: Concurrency) -> ExecutionEngine {
+    ExecutionEngine::with_dapp(flavor, ExecMode::Exact, dapp)
+        .expect("dapp builds on flavor")
         .with_concurrency(concurrency)
 }
 
-/// Benchmarks one `n_txs`-transaction block of `dapp` workload calls at
-/// every thread count, checking each run against the serial reference.
-fn bench_block(b: &mut Bench, dapp: DApp, n_txs: usize) {
-    let payloads: Vec<Payload> = (0..n_txs as u64)
-        .map(|seq| Payload::Invoke {
-            dapp,
-            seq,
-            call: None,
-        })
-        .collect();
+/// The serial / static / optimistic arms every block shape runs.
+const CONFIGS: [(&str, Concurrency); 7] = [
+    ("serial", Concurrency::Serial),
+    ("parallel2", Concurrency::Parallel(2)),
+    ("parallel4", Concurrency::Parallel(4)),
+    ("parallel8", Concurrency::Parallel(8)),
+    ("optimistic2", Concurrency::Optimistic(2)),
+    ("optimistic4", Concurrency::Optimistic(4)),
+    ("optimistic8", Concurrency::Optimistic(8)),
+];
+
+/// Benchmarks one block shape under every concurrency arm, checking
+/// each run against the serial reference.
+fn bench_block(b: &mut Bench, label: &str, flavor: VmFlavor, dapp: DApp, payloads: &[Payload]) {
     // Reference costs of a first committed block; every sample starts
     // from a fresh deployment, so all configurations must reproduce
     // these bit-for-bit.
-    let expected = engine(dapp, Concurrency::Serial).execute_block(&payloads);
+    let expected = engine(flavor, dapp, Concurrency::Serial).execute_block(payloads);
 
-    let configs = [
-        ("serial", Concurrency::Serial),
-        ("parallel2", Concurrency::Parallel(2)),
-        ("parallel4", Concurrency::Parallel(4)),
-        ("parallel8", Concurrency::Parallel(8)),
-    ];
-    for (name, concurrency) in configs {
+    for (name, concurrency) in CONFIGS {
         b.bench_batched(
-            &format!("block/{}_{}tx/{}", dapp.name(), n_txs, name),
-            || engine(dapp, concurrency),
+            &format!("block/{label}/{name}"),
+            || engine(flavor, dapp, concurrency),
             |mut e| {
-                let costs = e.execute_block(&payloads);
-                assert_eq!(costs, expected, "parallel block diverged from serial");
+                let costs = e.execute_block(payloads);
+                assert_eq!(costs, expected, "block execution diverged from serial");
                 black_box(costs.len())
             },
         );
     }
 }
 
+/// `update(player, 1)` gaming invokes with the given player stream.
+fn gaming_updates(n_txs: u64, player: impl Fn(u64) -> i32) -> Vec<Payload> {
+    (0..n_txs)
+        .map(|seq| Payload::Invoke {
+            dapp: DApp::Gaming,
+            seq,
+            call: Some(CallSel {
+                entry: 0, // "update"
+                args: [player(seq), 1],
+                argc: 2,
+            }),
+        })
+        .collect()
+}
+
 fn main() {
     let mut b = Bench::suite("block_execution");
     b.samples(15);
 
-    // Conflict-light: five independent conflict components.
-    bench_block(&mut b, DApp::Exchange, 10_000);
-    // Dynamic footprints: the planner bails out, ordered serial fallback.
-    bench_block(&mut b, DApp::Gaming, 2_000);
+    // Conflict-light, static footprints: five independent components.
+    let exchange: Vec<Payload> = (0..10_000)
+        .map(|seq| Payload::Invoke {
+            dapp: DApp::Exchange,
+            seq,
+            call: None,
+        })
+        .collect();
+    bench_block(&mut b, "exchange_10000tx", VmFlavor::Geth, DApp::Exchange, &exchange);
+
+    // Dynamic footprints, conflict-light: the static planner bails out,
+    // the optimistic executor parallelizes the 64 per-player chains.
+    let spread = gaming_updates(2_000, |seq| 1 + (seq % 64) as i32);
+    bench_block(&mut b, "gaming_spread_2000tx", VmFlavor::Geth, DApp::Gaming, &spread);
+
+    // Dynamic footprints, fully dependent: one hot player. Bounds the
+    // optimistic worst case (speculate, abort, serial valve).
+    let hot = gaming_updates(2_000, |_| 1);
+    bench_block(&mut b, "gaming_hot_2000tx", VmFlavor::Geth, DApp::Gaming, &hot);
+
+    // Dynamic read-only probes against a hard compute budget: no
+    // conflicts, so speculation commits the whole block in one round.
+    let mobility: Vec<Payload> = (0..512)
+        .map(|seq| Payload::Invoke {
+            dapp: DApp::Mobility,
+            seq,
+            call: None,
+        })
+        .collect();
+    bench_block(&mut b, "mobility_movevm_512tx", VmFlavor::MoveVm, DApp::Mobility, &mobility);
 
     b.finish();
 }

@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use diablo_contracts::{build, calls, Contract, DApp, Unsupported};
 use diablo_vm::{ExecError, Interpreter, Receipt, TxContext, VmFlavor};
 
+use crate::optimistic::OptimisticExecutor;
 use crate::parallel::ParallelExecutor;
 use crate::tx::{CallSel, Payload};
 
@@ -35,17 +36,27 @@ pub enum ExecMode {
 }
 
 /// Block-commit concurrency, orthogonal to [`ExecMode`]: how many
-/// worker threads [`ExecutionEngine::execute_block`] may use. Parallel
-/// execution is bit-identical to serial by construction (see
-/// [`crate::parallel`]); `Profiled` refresh executions always take the
-/// serial path regardless of this setting.
+/// worker threads [`ExecutionEngine::execute_block`] may use and which
+/// scheduler drives them. Both parallel modes are bit-identical to
+/// serial by construction (see [`crate::parallel`] and
+/// [`crate::optimistic`], and `docs/EXECUTION.md` for the model);
+/// `Profiled` refresh executions always take the serial path regardless
+/// of this setting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Concurrency {
     /// One transaction at a time, in canonical order.
     #[default]
     Serial,
-    /// Up to this many scoped worker threads per committed block.
+    /// Static scheduling from deploy-time read/write sets, up to this
+    /// many scoped worker threads per committed block. Transactions
+    /// with dynamic footprints fall back to serial.
     Parallel(usize),
+    /// Optimistic (Block-STM-style) speculation with commit-order
+    /// read-set validation, up to this many worker threads. Handles
+    /// dynamic footprints; results and telemetry are identical at any
+    /// thread count (a count of 1 still runs the full speculate /
+    /// validate protocol, just on one worker).
+    Optimistic(usize),
 }
 
 impl Concurrency {
@@ -53,7 +64,29 @@ impl Concurrency {
     pub fn threads(self) -> usize {
         match self {
             Concurrency::Serial => 1,
-            Concurrency::Parallel(n) => n.max(1),
+            Concurrency::Parallel(n) | Concurrency::Optimistic(n) => n.max(1),
+        }
+    }
+
+    /// Parses a mode name (`serial`, `parallel`, `optimistic`) plus a
+    /// worker count into a concurrency setting — the shared grammar of
+    /// the CLI's `--execution=`/`--threads=`/`--optimistic` flags and
+    /// the spec's `execution:` section.
+    pub fn from_mode(mode: &str, threads: usize) -> Option<Concurrency> {
+        match mode {
+            "serial" => Some(Concurrency::Serial),
+            "parallel" | "static" => Some(Concurrency::Parallel(threads)),
+            "optimistic" => Some(Concurrency::Optimistic(threads)),
+            _ => None,
+        }
+    }
+
+    /// The mode name [`Concurrency::from_mode`] accepts for this value.
+    pub fn mode_name(self) -> &'static str {
+        match self {
+            Concurrency::Serial => "serial",
+            Concurrency::Parallel(_) => "parallel",
+            Concurrency::Optimistic(_) => "optimistic",
         }
     }
 }
@@ -259,22 +292,32 @@ impl ExecutionEngine {
     /// Executes one committed batch, returning per-transaction costs in
     /// canonical order.
     ///
-    /// With [`Concurrency::Parallel`] and [`ExecMode::Exact`], invokes
-    /// are scheduled across a [`ParallelExecutor`] using the contract's
-    /// static read/write sets — bit-identical to the serial loop (same
-    /// costs, same final state), just faster on conflict-light blocks.
-    /// Everything else (serial config, profiled mode, native workloads,
-    /// single-transaction blocks) takes the plain serial loop.
+    /// With [`ExecMode::Exact`] and a parallel [`Concurrency`], invokes
+    /// go through a block executor: [`Concurrency::Parallel`] schedules
+    /// across a [`ParallelExecutor`] using the contract's static
+    /// read/write sets, [`Concurrency::Optimistic`] speculates through
+    /// an [`OptimisticExecutor`] with commit-order read-set validation.
+    /// Both are bit-identical to the serial loop (same costs, same
+    /// final state), just faster — on conflict-light blocks for the
+    /// static scheduler, additionally on dynamic-footprint blocks for
+    /// the optimistic one. Everything else (serial config, profiled
+    /// mode, native workloads, single-transaction blocks) takes the
+    /// plain serial loop.
     pub fn execute_block(&mut self, payloads: &[Payload]) -> Vec<ExecCost> {
         let threads = self.concurrency.threads();
         diablo_telemetry::record!("exec.block.txs", payloads.len() as u64);
         let plannable =
             self.mode == ExecMode::Exact && payloads.len() >= 2 && self.contract.is_some();
+        // The optimistic protocol itself is worker-count independent, so
+        // it runs even at 1 thread: Optimistic(1) must produce the same
+        // telemetry (rounds, aborts) as Optimistic(8).
+        let optimistic = matches!(self.concurrency, Concurrency::Optimistic(_));
+        let use_executor = plannable && (optimistic || threads >= 2);
         // Conflict-plan telemetry is a pure function of the block, never
         // of the worker count: serial runs must resolve and plan the
         // same blocks a parallel run would, or their snapshots diverge.
         let want_plan_stats = diablo_telemetry::enabled() && plannable;
-        if !plannable || (threads < 2 && !want_plan_stats) {
+        if !use_executor && !want_plan_stats {
             return payloads.iter().map(|&p| self.execute(p)).collect();
         }
 
@@ -320,7 +363,7 @@ impl ExecutionEngine {
             crate::parallel::plan_stats(&contract.prepared, &contract.initial_state, &txs)
                 .record();
         }
-        if threads < 2 {
+        if !use_executor {
             return payloads.iter().map(|&p| self.execute(p)).collect();
         }
 
@@ -329,13 +372,24 @@ impl ExecutionEngine {
         // The mapper condenses each receipt to its cost on the worker
         // that produced it, so event payloads never outlive their
         // transaction.
-        let results = ParallelExecutor::new(threads).execute(
-            &vm,
-            &contract.prepared,
-            &mut contract.initial_state,
-            &txs,
-            |k, result| cost_of(result, intrinsics[k]),
-        );
+        let map = |k: usize, result| cost_of(result, intrinsics[k]);
+        let results = if optimistic {
+            OptimisticExecutor::new(threads).execute(
+                &vm,
+                &contract.prepared,
+                &mut contract.initial_state,
+                &txs,
+                map,
+            )
+        } else {
+            ParallelExecutor::new(threads).execute(
+                &vm,
+                &contract.prepared,
+                &mut contract.initial_state,
+                &txs,
+                map,
+            )
+        };
         for (slot, cost) in slots.into_iter().zip(results) {
             costs[slot] = cost;
         }
@@ -561,6 +615,68 @@ mod tests {
                 par.contract().unwrap().initial_state,
                 "{threads} threads"
             );
+        }
+    }
+
+    #[test]
+    fn optimistic_block_execution_matches_serial() {
+        // Gaming's dynamic per-player footprints are the case the
+        // static scheduler serializes; the optimistic engine must still
+        // agree with serial bit for bit — costs and state — at every
+        // thread count, transfers interleaved.
+        let payloads: Vec<Payload> = (0..150)
+            .map(|seq| {
+                if seq % 11 == 0 {
+                    Payload::Transfer
+                } else {
+                    Payload::Invoke {
+                        dapp: DApp::Gaming,
+                        seq,
+                        call: Some(CallSel {
+                            entry: 0, // "update"
+                            args: [1 + (seq % 5) as i32, 1],
+                            argc: 2,
+                        }),
+                    }
+                }
+            })
+            .collect();
+        let mut serial =
+            ExecutionEngine::with_dapp(VmFlavor::Geth, ExecMode::Exact, DApp::Gaming).unwrap();
+        let want = serial.execute_block(&payloads);
+        for threads in [1, 2, 4, 8] {
+            let mut opt =
+                ExecutionEngine::with_dapp(VmFlavor::Geth, ExecMode::Exact, DApp::Gaming)
+                    .unwrap()
+                    .with_concurrency(Concurrency::Optimistic(threads));
+            let got = opt.execute_block(&payloads);
+            assert_eq!(want, got, "{threads} threads");
+            assert_eq!(
+                serial.contract().unwrap().initial_state,
+                opt.contract().unwrap().initial_state,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrency_mode_grammar_roundtrips() {
+        assert_eq!(Concurrency::from_mode("serial", 4), Some(Concurrency::Serial));
+        assert_eq!(
+            Concurrency::from_mode("parallel", 4),
+            Some(Concurrency::Parallel(4))
+        );
+        assert_eq!(
+            Concurrency::from_mode("optimistic", 8),
+            Some(Concurrency::Optimistic(8))
+        );
+        assert_eq!(Concurrency::from_mode("speculative", 4), None);
+        for c in [
+            Concurrency::Serial,
+            Concurrency::Parallel(4),
+            Concurrency::Optimistic(8),
+        ] {
+            assert_eq!(Concurrency::from_mode(c.mode_name(), c.threads()), Some(c));
         }
     }
 

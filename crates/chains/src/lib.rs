@@ -36,6 +36,7 @@ pub mod faults;
 pub mod fees;
 pub mod harness;
 pub mod mempool;
+pub mod optimistic;
 pub mod parallel;
 pub mod params;
 pub mod records;
@@ -44,6 +45,7 @@ pub mod tx;
 
 pub use chain::Chain;
 pub use exec::{Concurrency, ExecMode, ExecutionEngine};
+pub use optimistic::{OptimisticExecutor, OptimisticStats};
 pub use parallel::{plan_stats, ParallelExecutor, PlanStats};
 pub use faults::{FaultPlan, FaultPlanBuilder, FaultTimeline, RetryPolicy};
 pub use fees::FeeMarket;

@@ -1163,4 +1163,34 @@ mod tests {
         }
         assert_eq!(serial.blocks, parallel.blocks);
     }
+
+    #[test]
+    fn optimistic_concurrency_reproduces_serial_runs() {
+        // Same end-to-end check for the optimistic executor, on the
+        // gaming DApp whose dynamic footprints the static scheduler
+        // cannot parallelize — here speculation really does the work.
+        let run = |concurrency| {
+            Experiment::new(
+                Chain::Quorum,
+                DeploymentKind::Testnet,
+                traces::constant(80.0, 10),
+            )
+            .with_dapp(DApp::Gaming)
+            .with_exec_mode(ExecMode::Exact)
+            .with_concurrency(concurrency)
+            .with_grace(30)
+            .run()
+        };
+        let serial = run(Concurrency::Serial);
+        for concurrency in [Concurrency::Optimistic(1), Concurrency::Optimistic(4)] {
+            let optimistic = run(concurrency);
+            assert_eq!(serial.records.len(), optimistic.records.len());
+            for (s, o) in serial.records.iter().zip(&optimistic.records) {
+                assert_eq!(s.submitted, o.submitted);
+                assert_eq!(s.decided, o.decided);
+                assert_eq!(s.status, o.status);
+            }
+            assert_eq!(serial.blocks, optimistic.blocks);
+        }
+    }
 }

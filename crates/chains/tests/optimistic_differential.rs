@@ -1,0 +1,255 @@
+//! Differential property test: optimistic (Block-STM-style) block
+//! execution is bit-identical to serial execution.
+//!
+//! Random committed blocks — mixes of transfers, workload-default calls
+//! and explicitly selected entry points — are executed through
+//! [`ExecutionEngine::execute_block`] once on a serial engine and once
+//! per [`Concurrency::Optimistic`] worker count (2, 4 and 8). Every
+//! engine must agree on every per-transaction `ExecCost` (gas, ops,
+//! success) and on the final `ContractState` after every block, across
+//! all four VM flavors and all five DApps (skipping flavor × DApp
+//! combinations the paper itself cannot build). Blocks are fed in
+//! chunks so state chains across consecutive committed blocks,
+//! exercising speculation against an evolving committed base.
+//!
+//! The Zipfian case below is the workload the optimistic executor
+//! exists for: Gaming `update` calls whose player argument is drawn
+//! from a heavy-tailed distribution, producing hot per-player write
+//! chains with *dynamic* footprints. The static scheduler refuses to
+//! plan such blocks and falls back to ordered serial execution; the
+//! optimistic executor speculates them and must converge — through
+//! validation aborts, re-executions and the serial valve — to the
+//! bit-exact serial result (the protocol and its determinism argument
+//! are specified in `docs/EXECUTION.md` §4).
+//!
+//! Runs on the in-tree `diablo-testkit` harness: failures shrink and
+//! print a `DIABLO_PROP_SEED=<seed>` line that replays the exact case;
+//! `DIABLO_PROP_CASES` scales the case count.
+
+use diablo_chains::tx::CallSel;
+use diablo_chains::{Concurrency, ExecMode, ExecutionEngine, Payload};
+use diablo_contracts::{calls, DApp};
+use diablo_testkit::gen::{u64s, u8s, usizes, vecs};
+use diablo_testkit::{prop_assert, prop_assert_eq, Property};
+use diablo_vm::VmFlavor;
+
+/// The worker counts the issue requires equivalence at.
+const THREADS: [usize; 3] = [2, 4, 8];
+
+/// Turns one generated `(seq, selector)` pair into a payload for `dapp`
+/// (same grammar as the static-parallel differential: transfers,
+/// workload-default calls, explicit entry selections).
+fn payload_for(dapp: DApp, seq: u64, selector: u8) -> Payload {
+    match selector % 10 {
+        0 => Payload::Transfer,
+        1..=7 => Payload::Invoke {
+            dapp,
+            seq,
+            call: None,
+        },
+        _ => {
+            let n_entries = calls::entries(dapp).len() as u8;
+            Payload::Invoke {
+                dapp,
+                seq,
+                call: Some(CallSel {
+                    entry: selector % n_entries,
+                    args: [(seq % 9) as i32, 1 + (selector % 3) as i32],
+                    argc: selector % 3,
+                }),
+            }
+        }
+    }
+}
+
+/// A fresh Exact-mode engine, or `None` when the flavor cannot build
+/// the DApp (the paper's own gaps).
+fn engine(flavor: VmFlavor, dapp: DApp, concurrency: Concurrency) -> Option<ExecutionEngine> {
+    ExecutionEngine::with_dapp(flavor, ExecMode::Exact, dapp)
+        .ok()
+        .map(|e| e.with_concurrency(concurrency))
+}
+
+#[test]
+fn optimistic_block_execution_is_bit_identical_to_serial() {
+    Property::new("optimistic_block_execution_is_bit_identical_to_serial")
+        .cases(96)
+        .check(
+            &(
+                (usizes(0..=3), usizes(0..=4), usizes(0..=2)),
+                vecs((u64s(0..=50_000), u8s(0..=255)), 2..=48),
+            ),
+            |((flavor_idx, dapp_idx, threads_idx), txs)| {
+                let flavor = VmFlavor::ALL[*flavor_idx];
+                let dapp = DApp::ALL[*dapp_idx];
+                let threads = THREADS[*threads_idx];
+
+                let Some(mut serial) = engine(flavor, dapp, Concurrency::Serial) else {
+                    return Ok(());
+                };
+                let mut optimistic = engine(flavor, dapp, Concurrency::Optimistic(threads))
+                    .expect("buildable above");
+
+                // Mobility on geth has no hard budget, so every call
+                // really runs its ~1.4 M instructions; keep those blocks
+                // short so the property stays fast.
+                let cap = if dapp == DApp::Mobility && flavor == VmFlavor::Geth {
+                    4
+                } else {
+                    txs.len()
+                };
+                let payloads: Vec<Payload> = txs
+                    .iter()
+                    .take(cap)
+                    .map(|&(seq, selector)| payload_for(dapp, seq, selector))
+                    .collect();
+
+                // Feed the block in chunks: speculation must stay exact
+                // against the committed state the previous chunk left.
+                for chunk in payloads.chunks(17) {
+                    let want = serial.execute_block(chunk);
+                    let got = optimistic.execute_block(chunk);
+                    prop_assert_eq!(
+                        want,
+                        got,
+                        "costs diverged: {:?} on {} at {} workers",
+                        dapp,
+                        flavor,
+                        threads
+                    );
+                    let s = &serial.contract().expect("deployed").initial_state;
+                    let o = &optimistic.contract().expect("deployed").initial_state;
+                    prop_assert!(
+                        s == o,
+                        "state diverged: {:?} on {} at {} workers",
+                        dapp,
+                        flavor,
+                        threads
+                    );
+                }
+                Ok(())
+            },
+        );
+}
+
+/// Maps a uniform draw to a Zipf-like player id: player 1 with
+/// probability 1/2, player 2 with 1/4, … — a heavy-tailed hot-account
+/// distribution over 64 players, built from the leading-zero count so
+/// the skew is exact and needs no floating point.
+fn zipfian_player(r: u64) -> i32 {
+    1 + (r | 1).leading_zeros().min(63) as i32
+}
+
+/// The hot-account workload the static scheduler cannot parallelize:
+/// Zipf-distributed Gaming `update(player, delta)` calls. Dynamic
+/// per-player footprints force the static executor into its serial
+/// fallback; the optimistic executor speculates the skewed chains and
+/// must converge to the serial result at every worker count — this is
+/// the acceptance case for the issue's "dynamic-key hot-account
+/// workload" requirement, replayable via `DIABLO_PROP_SEED`.
+#[test]
+fn zipfian_hot_account_blocks_converge_at_every_worker_count() {
+    Property::new("zipfian_hot_account_blocks_converge_at_every_worker_count")
+        .cases(32)
+        .check(
+            &(usizes(0..=3), vecs(u64s(0..=u64::MAX), 16..=96)),
+            |(flavor_idx, draws)| {
+                let flavor = VmFlavor::ALL[*flavor_idx];
+                let Some(mut serial) = engine(flavor, DApp::Gaming, Concurrency::Serial) else {
+                    return Ok(());
+                };
+                let mut optimistic: Vec<ExecutionEngine> = THREADS
+                    .iter()
+                    .map(|&t| {
+                        engine(flavor, DApp::Gaming, Concurrency::Optimistic(t))
+                            .expect("buildable above")
+                    })
+                    .collect();
+
+                let payloads: Vec<Payload> = draws
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &r)| Payload::Invoke {
+                        dapp: DApp::Gaming,
+                        seq: i as u64,
+                        call: Some(CallSel {
+                            entry: 0, // "update"
+                            args: [zipfian_player(r), 1 + (r % 3) as i32],
+                            argc: 2,
+                        }),
+                    })
+                    .collect();
+
+                for chunk in payloads.chunks(17) {
+                    let want = serial.execute_block(chunk);
+                    let s = &serial.contract().expect("deployed").initial_state;
+                    for (engine, &threads) in optimistic.iter_mut().zip(THREADS.iter()) {
+                        let got = engine.execute_block(chunk);
+                        prop_assert_eq!(
+                            want.clone(),
+                            got,
+                            "hot-account costs diverged on {} at {} workers",
+                            flavor,
+                            threads
+                        );
+                        let o = &engine.contract().expect("deployed").initial_state;
+                        prop_assert!(
+                            s == o,
+                            "hot-account state diverged on {} at {} workers",
+                            flavor,
+                            threads
+                        );
+                    }
+                }
+                Ok(())
+            },
+        );
+}
+
+/// Conservation under speculation: large conflict-light Exchange blocks
+/// are where the optimistic executor commits almost everything in one
+/// round — and where a validation bug (stale read admitted, delta
+/// applied twice, wrong commit order) would show as a supply-counter
+/// mismatch rather than an assertion inside the executor.
+#[test]
+fn exchange_supply_counters_survive_optimistic_commits() {
+    Property::new("exchange_supply_counters_survive_optimistic_commits")
+        .cases(24)
+        .check(
+            &(usizes(0..=2), vecs(u64s(0..=1_000_000), 32..=160)),
+            |(threads_idx, seqs)| {
+                let threads = THREADS[*threads_idx];
+                let mut engine = engine(
+                    VmFlavor::Geth,
+                    DApp::Exchange,
+                    Concurrency::Optimistic(threads),
+                )
+                .expect("exchange builds on geth");
+                let payloads: Vec<Payload> = seqs
+                    .iter()
+                    .map(|&seq| Payload::Invoke {
+                        dapp: DApp::Exchange,
+                        seq,
+                        call: None,
+                    })
+                    .collect();
+                let costs = engine.execute_block(&payloads);
+                prop_assert!(costs.iter().all(|c| c.ok), "all buys must succeed");
+                let state = &engine.contract().expect("deployed").initial_state;
+                for stock in diablo_contracts::exchange::Stock::ALL {
+                    let bought = seqs
+                        .iter()
+                        .filter(|&&seq| (seq % 5) == stock.key() as u64)
+                        .count() as i64;
+                    prop_assert_eq!(
+                        state.load(stock.key()),
+                        diablo_contracts::exchange::INITIAL_SUPPLY - bought,
+                        "stock {} supply drifted at {} workers",
+                        stock.ticker(),
+                        threads
+                    );
+                }
+                Ok(())
+            },
+        );
+}

@@ -160,6 +160,13 @@ pub fn run_with_setup(
     // The effective fault schedule: the spec's own `fault:` section
     // plus whatever the invocation added (CLI chaos flags).
     let faults = spec.fault.clone().merged(options.faults.clone());
+    // The effective block-commit concurrency: an explicit CLI setting
+    // (`--threads`/`--optimistic`) wins over the spec's `execution:`
+    // section, mirroring how chaos flags extend the spec's faults.
+    let concurrency = match options.concurrency {
+        Concurrency::Serial => spec.execution.unwrap_or(Concurrency::Serial),
+        explicit => explicit,
+    };
     let lost_secondaries = apply_secondary_kills(&faults, &ranges, &mut plans);
 
     let mut merged: Vec<PlannedTx> = plans.into_iter().flatten().collect();
@@ -168,7 +175,7 @@ pub fn run_with_setup(
     let harness_options = HarnessOptions {
         seed: options.seed,
         exec_mode: options.exec_mode,
-        concurrency: options.concurrency,
+        concurrency,
         grace_secs: options.grace_secs,
         params: None,
         faults: faults.clone(),

@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use diablo_chains::FaultPlan;
+use diablo_chains::{Concurrency, FaultPlan};
 use diablo_workloads::Workload;
 
 use crate::yaml::{self, Value};
@@ -21,6 +21,10 @@ pub struct BenchmarkSpec {
     /// Faults injected during the run (the optional `fault:` section;
     /// empty when absent).
     pub fault: FaultPlan,
+    /// Block-commit concurrency requested by the optional `execution:`
+    /// section (`None` when absent; the CLI's `--threads`/`--optimistic`
+    /// flags override it — see `run_with_setup`).
+    pub execution: Option<Concurrency>,
 }
 
 /// One entry of the `workloads:` list: `number` identical clients.
@@ -114,7 +118,15 @@ impl BenchmarkSpec {
             Some(section) => parse_faults(section)?,
             None => FaultPlan::none(),
         };
-        Ok(BenchmarkSpec { workloads, fault })
+        let execution = match root.get("execution") {
+            Some(section) => Some(parse_execution(section)?),
+            None => None,
+        };
+        Ok(BenchmarkSpec {
+            workloads,
+            fault,
+            execution,
+        })
     }
 
     /// Total number of clients across all groups.
@@ -341,6 +353,43 @@ fn parse_faults(section: &Value) -> Result<FaultPlan, SpecError> {
     Ok(builder.build())
 }
 
+/// Parses the `execution:` section: how the simulated chain executes
+/// committed blocks. Both keys are optional; mode names follow
+/// [`Concurrency::from_mode`] and `threads` defaults to 4 for the
+/// parallel modes:
+///
+/// ```yaml
+/// execution:
+///   mode: optimistic   # serial | parallel | optimistic
+///   threads: 8
+/// ```
+fn parse_execution(section: &Value) -> Result<Concurrency, SpecError> {
+    let map = section
+        .as_map()
+        .ok_or_else(|| err("`execution` must be a map of `mode` and `threads`"))?;
+    for (key, _) in map {
+        if key != "mode" && key != "threads" {
+            return Err(err(format!("unknown `execution` key `{key}`")));
+        }
+    }
+    let threads = match section.get("threads") {
+        Some(v) => v
+            .as_u64()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| err("`execution.threads` must be a positive integer"))?
+            as usize,
+        None => 4,
+    };
+    let mode = match section.get("mode") {
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| err("`execution.mode` must be a string"))?,
+        None => "parallel",
+    };
+    Concurrency::from_mode(mode, threads)
+        .ok_or_else(|| err(format!("unknown `execution.mode` `{mode}`")))
+}
+
 /// Parses `"update(1, 1)"` into `("update", [1, 1])`.
 fn parse_call(call: &str) -> Result<(String, Vec<i64>), SpecError> {
     let call = call.trim();
@@ -552,6 +601,43 @@ fault:
         let bad = text.replace("3@30..50", "what");
         let e = BenchmarkSpec::parse(&bad).unwrap_err();
         assert!(e.0.contains("fault directive"), "{e}");
+    }
+
+    #[test]
+    fn execution_section_parses() {
+        let base = r#"
+workloads:
+  - number: 1
+    client:
+      behavior:
+        - interaction: !transfer
+            from: { sample: !account { number: 10 } }
+          load:
+            0: 10
+            60: 0
+"#;
+        // Absent section → no override.
+        assert_eq!(BenchmarkSpec::parse(base).unwrap().execution, None);
+
+        let with = |section: &str| format!("{base}execution:\n{section}");
+        let parse = |section: &str| BenchmarkSpec::parse(&with(section)).unwrap().execution;
+        assert_eq!(
+            parse("  mode: optimistic\n  threads: 8\n"),
+            Some(Concurrency::Optimistic(8))
+        );
+        assert_eq!(parse("  mode: serial\n"), Some(Concurrency::Serial));
+        // `threads` alone implies the static parallel scheduler; `mode`
+        // alone defaults to 4 workers.
+        assert_eq!(parse("  threads: 2\n"), Some(Concurrency::Parallel(2)));
+        assert_eq!(
+            parse("  mode: optimistic\n"),
+            Some(Concurrency::Optimistic(4))
+        );
+
+        let bad = |section: &str| BenchmarkSpec::parse(&with(section)).unwrap_err();
+        assert!(bad("  mode: speculative\n").0.contains("execution.mode"));
+        assert!(bad("  threads: 0\n").0.contains("threads"));
+        assert!(bad("  workers: 3\n").0.contains("unknown `execution` key"));
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod flavor;
 pub mod gas;
 pub mod interp;
 pub mod lang;
+pub mod mv;
 pub mod op;
 pub mod prepared;
 pub mod program;
@@ -35,6 +36,7 @@ pub use error::ExecError;
 pub use flavor::VmFlavor;
 pub use gas::GasSchedule;
 pub use interp::{Interpreter, Receipt, TxContext, MAX_LOCALS, MAX_OPS, MAX_STACK};
+pub use mv::{MvMemory, ReadSet, SpeculativeOverlay};
 pub use op::Op;
 pub use prepared::{prepare, EntryId, PreparedProgram};
 pub use program::{Asm, Label, Program};

@@ -25,6 +25,42 @@ for seed in 0xd1ab70 0xb10c5 0x7; do
         cargo test -q --release --offline -p diablo-chains --test parallel_differential
 done
 
+# Optimistic (Block-STM-style) execution: the same pinned-seed replay
+# discipline over the optimistic differential suite, which also covers
+# the Zipfian hot-account workload the static scheduler serializes.
+# The unseeded workspace run above sweeps the full randomized case set;
+# the 2-sample bench smoke at the bottom additionally drives the
+# serial/static/optimistic arms of the block_execution bench, each
+# sample asserting bit-identity against the serial reference.
+echo "==> optimistic differential replays (pinned seeds: 2/4/8 workers)"
+for seed in 0xd1ab70 0xb10c5 0x7; do
+    echo "    DIABLO_PROP_SEED=$seed"
+    DIABLO_PROP_SEED="$seed" \
+        cargo test -q --release --offline -p diablo-chains --test optimistic_differential
+done
+
+# Optimistic end-to-end smoke: a pinned-seed exact-mode chaos run
+# through the optimistic executor must be byte-identical across worker
+# counts — results and telemetry counters both (docs/EXECUTION.md §4.2).
+echo "==> optimistic smoke (pinned-seed chaos run, 1 vs 8 workers byte-compared)"
+opt_a="$(mktemp /tmp/diablo-opt-a.XXXXXX.json)"
+opt_b="$(mktemp /tmp/diablo-opt-b.XXXXXX.json)"
+cargo run -q --release --offline --bin diablo -- run --chain=quorum \
+    --seed=11 --exact --optimistic --threads=1 \
+    --output="$opt_a" workloads/exchange-partition.yaml >/dev/null
+cargo run -q --release --offline --bin diablo -- run --chain=quorum \
+    --seed=11 --exact --optimistic --threads=8 \
+    --output="$opt_b" workloads/exchange-partition.yaml >/dev/null
+cmp "$opt_a" "$opt_b" || {
+    echo "optimistic smoke: worker counts produced different output" >&2
+    exit 1
+}
+grep -qF '"optimistic.blocks"' "$opt_a" || {
+    echo "optimistic smoke: optimistic.* counters missing from telemetry" >&2
+    exit 1
+}
+rm -f "$opt_a" "$opt_b"
+
 # Telemetry smoke: one Exchange benchmark with telemetry on must emit
 # a results document whose `telemetry` section parses and carries the
 # pipeline's headline counters (compare validates the JSON reader path

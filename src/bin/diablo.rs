@@ -95,15 +95,51 @@ fn parse_chaos(args: &Args) -> Result<diablo::chains::FaultPlan, String> {
     Ok(builder.build())
 }
 
+/// Resolves the execution flags (`--threads=N`, `--optimistic`,
+/// `--execution=MODE`) into a block-commit concurrency. Both parallel
+/// executors are bit-identical to serial (see `docs/EXECUTION.md`), so
+/// these flags change wall-clock time, never results.
+fn parse_concurrency(args: &Args) -> Result<diablo::chains::Concurrency, String> {
+    let threads = match args.get("threads") {
+        Some(n) => Some(
+            n.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or("bad --threads")?,
+        ),
+        None => None,
+    };
+    let mode = match (args.get("execution"), args.has("optimistic")) {
+        (Some(_), true) => return Err("--execution and --optimistic are exclusive".into()),
+        (Some(mode), false) => Some(mode),
+        (None, true) => Some("optimistic"),
+        // --threads alone selects the static parallel scheduler.
+        (None, false) => threads.is_some().then_some("parallel"),
+    };
+    let Some(mode) = mode else {
+        return Ok(diablo::chains::Concurrency::Serial);
+    };
+    diablo::chains::Concurrency::from_mode(mode, threads.unwrap_or(4))
+        .ok_or_else(|| format!("bad --execution={mode} (serial | parallel | optimistic)"))
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  diablo run --chain=<name> [--deployment=<name>] [--secondaries=N] \
-         [--seed=N] [--output=FILE] [--csv=FILE] [--series=FILE] [--cdf=FILE] [--stat] \
-         [chaos flags] <workload.yaml>\n  \
+         [--seed=N] [--threads=N] [--optimistic] [--output=FILE] [--csv=FILE] \
+         [--series=FILE] [--cdf=FILE] [--stat] [chaos flags] <workload.yaml>\n  \
          diablo primary --secondaries=N --chain=<name> [--port=P] [--deployment=<name>] \
          [--output=FILE] [--csv=FILE] [--stat] [chaos flags] <workload.yaml>\n  \
          diablo secondary --primary=<addr> [--tag=<zone>]\n  \
          diablo compare <a.results.json> <b.results.json>\n\n\
+         execution flags (same grammar as the spec's `execution:` section; results\n\
+         are bit-identical to serial at any thread count, see docs/EXECUTION.md):\n  \
+         --threads=N                      block-commit worker threads (static scheduler)\n  \
+         --optimistic                     Block-STM-style speculation (handles dynamic\n                                   \
+         footprints; combine with --threads=N, default 4)\n  \
+         --execution=MODE                 serial | parallel | optimistic\n  \
+         --exact                          exact execution mode (interpret every call;\n                                   \
+         required for the block executors to engage)\n\n\
          chaos flags (repeatable; same grammar as the spec's `fault:` section):\n  \
          --crash=NODES@AT[..RECOVER]      crash nodes, optionally recovering\n  \
          --partition=GRP/GRP@FROM..UNTIL  split the network into components\n  \
@@ -135,6 +171,10 @@ fn parse_common(args: &Args) -> Result<(Chain, DeploymentKind, BenchmarkOptions,
     if let Some(s) = args.get("seed") {
         options.seed = s.parse().map_err(|_| "bad --seed")?;
     }
+    if args.has("exact") {
+        options.exec_mode = diablo::chains::ExecMode::Exact;
+    }
+    options.concurrency = parse_concurrency(args)?;
     options.faults = parse_chaos(args)?;
     let spec_path = args
         .positional
@@ -182,6 +222,10 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         if let Some(seed) = args.get("seed") {
             options.seed = seed.parse().map_err(|_| "bad --seed")?;
         }
+        if args.has("exact") {
+            options.exec_mode = diablo::chains::ExecMode::Exact;
+        }
+        options.concurrency = parse_concurrency(args)?;
         options.faults = parse_chaos(args)?;
         let spec_path = args
             .positional
