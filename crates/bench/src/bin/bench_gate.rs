@@ -1,0 +1,141 @@
+//! Performance-regression gate over `BENCH_*.json` files.
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json> [max_regression_pct]
+//! ```
+//!
+//! Both files are the JSON-lines output of
+//! `diablo_testkit::bench::Bench::finish` (one object per line). The
+//! gate compares every benchmark present in both files and exits
+//! non-zero when any regresses by more than `max_regression_pct`
+//! (default 10).
+//!
+//! Two robustness rules:
+//!
+//! - Entries are compared only when their `items` counts match: a
+//!   smoke-sized run is never measured against a full-scale baseline,
+//!   it is reported as a shape mismatch and skipped.
+//! - The *current* side uses `min_ns`, the sample least distorted by
+//!   transient machine load, against the baseline's `mean_ns`: a loaded
+//!   CI machine inflates means long before it inflates the fastest
+//!   sample, while a real regression moves both.
+//!
+//! An empty intersection is itself a failure — a gate that finds
+//! nothing to compare (renamed benchmarks, empty files) must not pass
+//! silently.
+
+use std::process::ExitCode;
+
+/// One parsed `BENCH_*.json` line.
+struct Entry {
+    name: String,
+    mean_ns: f64,
+    min_ns: f64,
+    items: u64,
+}
+
+/// Extracts `"key":<number>` from a JSON line our own emitter wrote.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| c == ',' || c == '}')
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Extracts `"key":"<string>"` (no escape handling: bench names are
+/// ours and contain neither quotes nor backslashes).
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn parse_file(path: &str) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut entries = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let entry = (|| {
+            Some(Entry {
+                name: str_field(line, "name")?,
+                mean_ns: num_field(line, "mean_ns")?,
+                min_ns: num_field(line, "min_ns")?,
+                items: num_field(line, "items")? as u64,
+            })
+        })()
+        .ok_or_else(|| format!("{path}: malformed line: {line}"))?;
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, current_path) = match (args.first(), args.get(1)) {
+        (Some(b), Some(c)) => (b.as_str(), c.as_str()),
+        _ => {
+            eprintln!("usage: bench_gate <baseline.json> <current.json> [max_regression_pct]");
+            return ExitCode::from(2);
+        }
+    };
+    let max_pct: f64 = match args.get(2).map(|s| s.parse()) {
+        None => 10.0,
+        Some(Ok(p)) => p,
+        Some(Err(_)) => {
+            eprintln!("bench_gate: bad max_regression_pct `{}`", args[2]);
+            return ExitCode::from(2);
+        }
+    };
+
+    let (baseline, current) = match (parse_file(baseline_path), parse_file(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    for cur in &current {
+        let Some(base) = baseline.iter().find(|b| b.name == cur.name) else {
+            println!("  new       {:<44} (no baseline)", cur.name);
+            continue;
+        };
+        if base.items != cur.items {
+            println!(
+                "  skipped   {:<44} shape mismatch: {} vs {} items",
+                cur.name, cur.items, base.items
+            );
+            continue;
+        }
+        compared += 1;
+        let delta_pct = (cur.min_ns / base.mean_ns - 1.0) * 100.0;
+        let verdict = if delta_pct > max_pct {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {verdict:<9} {:<44} {:>9.2} ms -> {:>9.2} ms ({delta_pct:+.1}%)",
+            cur.name,
+            base.mean_ns / 1e6,
+            cur.min_ns / 1e6,
+        );
+    }
+
+    if compared == 0 {
+        eprintln!("bench_gate: no comparable benchmarks between {baseline_path} and {current_path}");
+        return ExitCode::from(1);
+    }
+    if regressions > 0 {
+        eprintln!("bench_gate: {regressions} benchmark(s) regressed more than {max_pct}%");
+        return ExitCode::from(1);
+    }
+    println!("bench_gate: {compared} benchmark(s) within {max_pct}% of baseline");
+    ExitCode::SUCCESS
+}

@@ -9,13 +9,13 @@
 
 use diablo_contracts::DApp;
 use diablo_net::{DeploymentConfig, DeploymentKind, NetworkModel, QuorumModel};
-use diablo_sim::{SimDuration, SimTime, Simulation};
+use diablo_sim::{QueueBackend, SimDuration, SimTime, Simulation};
 
 use crate::exec::{Concurrency, ExecMode, ExecutionEngine};
 use crate::faults::FaultPlan;
-use crate::params::ChainParams;
+use crate::params::{ChainParams, SigVerify};
 use crate::records::RunResult;
-use crate::sim::{ChainSim, Ev, TICK_MS};
+use crate::sim::{ChainSim, Ev, TickPlan, TICK_MS};
 use crate::tx::Payload;
 use crate::Chain;
 
@@ -45,6 +45,13 @@ pub struct HarnessOptions {
     pub params: Option<ChainParams>,
     /// Injected faults (crashes, slowdowns).
     pub faults: FaultPlan,
+    /// Signature-verification cost-curve override applied on top of the
+    /// resolved parameters (the spec's `sigverify:` section); `None` =
+    /// the chain's standard curve.
+    pub sig_verify: Option<SigVerify>,
+    /// Event-queue backend of the simulation kernel (the timer wheel by
+    /// default; the reference heap for differential runs and benches).
+    pub queue: QueueBackend,
 }
 
 impl Default for HarnessOptions {
@@ -56,6 +63,8 @@ impl Default for HarnessOptions {
             grace_secs: 60,
             params: None,
             faults: FaultPlan::none(),
+            sig_verify: None,
+            queue: QueueBackend::Wheel,
         }
     }
 }
@@ -91,10 +100,13 @@ impl ChainHarness {
         dapp: Option<DApp>,
         options: HarnessOptions,
     ) -> Result<Self, String> {
-        let params = options
+        let mut params = options
             .params
             .clone()
             .unwrap_or_else(|| ChainParams::standard(chain, &config));
+        if let Some(sig_verify) = options.sig_verify {
+            params.sig_verify = sig_verify;
+        }
         let flavor = chain.vm_flavor();
         let engine = match dapp {
             None => ExecutionEngine::native(flavor, options.exec_mode),
@@ -142,17 +154,12 @@ impl ChainHarness {
             txs.windows(2).all(|w| w[0].at <= w[1].at),
             "plan must be sorted by time"
         );
-        let last = txs.last().map(|t| t.at).unwrap_or(SimTime::ZERO);
         let net = NetworkModel::default();
         let qmodel = QuorumModel::new(&self.config, &net);
 
-        // Bucket the plan into submission ticks.
-        let tick_us = TICK_MS * 1000;
-        let n_ticks = (last.as_micros() / tick_us + 1) as usize;
-        let mut plan: Vec<Vec<PlannedTx>> = vec![Vec::new(); n_ticks];
-        for tx in txs {
-            plan[(tx.at.as_micros() / tick_us) as usize].push(tx);
-        }
+        // Bucket the plan into submission ticks: the input is sorted, so
+        // ticks are contiguous ranges over the flat vector.
+        let plan = TickPlan::from_sorted(txs, TICK_MS * 1000);
 
         let world = ChainSim::from_plan(
             self.chain,
@@ -166,7 +173,7 @@ impl ChainHarness {
                 + SimDuration::from_secs(self.options.grace_secs),
         )
         .with_faults(self.options.faults.clone());
-        let mut sim = Simulation::new(world);
+        let mut sim = Simulation::with_backend(world, self.options.queue);
         let ticks = sim.world().tick_count();
         for k in 0..ticks {
             sim.schedule(SimTime::from_millis(k as u64 * TICK_MS), Ev::Tick(k as u32));

@@ -51,7 +51,8 @@ pub use faults::{FaultPlan, FaultPlanBuilder, FaultTimeline, RetryPolicy};
 pub use fees::FeeMarket;
 pub use harness::{ChainHarness, HarnessOptions, PlannedTx};
 pub use mempool::{AdmitError, Mempool, MempoolPolicy};
-pub use params::{ChainParams, ConsensusKind};
+pub use diablo_sim::QueueBackend;
+pub use params::{ChainParams, ConsensusKind, SigVerify};
 pub use records::{rate_per_sec, RunResult, TxRecord, TxStatus};
 pub use sim::{ChainSim, Experiment};
 pub use tx::{Payload, TxId, TxMeta};

@@ -9,6 +9,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use diablo_sim::{Arena, ArenaId};
+
 use crate::tx::{TxId, TxMeta};
 
 /// Admission policy of a node's memory pool.
@@ -47,10 +49,18 @@ pub enum AdmitError {
 }
 
 /// A FIFO memory pool with the policies above.
-#[derive(Debug)]
+///
+/// Records live in a generational [`Arena`]; the FIFO queue holds 8-byte
+/// [`ArenaId`]s. Hot loops can drain a block by id
+/// ([`take_batch_ids`](Mempool::take_batch_ids)), read the records in
+/// place ([`meta`](Mempool::meta)) and return the slots afterwards
+/// ([`release`](Mempool::release)) — a steady-state pool recycles slots
+/// instead of allocating, and a million-entry backlog stays one dense
+/// slab rather than a deque of owned copies.
 pub struct Mempool {
     policy: MempoolPolicy,
-    queue: VecDeque<TxMeta>,
+    arena: Arena<TxMeta>,
+    queue: VecDeque<ArenaId>,
     per_sender: HashMap<u32, u32>,
     admitted_total: u64,
     dropped_full: u64,
@@ -62,6 +72,7 @@ impl Mempool {
     pub fn new(policy: MempoolPolicy) -> Self {
         Mempool {
             policy,
+            arena: Arena::new(),
             queue: VecDeque::new(),
             per_sender: HashMap::new(),
             admitted_total: 0,
@@ -120,7 +131,8 @@ impl Mempool {
             }
         }
         *self.per_sender.entry(tx.sender).or_insert(0) += 1;
-        self.queue.push_back(tx);
+        let id = self.arena.insert(tx);
+        self.queue.push_back(id);
         self.admitted_total += 1;
         diablo_telemetry::counter!("mempool.admitted");
         Ok(())
@@ -131,24 +143,30 @@ impl Mempool {
     /// gossip availability). Transactions failing the predicate are
     /// *skipped but retained* (they stay pending, preserving FIFO order
     /// among themselves).
-    pub fn take_batch(
+    ///
+    /// The returned ids stay readable through [`meta`](Mempool::meta)
+    /// until [`release`](Mempool::release)d — the zero-copy drain the
+    /// block-commit hot loop uses. [`take_batch`](Mempool::take_batch)
+    /// wraps this for callers that want owned records.
+    pub fn take_batch_ids(
         &mut self,
         max: usize,
         max_bytes: u64,
         mut eligible: impl FnMut(&TxMeta) -> bool,
-    ) -> Vec<TxMeta> {
+    ) -> Vec<ArenaId> {
         // Work from the front in place: a block drains a few hundred
         // transactions, so the cost must scale with the batch, not with
         // the (possibly unbounded — Quorum) pool occupancy.
         let mut taken = Vec::new();
-        let mut skipped: Vec<TxMeta> = Vec::new();
+        let mut skipped: Vec<ArenaId> = Vec::new();
         let mut bytes = 0u64;
-        while let Some(tx) = self.queue.pop_front() {
+        while let Some(id) = self.queue.pop_front() {
+            let tx = self.arena.get(id).expect("queued id must be live");
             if taken.len() >= max || bytes + tx.wire_bytes as u64 > max_bytes {
-                self.queue.push_front(tx);
+                self.queue.push_front(id);
                 break;
             }
-            if eligible(&tx) {
+            if eligible(tx) {
                 bytes += tx.wire_bytes as u64;
                 let count = self
                     .per_sender
@@ -158,9 +176,9 @@ impl Mempool {
                 if *count == 0 {
                     self.per_sender.remove(&tx.sender);
                 }
-                taken.push(tx);
+                taken.push(id);
             } else {
-                skipped.push(tx);
+                skipped.push(id);
             }
         }
         // Splice the skipped (still-pending) transactions back in front
@@ -169,11 +187,44 @@ impl Mempool {
         diablo_telemetry::counter!("mempool.take_batch.skipped", skipped.len() as u64);
         diablo_telemetry::record!("mempool.take_batch.txs", taken.len() as u64);
         diablo_telemetry::record!("mempool.take_batch.bytes", bytes);
-        for tx in skipped.into_iter().rev() {
-            self.queue.push_front(tx);
+        for id in skipped.into_iter().rev() {
+            self.queue.push_front(id);
         }
         diablo_telemetry::gauge!("mempool.depth_peak", self.queue.len() as i64);
         taken
+    }
+
+    /// Pops up to `max` transactions in FIFO order as owned records (see
+    /// [`take_batch_ids`](Mempool::take_batch_ids) for the semantics).
+    pub fn take_batch(
+        &mut self,
+        max: usize,
+        max_bytes: u64,
+        eligible: impl FnMut(&TxMeta) -> bool,
+    ) -> Vec<TxMeta> {
+        let ids = self.take_batch_ids(max, max_bytes, eligible);
+        ids.into_iter().map(|id| self.release(id)).collect()
+    }
+
+    /// The record behind a batch id handed out by
+    /// [`take_batch_ids`](Mempool::take_batch_ids) (or still queued).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale id (already released): batch ids are owned by
+    /// exactly one block-commit and must not outlive it.
+    pub fn meta(&self, id: ArenaId) -> &TxMeta {
+        self.arena.get(id).expect("stale mempool ArenaId")
+    }
+
+    /// Returns a drained transaction's slot to the pool's arena,
+    /// yielding the owned record.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale id (double release).
+    pub fn release(&mut self, id: ArenaId) -> TxMeta {
+        self.arena.remove(id).expect("stale mempool ArenaId")
     }
 
     /// Removes transactions matching `expired`, returning their ids
@@ -181,7 +232,10 @@ impl Mempool {
     pub fn evict_where(&mut self, mut expired: impl FnMut(&TxMeta) -> bool) -> Vec<TxId> {
         let mut evicted = Vec::new();
         let per_sender = &mut self.per_sender;
-        self.queue.retain(|tx| {
+        let arena = &mut self.arena;
+        let mut dead: Vec<ArenaId> = Vec::new();
+        self.queue.retain(|&id| {
+            let tx = arena.get(id).expect("queued id must be live");
             if expired(tx) {
                 let count = per_sender
                     .get_mut(&tx.sender)
@@ -191,18 +245,24 @@ impl Mempool {
                     per_sender.remove(&tx.sender);
                 }
                 evicted.push(tx.id);
+                dead.push(id);
                 false
             } else {
                 true
             }
         });
+        for id in dead {
+            arena.remove(id);
+        }
         diablo_telemetry::counter!("mempool.evicted", evicted.len() as u64);
         evicted
     }
 
     /// Iterates the queued transactions (oldest first).
     pub fn iter(&self) -> impl Iterator<Item = &TxMeta> {
-        self.queue.iter()
+        self.queue
+            .iter()
+            .map(|&id| self.arena.get(id).expect("queued id must be live"))
     }
 }
 

@@ -21,7 +21,7 @@ use std::collections::VecDeque;
 
 use diablo_contracts::{calls, DApp};
 use diablo_net::{DeploymentConfig, DeploymentKind, QuorumModel};
-use diablo_sim::{DetRng, Scheduler, SimDuration, SimTime, World};
+use diablo_sim::{DetRng, QueueBackend, Scheduler, SimDuration, SimTime, World};
 use diablo_workloads::Workload;
 
 use crate::chain::Chain;
@@ -30,7 +30,7 @@ use crate::faults::{FaultPlan, FaultTimeline};
 use crate::fees::FeeMarket;
 use crate::harness::{ChainHarness, HarnessOptions, PlannedTx};
 use crate::mempool::{AdmitError, Mempool};
-use crate::params::{ChainParams, ConsensusKind};
+use crate::params::{ChainParams, ConsensusKind, SigVerify};
 use crate::records::{BlockRecord, RunResult, TxRecord, TxStatus};
 use crate::tx::{CallSel, Payload, TxMeta};
 
@@ -77,6 +77,11 @@ pub struct Experiment {
     /// Explicit function selection applied to every invocation (the
     /// spec's `function: "..."`); `None` = default per-DApp rotation.
     pub call: Option<CallSel>,
+    /// Signature-verification cost-curve override; `None` = the chain's
+    /// standard curve.
+    pub sig_verify: Option<SigVerify>,
+    /// Event-queue backend of the simulation kernel.
+    pub queue: QueueBackend,
 }
 
 impl Experiment {
@@ -95,6 +100,8 @@ impl Experiment {
             config: None,
             faults: FaultPlan::none(),
             call: None,
+            sig_verify: None,
+            queue: QueueBackend::Wheel,
         }
     }
 
@@ -154,6 +161,19 @@ impl Experiment {
         self
     }
 
+    /// Overrides the signature-verification cost curve (ablations).
+    pub fn with_sig_verify(mut self, sig_verify: SigVerify) -> Self {
+        self.sig_verify = Some(sig_verify);
+        self
+    }
+
+    /// Runs the simulation kernel on an explicit event-queue backend
+    /// (wheel-vs-heap differential runs and benches).
+    pub fn with_queue_backend(mut self, queue: QueueBackend) -> Self {
+        self.queue = queue;
+        self
+    }
+
     /// Runs the experiment to completion.
     pub fn run(self) -> RunResult {
         let workload_name = self.workload.name().to_string();
@@ -165,6 +185,8 @@ impl Experiment {
             grace_secs: self.grace_secs,
             params: self.params.clone(),
             faults: self.faults.clone(),
+            sig_verify: self.sig_verify,
+            queue: self.queue,
         };
         // An unbuildable or unrunnable DApp makes the whole chain
         // "unable" (Figure 5's X marks, Figure 2's missing bars).
@@ -211,6 +233,54 @@ impl Experiment {
     }
 }
 
+/// The submission plan, flattened: one time-sorted vector plus per-tick
+/// bounds, instead of one owned `Vec` per 100 ms tick.
+///
+/// Planning a long run used to allocate a bucket per tick and
+/// `mem::take` each on submission; the flat layout keeps the whole plan
+/// in one slab, indexes ticks as slices, and preserves input order
+/// exactly (the input is time-sorted with stable ties).
+pub(crate) struct TickPlan {
+    txs: Vec<PlannedTx>,
+    /// `bounds[k]..bounds[k + 1]` is tick `k`'s slice; `ticks + 1` long.
+    bounds: Vec<u32>,
+}
+
+impl TickPlan {
+    /// Builds the per-tick bounds over a time-sorted plan.
+    pub(crate) fn from_sorted(txs: Vec<PlannedTx>, tick_us: u64) -> Self {
+        debug_assert!(txs.windows(2).all(|w| w[0].at <= w[1].at));
+        let last = txs.last().map(|t| t.at.as_micros()).unwrap_or(0);
+        let ticks = (last / tick_us + 1) as usize;
+        let mut bounds = Vec::with_capacity(ticks + 1);
+        bounds.push(0u32);
+        let mut i = 0usize;
+        for k in 0..ticks {
+            let end = (k as u64 + 1) * tick_us;
+            while i < txs.len() && txs[i].at.as_micros() < end {
+                i += 1;
+            }
+            bounds.push(i as u32);
+        }
+        TickPlan { txs, bounds }
+    }
+
+    /// Number of submission ticks.
+    fn ticks(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Index range of tick `k`'s transactions.
+    fn range(&self, k: usize) -> std::ops::Range<usize> {
+        self.bounds[k] as usize..self.bounds[k + 1] as usize
+    }
+
+    /// Total planned transactions.
+    fn len(&self) -> usize {
+        self.txs.len()
+    }
+}
+
 /// A block whose transactions await confirmation depth.
 struct PendingFinality {
     /// Height at which the block committed.
@@ -232,8 +302,8 @@ pub struct ChainSim {
     engine: ExecutionEngine,
     /// Per-transaction records (the arena Secondaries report from).
     records: Vec<TxRecord>,
-    /// Per-tick planned submissions.
-    plan: Vec<Vec<PlannedTx>>,
+    /// The flattened submission plan (time-sorted, tick-bounded).
+    plan: TickPlan,
     /// Current block height.
     height: u64,
     /// Rotating proposer index.
@@ -284,7 +354,7 @@ impl ChainSim {
         config: &DeploymentConfig,
         qmodel: QuorumModel,
         mut engine: ExecutionEngine,
-        plan: Vec<Vec<PlannedTx>>,
+        plan: TickPlan,
         seed: u64,
         deadline: SimTime,
     ) -> Self {
@@ -316,11 +386,14 @@ impl ChainSim {
             ConsensusKind::HotStuff { pacemaker_base, .. } => pacemaker_base,
             _ => SimDuration::ZERO,
         };
-        let total: usize = plan.iter().map(Vec::len).sum();
+        let total: usize = plan.len();
         let per_sec = (1000 / TICK_MS) as usize;
-        let arrival_per_sec: Vec<u64> = plan
+        let tick_counts: Vec<u64> = (0..plan.ticks())
+            .map(|k| plan.range(k).len() as u64)
+            .collect();
+        let arrival_per_sec: Vec<u64> = tick_counts
             .chunks(per_sec)
-            .map(|c| c.iter().map(|b| b.len() as u64).sum())
+            .map(|c| c.iter().sum())
             .collect();
         let accounts = params.accounts as usize;
         let workload_end = deadline;
@@ -364,7 +437,7 @@ impl ChainSim {
 
     /// Number of submission ticks in the plan.
     pub(crate) fn tick_count(&self) -> usize {
-        self.plan.len()
+        self.plan.ticks()
     }
 
     /// Hard stop for block production.
@@ -380,9 +453,12 @@ impl ChainSim {
 
     /// Submits the transactions of one tick.
     fn submit_tick(&mut self, _now: SimTime, k: u32) {
-        let batch = std::mem::take(&mut self.plan[k as usize]);
+        let range = self.plan.range(k as usize);
         let nodes = self.site_gossip_secs.len().max(1);
-        for planned in batch {
+        for i in range {
+            // `PlannedTx` is `Copy`: reading out of the flat plan keeps
+            // the borrow checker away from the mutations below.
+            let planned = self.plan.txs[i];
             let id = self.records.len() as u32;
             self.records.push(TxRecord::submitted_at(planned.at));
             // The collocated Secondary submits to its nearest node; the
@@ -898,13 +974,21 @@ impl ChainSim {
         (txs as u64 * self.wire_estimate as u64).min(self.params.block_bytes_limit)
     }
 
-    /// Execution delay of a full block at the chain's execution rate.
+    /// Verification-plus-execution delay of a full block: batched
+    /// signature verification (the [`SigVerify`](crate::SigVerify) cost
+    /// curve) followed by contract execution at the chain's rate.
+    ///
+    /// HotStuff and BA★ rounds absorb verification in their fitted
+    /// round models and do not call this; every arm that charges
+    /// execution explicitly charges verification with it.
     fn exec_delay_estimate(&self, now: SimTime) -> SimDuration {
-        let txs = self.block_capacity(now).min(self.pool.len()) as f64;
-        let ops = txs * self.ops_estimate as f64;
+        let txs = self.block_capacity(now).min(self.pool.len());
+        let sig = self.params.sig_verify.batch_cost(txs);
+        diablo_telemetry::record_duration!("exec.sigverify_us", sig);
+        let ops = txs as f64 * self.ops_estimate as f64;
         let d = SimDuration::from_secs_f64(ops / self.params.exec_ops_per_sec.max(1.0));
         diablo_telemetry::record_duration!("exec.block_delay_us", d);
-        d
+        sig + d
     }
 
     /// Advances the chain by one empty block (skipped or empty slots
@@ -927,9 +1011,12 @@ impl ChainSim {
         let capacity = self.block_capacity(now);
         let fee = &self.fee;
         let broken = &self.broken_from;
+        // Drain by arena id: records stay in the pool's slab while the
+        // block is assembled and executed, and the slots are recycled
+        // at the end — no owned copies on the per-block path.
         let batch = self
             .pool
-            .take_batch(capacity, self.params.block_bytes_limit, |tx| {
+            .take_batch_ids(capacity, self.params.block_bytes_limit, |tx| {
                 tx.available <= now
                     && fee.is_eligible(tx.fee_cap_millis)
                     && tx.id < broken[tx.sender as usize]
@@ -940,8 +1027,9 @@ impl ChainSim {
         diablo_telemetry::record!("consensus.block.txs", batch.len() as u64);
         diablo_telemetry::record_duration!("consensus.commit_latency_us", committed.since(now));
         if diablo_telemetry::enabled() {
-            for tx in &batch {
+            for &id in &batch {
                 // Queueing delay: submission to inclusion in a block.
+                let tx = self.pool.meta(id);
                 diablo_telemetry::record_duration!("mempool.queue_wait_us", now.since(tx.submitted));
             }
         }
@@ -951,25 +1039,28 @@ impl ChainSim {
             height: self.height,
             committed,
             txs: batch.len() as u32,
-            bytes: batch.iter().map(|t| t.wire_bytes).sum(),
+            bytes: batch.iter().map(|&id| self.pool.meta(id).wire_bytes).sum(),
         });
         if !batch.is_empty() {
             // The whole batch goes through the engine at once so a
             // parallel-configured engine can schedule its conflict-free
             // transactions across workers; costs come back in canonical
             // order either way.
-            let payloads: Vec<Payload> = batch.iter().map(|tx| tx.payload).collect();
+            let payloads: Vec<Payload> = batch.iter().map(|&id| self.pool.meta(id).payload).collect();
             let costs = self.engine.execute_block(&payloads);
             let txs = batch
                 .iter()
                 .zip(&costs)
-                .map(|(tx, cost)| (tx.id, cost.ok))
+                .map(|(&id, cost)| (self.pool.meta(id).id, cost.ok))
                 .collect();
             self.awaiting.push_back(PendingFinality {
                 height: self.height,
                 committed,
                 txs,
             });
+        }
+        for id in batch {
+            self.pool.release(id);
         }
         self.settle_finality();
     }

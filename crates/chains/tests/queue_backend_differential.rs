@@ -1,0 +1,73 @@
+//! Differential test: the timer-wheel event queue is byte-identical to
+//! the reference binary heap on full experiments.
+//!
+//! The property tests in `diablo-sim` prove the two backends pop the
+//! same sequences on random schedule/pop interleavings; this suite
+//! closes the loop end to end: complete chain runs — every chain, a
+//! DApp workload, and a chaos run with crashes and message loss — must
+//! produce identical transaction records and block streams under either
+//! backend. Everything downstream of the kernel (mempool order, RNG
+//! draws, fee markets, fault injection) consumes event order, so any
+//! divergence between the backends shows up here as a diff.
+
+use diablo_chains::{Chain, Experiment, FaultPlan, QueueBackend};
+use diablo_contracts::DApp;
+use diablo_net::DeploymentKind;
+use diablo_sim::SimTime;
+use diablo_workloads::traces;
+
+/// Renders everything observable about a run (per-transaction records
+/// and the block stream) for exact comparison.
+fn fingerprint(experiment: Experiment) -> String {
+    let result = experiment.run();
+    format!("{:?}\n{:?}\n{}", result.records, result.blocks, result.summary())
+}
+
+#[test]
+fn wheel_matches_heap_on_every_chain() {
+    for chain in Chain::EXTENDED {
+        let experiment =
+            || Experiment::new(chain, DeploymentKind::Testnet, traces::constant(400.0, 30));
+        let wheel = fingerprint(experiment().with_queue_backend(QueueBackend::Wheel));
+        let heap = fingerprint(experiment().with_queue_backend(QueueBackend::Heap));
+        assert_eq!(wheel, heap, "{chain:?}: queue backends diverged");
+    }
+}
+
+#[test]
+fn wheel_matches_heap_on_a_dapp_workload() {
+    let experiment = || {
+        Experiment::new(
+            Chain::Quorum,
+            DeploymentKind::Testnet,
+            traces::constant(800.0, 30),
+        )
+        .with_dapp(DApp::Exchange)
+        .with_seed(7)
+    };
+    let wheel = fingerprint(experiment().with_queue_backend(QueueBackend::Wheel));
+    let heap = fingerprint(experiment().with_queue_backend(QueueBackend::Heap));
+    assert_eq!(wheel, heap, "Exchange workload: queue backends diverged");
+}
+
+#[test]
+fn wheel_matches_heap_under_chaos() {
+    let t = SimTime::from_secs;
+    let faults = FaultPlan::builder()
+        .crash_many(2, t(5))
+        .recover_many(2, t(15))
+        .loss(0.10, t(0), t(25))
+        .build();
+    let experiment = || {
+        Experiment::new(
+            Chain::Diem,
+            DeploymentKind::Testnet,
+            traces::constant(500.0, 30),
+        )
+        .with_seed(11)
+        .with_faults(faults.clone())
+    };
+    let wheel = fingerprint(experiment().with_queue_backend(QueueBackend::Wheel));
+    let heap = fingerprint(experiment().with_queue_backend(QueueBackend::Heap));
+    assert_eq!(wheel, heap, "chaos run: queue backends diverged");
+}

@@ -63,6 +63,17 @@ impl ByteBuf {
         self.data.extend_from_slice(bytes);
     }
 
+    /// Overwrites 4 already-written bytes at `offset` with a
+    /// little-endian `u32` — patches a length prefix reserved before the
+    /// body was encoded, so framing needs no second buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `offset + 4` bytes have been written.
+    pub fn set_u32_le(&mut self, offset: usize, v: u32) {
+        self.data[offset..offset + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
     /// The bytes written so far.
     pub fn as_slice(&self) -> &[u8] {
         &self.data
@@ -177,6 +188,15 @@ mod tests {
         assert_eq!(r.get_u8().unwrap(), 1);
         assert_eq!(r.get_u8().unwrap(), 2);
         assert!(r.get_u8().is_err());
+    }
+
+    #[test]
+    fn set_patches_in_place() {
+        let mut buf = ByteBuf::new();
+        buf.put_u32_le(0); // reserved length prefix
+        buf.put_slice(b"body");
+        buf.set_u32_le(0, buf.len() as u32 - 4);
+        assert_eq!(buf.as_slice(), &[4, 0, 0, 0, b'b', b'o', b'd', b'y']);
     }
 
     #[test]

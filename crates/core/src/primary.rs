@@ -35,6 +35,10 @@ pub struct BenchmarkOptions {
     /// Faults injected on top of the spec's own `fault:` section (the
     /// CLI's chaos flags land here; merged with the spec's plan).
     pub faults: diablo_chains::FaultPlan,
+    /// Signature-verification cost-curve override; an explicit setting
+    /// wins over the spec's `sigverify:` section, `None` defers to it
+    /// (and then to the chain's standard curve).
+    pub sig_verify: Option<diablo_chains::SigVerify>,
 }
 
 impl Default for BenchmarkOptions {
@@ -46,6 +50,7 @@ impl Default for BenchmarkOptions {
             grace_secs: 60,
             secondaries: 2,
             faults: diablo_chains::FaultPlan::none(),
+            sig_verify: None,
         }
     }
 }
@@ -172,6 +177,9 @@ pub fn run_with_setup(
     let mut merged: Vec<PlannedTx> = plans.into_iter().flatten().collect();
     merged.sort_by_key(|t| t.at);
 
+    // An explicit override (CLI / caller) wins over the spec's
+    // `sigverify:` section, mirroring the concurrency rule above.
+    let sig_verify = options.sig_verify.or(spec.sig_verify);
     let harness_options = HarnessOptions {
         seed: options.seed,
         exec_mode: options.exec_mode,
@@ -179,6 +187,8 @@ pub fn run_with_setup(
         grace_secs: options.grace_secs,
         params: None,
         faults: faults.clone(),
+        sig_verify,
+        queue: Default::default(),
     };
     let secondaries = ranges.len();
     let result = match ChainHarness::with_config(chain, setup.config.clone(), dapp, harness_options)

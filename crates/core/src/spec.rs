@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use diablo_chains::{Concurrency, FaultPlan};
+use diablo_chains::{Concurrency, FaultPlan, SigVerify};
 use diablo_workloads::Workload;
 
 use crate::yaml::{self, Value};
@@ -25,6 +25,10 @@ pub struct BenchmarkSpec {
     /// section (`None` when absent; the CLI's `--threads`/`--optimistic`
     /// flags override it — see `run_with_setup`).
     pub execution: Option<Concurrency>,
+    /// Signature-verification cost curve requested by the optional
+    /// `sigverify:` section (`None` when absent = the chain's standard
+    /// curve; an explicit `BenchmarkOptions::sig_verify` overrides it).
+    pub sig_verify: Option<SigVerify>,
 }
 
 /// One entry of the `workloads:` list: `number` identical clients.
@@ -122,10 +126,15 @@ impl BenchmarkSpec {
             Some(section) => Some(parse_execution(section)?),
             None => None,
         };
+        let sig_verify = match root.get("sigverify") {
+            Some(section) => Some(parse_sigverify(section)?),
+            None => None,
+        };
         Ok(BenchmarkSpec {
             workloads,
             fault,
             execution,
+            sig_verify,
         })
     }
 
@@ -390,6 +399,55 @@ fn parse_execution(section: &Value) -> Result<Concurrency, SpecError> {
         .ok_or_else(|| err(format!("unknown `execution.mode` `{mode}`")))
 }
 
+/// Parses the `sigverify:` section: the batched signature-verification
+/// cost curve applied in place of the chain's standard one. `per_tx_us`
+/// is required (`0` disables verification modeling); the batching keys
+/// are optional and default to no amortization:
+///
+/// ```yaml
+/// sigverify:
+///   per_tx_us: 55      # single-signature cost, µs per core pool
+///   batch_fixed_us: 30 # per-block fixed cost
+///   batch_knee: 128    # batch size reaching half the max speedup
+///   max_speedup: 2.0   # asymptotic amortization factor
+/// ```
+fn parse_sigverify(section: &Value) -> Result<SigVerify, SpecError> {
+    let map = section
+        .as_map()
+        .ok_or_else(|| err("`sigverify` must be a map of cost-curve keys"))?;
+    for (key, _) in map {
+        if !matches!(
+            key.as_str(),
+            "per_tx_us" | "batch_fixed_us" | "batch_knee" | "max_speedup"
+        ) {
+            return Err(err(format!("unknown `sigverify` key `{key}`")));
+        }
+    }
+    let field = |key: &str, default: f64| -> Result<f64, SpecError> {
+        match section.get(key) {
+            Some(v) => v
+                .as_f64()
+                .filter(|x| x.is_finite() && *x >= 0.0)
+                .ok_or_else(|| err(format!("`sigverify.{key}` must be a non-negative number"))),
+            None => Ok(default),
+        }
+    };
+    let per_tx_us = match section.get("per_tx_us") {
+        Some(_) => field("per_tx_us", 0.0)?,
+        None => return Err(err("`sigverify` needs a `per_tx_us`")),
+    };
+    let max_speedup = field("max_speedup", 1.0)?;
+    if max_speedup < 1.0 {
+        return Err(err("`sigverify.max_speedup` must be at least 1"));
+    }
+    Ok(SigVerify {
+        per_tx_us,
+        batch_fixed_us: field("batch_fixed_us", 0.0)?,
+        batch_knee: field("batch_knee", 1.0)?,
+        max_speedup,
+    })
+}
+
 /// Parses `"update(1, 1)"` into `("update", [1, 1])`.
 fn parse_call(call: &str) -> Result<(String, Vec<i64>), SpecError> {
     let call = call.trim();
@@ -638,6 +696,53 @@ workloads:
         assert!(bad("  mode: speculative\n").0.contains("execution.mode"));
         assert!(bad("  threads: 0\n").0.contains("threads"));
         assert!(bad("  workers: 3\n").0.contains("unknown `execution` key"));
+    }
+
+    #[test]
+    fn sigverify_section_parses() {
+        let base = r#"
+workloads:
+  - number: 1
+    client:
+      behavior:
+        - interaction: !transfer
+            from: { sample: !account { number: 10 } }
+          load:
+            0: 10
+            60: 0
+"#;
+        // Absent section → chain's standard curve.
+        assert_eq!(BenchmarkSpec::parse(base).unwrap().sig_verify, None);
+
+        let with = |section: &str| format!("{base}sigverify:\n{section}");
+        let parse = |section: &str| BenchmarkSpec::parse(&with(section)).unwrap().sig_verify;
+        assert_eq!(
+            parse("  per_tx_us: 55\n  batch_fixed_us: 30\n  batch_knee: 128\n  max_speedup: 2.0\n"),
+            Some(SigVerify {
+                per_tx_us: 55.0,
+                batch_fixed_us: 30.0,
+                batch_knee: 128.0,
+                max_speedup: 2.0,
+            })
+        );
+        // Batching keys default to no amortization; `per_tx_us: 0`
+        // disables verification modeling outright.
+        assert_eq!(
+            parse("  per_tx_us: 85\n"),
+            Some(SigVerify {
+                per_tx_us: 85.0,
+                batch_fixed_us: 0.0,
+                batch_knee: 1.0,
+                max_speedup: 1.0,
+            })
+        );
+        assert_eq!(parse("  per_tx_us: 0\n"), Some(SigVerify::DISABLED));
+
+        let bad = |section: &str| BenchmarkSpec::parse(&with(section)).unwrap_err();
+        assert!(bad("  batch_knee: 4\n").0.contains("per_tx_us"));
+        assert!(bad("  per_tx_us: -3\n").0.contains("non-negative"));
+        assert!(bad("  per_tx_us: 55\n  max_speedup: 0.5\n").0.contains("at least 1"));
+        assert!(bad("  per_tx_us: 55\n  knee: 4\n").0.contains("unknown `sigverify` key"));
     }
 
     #[test]

@@ -130,7 +130,11 @@ fn put_string(buf: &mut ByteBuf, s: &str) {
 fn get_string(buf: &mut ByteReader) -> Result<String, String> {
     let len = buf.get_u32_le().map_err(|_| "truncated string length")? as usize;
     let bytes = buf.take(len).map_err(|_| "truncated string body")?;
-    String::from_utf8(bytes.to_vec()).map_err(|e| e.to_string())
+    // Validate UTF-8 on the borrowed frame bytes; allocate only for the
+    // (valid) result, never for a rejected body.
+    std::str::from_utf8(bytes)
+        .map(str::to_owned)
+        .map_err(|e| e.to_string())
 }
 
 /// Encodes a telemetry snapshot: four length-prefixed sections in the
@@ -215,13 +219,72 @@ pub fn get_telemetry(
     Ok(snapshot)
 }
 
+/// Starts a frame: reserves the 4-byte length prefix and writes the
+/// message tag. Finish with [`finish_frame`].
+fn begin_frame(tag: u8, capacity: usize) -> ByteBuf {
+    let mut framed = ByteBuf::with_capacity(capacity + 5);
+    framed.put_u32_le(0); // length prefix, patched by finish_frame
+    framed.put_u8(tag);
+    framed
+}
+
+/// Patches the reserved length prefix of a [`begin_frame`] buffer. The
+/// body is framed in place — no copy into a second buffer.
+fn finish_frame(mut framed: ByteBuf) -> ByteBuf {
+    let body_len = framed.len() - 4;
+    framed.set_u32_le(0, body_len as u32);
+    framed
+}
+
+fn put_wire_tx(body: &mut ByteBuf, tx: &WireTx) {
+    body.put_u64_le(tx.at_us);
+    body.put_u32_le(tx.sender);
+    body.put_u8(tx.kind);
+    body.put_u8(tx.dapp);
+    body.put_u64_le(tx.seq);
+    body.put_u8(tx.entry);
+    body.put_i32_le(tx.args[0]);
+    body.put_i32_le(tx.args[1]);
+    body.put_u8(tx.argc);
+}
+
+fn put_wire_outcome(body: &mut ByteBuf, tx: &WireOutcome) {
+    body.put_u8(tx.status);
+    body.put_u64_le(tx.submit_us);
+    body.put_u64_le(tx.decide_us);
+}
+
+/// Encodes a `Plan` frame straight from a slice of planned
+/// transactions: the Secondary streams chunk views of its plan without
+/// first collecting each chunk into an owned `Vec<WireTx>`.
+fn encode_plan_chunk(txs: &[PlannedTx]) -> ByteBuf {
+    let mut framed = begin_frame(3, 4 + txs.len() * 32);
+    framed.put_u32_le(txs.len() as u32);
+    for tx in txs {
+        put_wire_tx(&mut framed, &planned_to_wire(tx));
+    }
+    finish_frame(framed)
+}
+
+/// Encodes an `Outcomes` frame straight from a slice: the Primary's
+/// fan-out sends chunk views of one outcomes vector without cloning
+/// each chunk into an owned message.
+fn encode_outcomes_chunk(txs: &[WireOutcome]) -> ByteBuf {
+    let mut framed = begin_frame(5, 4 + txs.len() * 17);
+    framed.put_u32_le(txs.len() as u32);
+    for tx in txs {
+        put_wire_outcome(&mut framed, tx);
+    }
+    finish_frame(framed)
+}
+
 /// Encodes a message into a framed byte buffer.
 pub fn encode(msg: &Message) -> ByteBuf {
-    let mut body = ByteBuf::with_capacity(64);
-    match msg {
+    let framed = match msg {
         Message::Hello { tag } => {
-            body.put_u8(1);
-            put_string(&mut body, tag);
+            let mut f = begin_frame(1, 64);
+            put_string(&mut f, tag);
+            f
         }
         Message::Assign {
             chain,
@@ -229,52 +292,41 @@ pub fn encode(msg: &Message) -> ByteBuf {
             first,
             last,
         } => {
-            body.put_u8(2);
-            put_string(&mut body, chain);
-            put_string(&mut body, spec);
-            body.put_u32_le(*first);
-            body.put_u32_le(*last);
+            let mut f = begin_frame(2, chain.len() + spec.len() + 16);
+            put_string(&mut f, chain);
+            put_string(&mut f, spec);
+            f.put_u32_le(*first);
+            f.put_u32_le(*last);
+            f
         }
-        Message::Plan { txs } => {
-            body.put_u8(3);
-            body.put_u32_le(txs.len() as u32);
-            for tx in txs {
-                body.put_u64_le(tx.at_us);
-                body.put_u32_le(tx.sender);
-                body.put_u8(tx.kind);
-                body.put_u8(tx.dapp);
-                body.put_u64_le(tx.seq);
-                body.put_u8(tx.entry);
-                body.put_i32_le(tx.args[0]);
-                body.put_i32_le(tx.args[1]);
-                body.put_u8(tx.argc);
-            }
-        }
-        Message::PlanDone => body.put_u8(4),
-        Message::Outcomes { txs } => {
-            body.put_u8(5);
-            body.put_u32_le(txs.len() as u32);
-            for tx in txs {
-                body.put_u8(tx.status);
-                body.put_u64_le(tx.submit_us);
-                body.put_u64_le(tx.decide_us);
-            }
-        }
-        Message::OutcomesDone => body.put_u8(6),
+        Message::Plan { txs } => return encode_plan_frame_owned(txs),
+        Message::PlanDone => begin_frame(4, 0),
+        Message::Outcomes { txs } => return encode_outcomes_chunk(txs),
+        Message::OutcomesDone => begin_frame(6, 0),
         Message::Stats { text } => {
-            body.put_u8(7);
-            put_string(&mut body, text);
+            let mut f = begin_frame(7, text.len() + 4);
+            put_string(&mut f, text);
+            f
         }
-        Message::Done => body.put_u8(8),
+        Message::Done => begin_frame(8, 0),
         Message::Telemetry { snapshot } => {
-            body.put_u8(9);
-            put_telemetry(&mut body, snapshot);
+            let mut f = begin_frame(9, 256);
+            put_telemetry(&mut f, snapshot);
+            f
         }
+    };
+    finish_frame(framed)
+}
+
+/// [`encode`]'s arm for an owned `Plan` message (roundtrip tests and
+/// any caller holding `WireTx` values directly).
+fn encode_plan_frame_owned(txs: &[WireTx]) -> ByteBuf {
+    let mut framed = begin_frame(3, 4 + txs.len() * 32);
+    framed.put_u32_le(txs.len() as u32);
+    for tx in txs {
+        put_wire_tx(&mut framed, tx);
     }
-    let mut framed = ByteBuf::with_capacity(body.len() + 4);
-    framed.put_u32_le(body.len() as u32);
-    framed.put_slice(&body);
-    framed
+    finish_frame(framed)
 }
 
 /// Decodes one frame body (without the length prefix).
@@ -353,8 +405,12 @@ pub fn decode(body: &[u8]) -> Result<Message, String> {
 
 /// Writes one framed message to a stream.
 pub fn write_message(stream: &mut TcpStream, msg: &Message) -> Result<(), String> {
-    let framed = encode(msg);
-    stream.write_all(&framed).map_err(|e| e.to_string())
+    write_frame(stream, &encode(msg))
+}
+
+/// Writes an already-framed buffer to a stream.
+fn write_frame(stream: &mut TcpStream, framed: &ByteBuf) -> Result<(), String> {
+    stream.write_all(framed).map_err(|e| e.to_string())
 }
 
 /// Reads one framed message from a stream.
@@ -594,6 +650,8 @@ pub fn serve_primary(
         grace_secs: options.grace_secs,
         params: None,
         faults: faults.clone(),
+        sig_verify: options.sig_verify,
+        queue: Default::default(),
     };
     let result = match ChainHarness::new(chain, deployment, dapp, harness_options) {
         Ok(h) => h.run(merged_sorted, workload_name, spec.duration_secs() as f64),
@@ -632,12 +690,7 @@ pub fn serve_primary(
         }
         let send = (|| -> Result<(), String> {
             for chunk in outcomes.chunks(CHUNK) {
-                write_message(
-                    stream,
-                    &Message::Outcomes {
-                        txs: chunk.to_vec(),
-                    },
-                )?;
+                write_frame(stream, &encode_outcomes_chunk(chunk))?;
             }
             write_message(stream, &Message::OutcomesDone)
         })();
@@ -741,8 +794,7 @@ pub fn run_secondary(addr: &str, tag: &str) -> Result<String, String> {
         String::new()
     };
     for chunk in plan.chunks(CHUNK) {
-        let txs: Vec<WireTx> = chunk.iter().map(planned_to_wire).collect();
-        write_message(&mut stream, &Message::Plan { txs })?;
+        write_frame(&mut stream, &encode_plan_chunk(chunk))?;
     }
     write_message(&mut stream, &Message::PlanDone)?;
 
@@ -889,6 +941,59 @@ mod tests {
         body.put_u8(3);
         body.put_u32_le(1);
         assert!(decode(&body).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_invalid_utf8_without_consuming() {
+        // Hello with a 2-byte string body that is not UTF-8.
+        let mut body = ByteBuf::new();
+        body.put_u8(1);
+        body.put_u32_le(2);
+        body.put_slice(&[0xFF, 0xFE]);
+        assert!(decode(&body).unwrap_err().contains("utf-8"));
+    }
+
+    #[test]
+    fn slice_chunk_encoders_match_owned_messages() {
+        // The zero-copy chunk paths must stay byte-identical to the
+        // owned `Message` encoding the receiver decodes.
+        let outcomes: Vec<WireOutcome> = (0..100)
+            .map(|i| WireOutcome {
+                status: (i % 7) as u8,
+                submit_us: i * 13,
+                decide_us: if i % 3 == 0 { u64::MAX } else { i * 17 },
+            })
+            .collect();
+        for chunk in outcomes.chunks(33) {
+            let zero_copy = encode_outcomes_chunk(chunk);
+            let owned = encode(&Message::Outcomes {
+                txs: chunk.to_vec(),
+            });
+            assert_eq!(zero_copy, owned);
+        }
+
+        let plan: Vec<PlannedTx> = (0..50)
+            .map(|i| PlannedTx {
+                at: SimTime::from_millis(i),
+                sender: i as u32,
+                payload: if i % 2 == 0 {
+                    Payload::Transfer
+                } else {
+                    Payload::Invoke {
+                        dapp: DApp::Gaming,
+                        seq: i,
+                        call: None,
+                    }
+                },
+            })
+            .collect();
+        for chunk in plan.chunks(17) {
+            let zero_copy = encode_plan_chunk(chunk);
+            let owned = encode(&Message::Plan {
+                txs: chunk.iter().map(planned_to_wire).collect(),
+            });
+            assert_eq!(zero_copy, owned);
+        }
     }
 
     #[test]

@@ -10,14 +10,16 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod engine;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use arena::{Arena, ArenaId};
 pub use engine::{Scheduler, Simulation, World};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueBackend};
 pub use rng::DetRng;
 pub use stats::{Cdf, Histogram, LogHistogram, Percentiles, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime};

@@ -112,7 +112,37 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 # in-bench assertions (e.g. baseline and prepared agreeing on success),
 # not the numbers.
 echo "==> cargo bench --offline (smoke, DIABLO_BENCH_SAMPLES=2)"
-DIABLO_BENCH_SAMPLES=2 DIABLO_BENCH_JSON="${DIABLO_BENCH_JSON:-target/bench-smoke}" \
+# Absolute path: bench binaries run with their package directory as
+# cwd, so a relative DIABLO_BENCH_JSON would scatter per-crate.
+bench_json="${DIABLO_BENCH_JSON:-$(pwd)/target/bench-smoke}"
+DIABLO_BENCH_SAMPLES=2 DIABLO_BENCH_JSON="$bench_json" \
     cargo bench -q --offline --workspace
+
+# Bench gate: the scale bench must stay within DIABLO_BENCH_GATE_PCT
+# (default 10) percent of the checked-in baseline. The gated run uses
+# the same sample count as the baseline (5, not the 2-sample smoke
+# above — min-of-2 is too noisy to gate on) and overwrites the smoke
+# run's BENCH_scale.json. The gate compares each benchmark's current
+# fastest sample against the baseline mean (transient CI load inflates
+# means long before it inflates the fastest sample; a real regression
+# moves both) and only compares entries whose `items` counts match, so
+# a reshaped bench skips rather than false-fails.
+#
+# Updating the baseline after an intentional perf change (the absolute
+# path matters — see the DIABLO_BENCH_JSON note above):
+#
+#   DIABLO_BENCH_SAMPLES=5 DIABLO_BENCH_JSON="$(pwd)/results" \
+#       cargo bench -p diablo-bench --bench scale
+#   mv results/BENCH_scale.json results/BENCH_baseline.json
+#
+# (run on an otherwise idle machine; commit the new file). The full-
+# scale artifact results/BENCH_scale.json is regenerated the same way
+# with DIABLO_BENCH_FULL=1.
+echo "==> bench gate (scale bench vs results/BENCH_baseline.json)"
+DIABLO_BENCH_SAMPLES=5 DIABLO_BENCH_JSON="$bench_json" \
+    cargo bench -q --offline -p diablo-bench --bench scale
+cargo run -q --release --offline -p diablo-bench --bin bench_gate -- \
+    results/BENCH_baseline.json "$bench_json/BENCH_scale.json" \
+    "${DIABLO_BENCH_GATE_PCT:-10}"
 
 echo "CI OK"
