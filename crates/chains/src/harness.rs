@@ -10,6 +10,7 @@
 use diablo_contracts::DApp;
 use diablo_net::{DeploymentConfig, DeploymentKind, NetworkModel, QuorumModel};
 use diablo_sim::{QueueBackend, SimDuration, SimTime, Simulation};
+use diablo_store::StorageConfig;
 
 use crate::exec::{Concurrency, ExecMode, ExecutionEngine};
 use crate::faults::FaultPlan;
@@ -52,6 +53,9 @@ pub struct HarnessOptions {
     /// Event-queue backend of the simulation kernel (the timer wheel by
     /// default; the reference heap for differential runs and benches).
     pub queue: QueueBackend,
+    /// Append-only state store configuration (the spec's `storage:`
+    /// section); `None` = the staged commit pipeline is off.
+    pub storage: Option<StorageConfig>,
 }
 
 impl Default for HarnessOptions {
@@ -65,6 +69,7 @@ impl Default for HarnessOptions {
             faults: FaultPlan::none(),
             sig_verify: None,
             queue: QueueBackend::Wheel,
+            storage: None,
         }
     }
 }
@@ -172,7 +177,8 @@ impl ChainHarness {
             SimTime::from_secs_f64_ceil(workload_secs)
                 + SimDuration::from_secs(self.options.grace_secs),
         )
-        .with_faults(self.options.faults.clone());
+        .with_faults(self.options.faults.clone())
+        .with_store(self.options.storage);
         let mut sim = Simulation::with_backend(world, self.options.queue);
         let ticks = sim.world().tick_count();
         for k in 0..ticks {
@@ -196,7 +202,7 @@ impl ChainHarness {
             }
         }
         let world = sim.into_world();
-        let (records, blocks) = world.into_records();
+        let (records, blocks, storage) = world.into_records();
         RunResult {
             chain: self.chain,
             workload: workload_name.to_string(),
@@ -204,6 +210,7 @@ impl ChainHarness {
             records,
             unable_reason: None,
             blocks,
+            storage,
         }
     }
 }

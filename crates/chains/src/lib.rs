@@ -52,6 +52,7 @@ pub use fees::FeeMarket;
 pub use harness::{ChainHarness, HarnessOptions, PlannedTx};
 pub use mempool::{AdmitError, Mempool, MempoolPolicy};
 pub use diablo_sim::QueueBackend;
+pub use diablo_store::{PruneMode, StorageConfig, StorageReport};
 pub use params::{ChainParams, ConsensusKind, SigVerify};
 pub use records::{rate_per_sec, RunResult, TxRecord, TxStatus};
 pub use sim::{ChainSim, Experiment};

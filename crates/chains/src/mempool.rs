@@ -7,7 +7,7 @@
 //! a client request" (§6.5) — an unbounded queue that is precisely why
 //! it collapses under sustained 10,000 TPS (§6.3).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use diablo_sim::{Arena, ArenaId};
 
@@ -61,7 +61,11 @@ pub struct Mempool {
     policy: MempoolPolicy,
     arena: Arena<TxMeta>,
     queue: VecDeque<ArenaId>,
-    per_sender: HashMap<u32, u32>,
+    /// In-flight count per sender, indexed directly by the workload's
+    /// dense `u32` account id (grown on demand). Plans pre-size it via
+    /// [`with_accounts`](Mempool::with_accounts), so the admission hot
+    /// path is an array index, not a hash lookup.
+    per_sender: Vec<u32>,
     admitted_total: u64,
     dropped_full: u64,
     dropped_sender: u64,
@@ -70,11 +74,17 @@ pub struct Mempool {
 impl Mempool {
     /// An empty pool under `policy`.
     pub fn new(policy: MempoolPolicy) -> Self {
+        Mempool::with_accounts(policy, 0)
+    }
+
+    /// An empty pool with the per-sender table pre-sized for `accounts`
+    /// dense sender ids (avoids regrowth during the run).
+    pub fn with_accounts(policy: MempoolPolicy, accounts: usize) -> Self {
         Mempool {
             policy,
             arena: Arena::new(),
             queue: VecDeque::new(),
-            per_sender: HashMap::new(),
+            per_sender: vec![0; accounts],
             admitted_total: 0,
             dropped_full: 0,
             dropped_sender: 0,
@@ -116,8 +126,9 @@ impl Mempool {
 
     /// Tries to admit a transaction.
     pub fn admit(&mut self, tx: TxMeta) -> Result<(), AdmitError> {
+        let sender = tx.sender as usize;
         if let Some(limit) = self.policy.per_sender {
-            if self.per_sender.get(&tx.sender).copied().unwrap_or(0) >= limit {
+            if self.per_sender.get(sender).copied().unwrap_or(0) >= limit {
                 self.dropped_sender += 1;
                 diablo_telemetry::counter!("mempool.dropped.per_sender");
                 return Err(AdmitError::PerSenderLimit);
@@ -130,7 +141,10 @@ impl Mempool {
                 return Err(AdmitError::PoolFull);
             }
         }
-        *self.per_sender.entry(tx.sender).or_insert(0) += 1;
+        if sender >= self.per_sender.len() {
+            self.per_sender.resize(sender + 1, 0);
+        }
+        self.per_sender[sender] += 1;
         let id = self.arena.insert(tx);
         self.queue.push_back(id);
         self.admitted_total += 1;
@@ -168,14 +182,7 @@ impl Mempool {
             }
             if eligible(tx) {
                 bytes += tx.wire_bytes as u64;
-                let count = self
-                    .per_sender
-                    .get_mut(&tx.sender)
-                    .expect("queued tx must have a sender count");
-                *count -= 1;
-                if *count == 0 {
-                    self.per_sender.remove(&tx.sender);
-                }
+                self.per_sender[tx.sender as usize] -= 1;
                 taken.push(id);
             } else {
                 skipped.push(id);
@@ -237,13 +244,7 @@ impl Mempool {
         self.queue.retain(|&id| {
             let tx = arena.get(id).expect("queued id must be live");
             if expired(tx) {
-                let count = per_sender
-                    .get_mut(&tx.sender)
-                    .expect("queued tx must have a sender count");
-                *count -= 1;
-                if *count == 0 {
-                    per_sender.remove(&tx.sender);
-                }
+                per_sender[tx.sender as usize] -= 1;
                 evicted.push(tx.id);
                 dead.push(id);
                 false
@@ -405,6 +406,32 @@ mod tests {
         for sender in 0..97 {
             pool.admit(tx(n + sender, sender)).unwrap();
         }
+    }
+
+    #[test]
+    fn presized_pool_matches_grow_on_demand() {
+        // `with_accounts` is purely a pre-sizing hint: admission,
+        // batching and eviction behave identically with and without it.
+        let policy = MempoolPolicy {
+            capacity: None,
+            per_sender: Some(2),
+        };
+        let mut sized = Mempool::with_accounts(policy, 50);
+        let mut grown = Mempool::new(policy);
+        for i in 0..80 {
+            assert_eq!(sized.admit(tx(i, i % 40)), grown.admit(tx(i, i % 40)));
+        }
+        assert_eq!(sized.admit(tx(80, 0)), Err(AdmitError::PerSenderLimit));
+        assert_eq!(grown.admit(tx(80, 0)), Err(AdmitError::PerSenderLimit));
+        let a = sized.take_batch(30, u64::MAX, |_| true);
+        let b = grown.take_batch(30, u64::MAX, |_| true);
+        assert_eq!(
+            a.iter().map(|t| t.id).collect::<Vec<_>>(),
+            b.iter().map(|t| t.id).collect::<Vec<_>>()
+        );
+        // Drained slots free the sender cap in both.
+        sized.admit(tx(81, 0)).unwrap();
+        grown.admit(tx(81, 0)).unwrap();
     }
 
     #[test]

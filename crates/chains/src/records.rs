@@ -6,6 +6,7 @@
 //! from these records post-mortem.
 
 use diablo_sim::{Cdf, SimTime, TimeSeries};
+use diablo_store::StorageReport;
 
 use crate::chain::Chain;
 
@@ -92,6 +93,10 @@ pub struct RunResult {
     /// order — the block-explorer view (the paper reads Avalanche's
     /// block period off snowtrace; this is the equivalent here).
     pub blocks: Vec<BlockRecord>,
+    /// End-of-run summary of the append-only state store; `None` when
+    /// the run did not enable storage (the default), keeping reports
+    /// byte-identical to the pre-store execution path.
+    pub storage: Option<StorageReport>,
 }
 
 /// Events-per-second over a window, `0.0` for an empty or degenerate
@@ -117,6 +122,7 @@ impl RunResult {
             records: Vec::new(),
             unable_reason: Some(reason),
             blocks: Vec::new(),
+            storage: None,
         }
     }
 
@@ -309,6 +315,7 @@ mod tests {
             records,
             unable_reason: None,
             blocks: Vec::new(),
+            storage: None,
         }
     }
 

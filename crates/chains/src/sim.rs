@@ -22,6 +22,7 @@ use std::collections::VecDeque;
 use diablo_contracts::{calls, DApp};
 use diablo_net::{DeploymentConfig, DeploymentKind, QuorumModel};
 use diablo_sim::{DetRng, QueueBackend, Scheduler, SimDuration, SimTime, World};
+use diablo_store::{ReceiptRec, StateStore, StorageConfig, StorageReport};
 use diablo_workloads::Workload;
 
 use crate::chain::Chain;
@@ -82,6 +83,9 @@ pub struct Experiment {
     pub sig_verify: Option<SigVerify>,
     /// Event-queue backend of the simulation kernel.
     pub queue: QueueBackend,
+    /// Append-only state store configuration; `None` (the default)
+    /// disables the staged commit pipeline entirely.
+    pub storage: Option<StorageConfig>,
 }
 
 impl Experiment {
@@ -102,6 +106,7 @@ impl Experiment {
             call: None,
             sig_verify: None,
             queue: QueueBackend::Wheel,
+            storage: None,
         }
     }
 
@@ -174,6 +179,14 @@ impl Experiment {
         self
     }
 
+    /// Enables the append-only state store: every committed block runs
+    /// the execute → merkleize → persist → prune pipeline under
+    /// `config`.
+    pub fn with_storage(mut self, config: StorageConfig) -> Self {
+        self.storage = Some(config);
+        self
+    }
+
     /// Runs the experiment to completion.
     pub fn run(self) -> RunResult {
         let workload_name = self.workload.name().to_string();
@@ -187,6 +200,7 @@ impl Experiment {
             faults: self.faults.clone(),
             sig_verify: self.sig_verify,
             queue: self.queue,
+            storage: self.storage,
         };
         // An unbuildable or unrunnable DApp makes the whole chain
         // "unable" (Figure 5's X marks, Figure 2's missing bars).
@@ -343,6 +357,9 @@ pub struct ChainSim {
     /// Delay multiplier from message loss in the current round
     /// (retransmissions); reset at every proposal.
     round_stretch: f64,
+    /// The append-only state store, when the run enables the staged
+    /// commit pipeline.
+    store: Option<StateStore>,
 }
 
 impl ChainSim {
@@ -359,7 +376,7 @@ impl ChainSim {
         deadline: SimTime,
     ) -> Self {
         let rng = DetRng::new(seed ^ (chain as u64) << 8);
-        let pool = Mempool::new(params.mempool);
+        let pool = Mempool::with_accounts(params.mempool, params.accounts as usize);
         let fee = match params.fee_headroom {
             Some(h) => FeeMarket::london(h),
             None => FeeMarket::disabled(),
@@ -424,7 +441,15 @@ impl ChainSim {
             faults: FaultPlan::none(),
             timeline: FaultTimeline::empty(),
             round_stretch: 1.0,
+            store: None,
         }
+    }
+
+    /// Enables the staged commit pipeline: every committed block is
+    /// merkleized, persisted and pruned through `config`'s store.
+    pub(crate) fn with_store(mut self, config: Option<StorageConfig>) -> Self {
+        self.store = config.map(StateStore::new);
+        self
     }
 
     /// Attaches an injected-fault schedule (compiled once against the
@@ -445,10 +470,12 @@ impl ChainSim {
         self.deadline
     }
 
-    /// Consumes the world, yielding the per-transaction records and the
-    /// block-explorer records.
-    pub(crate) fn into_records(self) -> (Vec<TxRecord>, Vec<BlockRecord>) {
-        (self.records, self.blocks)
+    /// Consumes the world, yielding the per-transaction records, the
+    /// block-explorer records, and the storage report (when the store
+    /// was enabled).
+    pub(crate) fn into_records(self) -> (Vec<TxRecord>, Vec<BlockRecord>, Option<StorageReport>) {
+        let storage = self.store.as_ref().map(StateStore::report);
+        (self.records, self.blocks, storage)
     }
 
     /// Submits the transactions of one tick.
@@ -991,6 +1018,38 @@ impl ChainSim {
         sig + d
     }
 
+    /// Runs the store's merkleize → persist → prune stages for the
+    /// block just appended at `self.height`. A no-op when the run did
+    /// not enable storage — disabled runs stay byte-identical to the
+    /// pre-store execution path.
+    fn persist_block(
+        &mut self,
+        committed: SimTime,
+        bytes: u32,
+        recs: &[ReceiptRec],
+        changed: bool,
+        touched: &[(u32, u32)],
+    ) {
+        if let Some(store) = self.store.as_mut() {
+            // Empty blocks carry the previous state root forward, so the
+            // (possibly large) contract state is only re-merkleized when
+            // this block actually executed something.
+            let state = if changed {
+                self.engine.contract().map(|c| &c.initial_state)
+            } else {
+                None
+            };
+            store.commit_block(
+                self.height,
+                committed.as_micros(),
+                bytes,
+                recs,
+                state,
+                touched,
+            );
+        }
+    }
+
     /// Advances the chain by one empty block (skipped or empty slots
     /// still deepen confirmations).
     fn commit_empty(&mut self, committed: SimTime) {
@@ -1003,6 +1062,7 @@ impl ChainSim {
             txs: 0,
             bytes: 0,
         });
+        self.persist_block(committed, 0, &[], false, &[]);
         self.settle_finality();
     }
 
@@ -1035,11 +1095,12 @@ impl ChainSim {
         }
         self.height += 1;
         self.commit_times.push(committed);
+        let block_bytes: u32 = batch.iter().map(|&id| self.pool.meta(id).wire_bytes).sum();
         self.blocks.push(BlockRecord {
             height: self.height,
             committed,
             txs: batch.len() as u32,
-            bytes: batch.iter().map(|&id| self.pool.meta(id).wire_bytes).sum(),
+            bytes: block_bytes,
         });
         if !batch.is_empty() {
             // The whole batch goes through the engine at once so a
@@ -1048,6 +1109,29 @@ impl ChainSim {
             // order either way.
             let payloads: Vec<Payload> = batch.iter().map(|&id| self.pool.meta(id).payload).collect();
             let costs = self.engine.execute_block(&payloads);
+            if self.store.is_some() {
+                // Receipts in block order; the touched-accounts delta
+                // aggregated and sorted by dense sender id.
+                let recs: Vec<ReceiptRec> = batch
+                    .iter()
+                    .zip(&costs)
+                    .map(|(&id, cost)| ReceiptRec {
+                        id: self.pool.meta(id).sender,
+                        ok: cost.ok,
+                        gas: cost.gas,
+                    })
+                    .collect();
+                let mut touched: Vec<(u32, u32)> = Vec::with_capacity(recs.len());
+                let mut senders: Vec<u32> = recs.iter().map(|r| r.id).collect();
+                senders.sort_unstable();
+                for sender in senders {
+                    match touched.last_mut() {
+                        Some((id, n)) if *id == sender => *n += 1,
+                        _ => touched.push((sender, 1)),
+                    }
+                }
+                self.persist_block(committed, block_bytes, &recs, true, &touched);
+            }
             let txs = batch
                 .iter()
                 .zip(&costs)
@@ -1058,6 +1142,8 @@ impl ChainSim {
                 committed,
                 txs,
             });
+        } else {
+            self.persist_block(committed, 0, &[], false, &[]);
         }
         for id in batch {
             self.pool.release(id);

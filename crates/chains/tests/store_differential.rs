@@ -1,0 +1,177 @@
+//! Differential tests for the staged commit pipeline: the state store
+//! must report byte-identical roots and persisted state no matter how
+//! the blocks were executed (serial, parallel, optimistic; any worker
+//! count), which event-queue backend drove the simulation, and which
+//! prune mode bounded the resident set.
+
+use diablo_chains::{
+    Chain, ChainParams, Concurrency, ExecMode, Experiment, PruneMode, QueueBackend, StorageConfig,
+    StorageReport,
+};
+use diablo_contracts::DApp;
+use diablo_net::{DeploymentConfig, DeploymentKind, InstanceType};
+use diablo_workloads::traces;
+
+fn exchange_run(
+    concurrency: Concurrency,
+    queue: QueueBackend,
+    storage: Option<StorageConfig>,
+) -> diablo_chains::RunResult {
+    let mut e = Experiment::new(
+        Chain::Quorum,
+        DeploymentKind::Testnet,
+        traces::constant(50.0, 6),
+    )
+    .with_dapp(DApp::Exchange)
+    .with_exec_mode(ExecMode::Exact)
+    .with_concurrency(concurrency)
+    .with_queue_backend(queue)
+    .with_grace(20);
+    if let Some(cfg) = storage {
+        e = e.with_storage(cfg);
+    }
+    e.run()
+}
+
+fn small_store() -> StorageConfig {
+    StorageConfig {
+        prune: PruneMode::Full,
+        segment_blocks: 4,
+        hot_pages: 2,
+    }
+}
+
+#[test]
+fn storage_report_is_identical_across_executors_and_backends() {
+    let reference: StorageReport = exchange_run(
+        Concurrency::Serial,
+        QueueBackend::Wheel,
+        Some(small_store()),
+    )
+    .storage
+    .expect("storage enabled");
+    assert_eq!(reference.root_hex.len(), 64);
+    assert!(reference.blocks > 0 && reference.txs > 0);
+
+    for queue in [QueueBackend::Wheel, QueueBackend::Heap] {
+        for concurrency in [
+            Concurrency::Serial,
+            Concurrency::Parallel(2),
+            Concurrency::Parallel(4),
+            Concurrency::Parallel(8),
+            Concurrency::Optimistic(2),
+            Concurrency::Optimistic(4),
+            Concurrency::Optimistic(8),
+        ] {
+            let report = exchange_run(concurrency, queue, Some(small_store()))
+                .storage
+                .expect("storage enabled");
+            // The whole report — roots, resident byte counts, page
+            // states, entry counts — must be bit-identical: the store
+            // only ever sees the canonical (serial-equivalent)
+            // execution output.
+            assert_eq!(report, reference, "{concurrency:?} on {queue:?}");
+        }
+    }
+}
+
+#[test]
+fn all_prune_modes_report_the_same_roots() {
+    let runs: Vec<(PruneMode, StorageReport)> = [
+        PruneMode::Full,
+        PruneMode::Distance(3),
+        PruneMode::Before(10),
+    ]
+    .into_iter()
+    .map(|prune| {
+        let report = exchange_run(
+            Concurrency::Serial,
+            QueueBackend::Wheel,
+            Some(StorageConfig {
+                prune,
+                segment_blocks: 4,
+                hot_pages: 2,
+            }),
+        )
+        .storage
+        .expect("storage enabled");
+        (prune, report)
+    })
+    .collect();
+    let (_, full) = &runs[0];
+    for (prune, report) in &runs[1..] {
+        // Pruning drops only persisted history; it never feeds into root
+        // computation.
+        assert_eq!(report.root_hex, full.root_hex, "{prune}");
+        assert_eq!(report.blocks, full.blocks, "{prune}");
+        assert_eq!(report.txs, full.txs, "{prune}");
+        assert_eq!(report.storage_entries, full.storage_entries, "{prune}");
+        assert!(
+            report.pruned_blocks > 0,
+            "{prune} pruned nothing ({} blocks)",
+            report.blocks
+        );
+        assert!(report.resident_blocks < full.resident_blocks, "{prune}");
+    }
+    assert_eq!(full.pruned_blocks, 0);
+}
+
+#[test]
+fn enabling_the_store_does_not_perturb_execution() {
+    let without = exchange_run(Concurrency::Serial, QueueBackend::Wheel, None);
+    let with = exchange_run(Concurrency::Serial, QueueBackend::Wheel, Some(small_store()));
+    assert!(without.storage.is_none());
+    assert!(with.storage.is_some());
+    // The pipeline observes committed blocks; it must not change a
+    // single record or block.
+    assert_eq!(without.records.len(), with.records.len());
+    for (a, b) in without.records.iter().zip(&with.records) {
+        assert_eq!(a.submitted, b.submitted);
+        assert_eq!(a.decided, b.decided);
+        assert_eq!(a.status, b.status);
+    }
+    assert_eq!(without.blocks, with.blocks);
+}
+
+#[test]
+fn million_account_run_is_bounded_under_distance_pruning() {
+    // The acceptance shape: Exchange on RedBelly with a million signing
+    // accounts. Under `Distance` pruning the resident state must stay
+    // bounded — and still report the exact root of the archive run.
+    let run = |prune: PruneMode| {
+        let config =
+            DeploymentConfig::spread(DeploymentKind::Consortium, 10, InstanceType::C52xlarge);
+        let mut params = ChainParams::standard(Chain::RedBelly, &config);
+        params.accounts = 1_000_000;
+        Experiment::new(
+            Chain::RedBelly,
+            DeploymentKind::Consortium,
+            traces::constant(1_500.0, 4),
+        )
+        .with_config(config)
+        .with_params(params)
+        .with_dapp(DApp::Exchange)
+        .with_grace(20)
+        .with_storage(StorageConfig {
+            prune,
+            segment_blocks: 4,
+            hot_pages: 2,
+        })
+        .run()
+    };
+    let full = run(PruneMode::Full).storage.expect("storage enabled");
+    let pruned = run(PruneMode::Distance(3)).storage.expect("storage enabled");
+    assert!(full.blocks > 8, "need enough blocks to prune: {}", full.blocks);
+    assert_eq!(pruned.root_hex, full.root_hex);
+    assert_eq!(pruned.storage_entries, full.storage_entries);
+    // Residency is bounded by the prune distance (rounded up to whole
+    // segments) and the hot-page cap, not by the account count.
+    assert!(pruned.pruned_blocks > 0);
+    assert!(
+        pruned.resident_blocks <= 3 + 2 * 4,
+        "resident blocks {} exceed distance + segment slack",
+        pruned.resident_blocks
+    );
+    assert!(pruned.hot_pages <= 2, "hot pages {}", pruned.hot_pages);
+    assert!(pruned.resident_bytes < full.resident_bytes);
+}

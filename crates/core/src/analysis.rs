@@ -120,6 +120,7 @@ mod tests {
             records,
             unable_reason: None,
             blocks: Vec::new(),
+            storage: None,
         }
     }
 

@@ -344,6 +344,7 @@ mod tests {
             ],
             unable_reason: None,
             blocks: Vec::new(),
+            storage: None,
         };
         let text = crate::output::results_json(&result);
         let stats = read_result_stats(&text).unwrap();

@@ -75,6 +75,27 @@ pub fn results_json(result: &RunResult) -> String {
         result.median_latency_secs(),
         result.max_latency_secs()
     );
+    // The storage section exists only when the staged commit pipeline
+    // ran: disabled runs serialize byte-identically to the pre-store
+    // format.
+    if let Some(storage) = &result.storage {
+        let _ = write!(
+            out,
+            "\"storage\":{{\"mode\":\"{}\",\"root\":\"{}\",\"blocks\":{},\"txs\":{},\
+             \"residentBlocks\":{},\"residentBytes\":{},\"prunedBlocks\":{},\
+             \"hotPages\":{},\"frozenPages\":{},\"storageEntries\":{}}},",
+            json_escape(&storage.mode),
+            storage.root_hex,
+            storage.blocks,
+            storage.txs,
+            storage.resident_blocks,
+            storage.resident_bytes,
+            storage.pruned_blocks,
+            storage.hot_pages,
+            storage.frozen_pages,
+            storage.storage_entries
+        );
+    }
     out.push_str("\"txs\":[");
     for (i, rec) in result.records.iter().enumerate() {
         if i > 0 {
@@ -171,6 +192,7 @@ mod tests {
             ],
             unable_reason: None,
             blocks: Vec::new(),
+            storage: None,
         }
     }
 
@@ -223,6 +245,33 @@ mod tests {
         let parsed = crate::json::parse(&json).expect("valid json");
         assert!(parsed.get("stats").is_some());
         assert!(parsed.get("telemetry").is_some());
+    }
+
+    #[test]
+    fn storage_section_only_appears_when_the_store_ran() {
+        let without = results_json(&sample());
+        assert!(!without.contains("\"storage\""), "{without}");
+
+        let mut run = sample();
+        run.storage = Some(diablo_chains::StorageReport {
+            mode: "distance=3".into(),
+            root_hex: "ab".repeat(32),
+            blocks: 12,
+            txs: 240,
+            resident_blocks: 7,
+            resident_bytes: 4096,
+            pruned_blocks: 5,
+            hot_pages: 2,
+            frozen_pages: 1,
+            storage_entries: 90,
+        });
+        let json = results_json(&run);
+        assert!(json.contains("\"storage\":{\"mode\":\"distance=3\""), "{json}");
+        assert!(json.contains("\"prunedBlocks\":5"), "{json}");
+        let parsed = crate::json::parse(&json).expect("valid json");
+        let storage = parsed.get("storage").expect("storage section");
+        assert!(storage.get("root").is_some());
+        assert!(storage.get("residentBytes").is_some());
     }
 
     #[test]

@@ -39,6 +39,10 @@ pub struct BenchmarkOptions {
     /// wins over the spec's `sigverify:` section, `None` defers to it
     /// (and then to the chain's standard curve).
     pub sig_verify: Option<diablo_chains::SigVerify>,
+    /// Append-only state store override; an explicit setting (the CLI's
+    /// `--store`/`--prune` flags) wins over the spec's `storage:`
+    /// section, `None` defers to it (and then to no store at all).
+    pub storage: Option<diablo_chains::StorageConfig>,
 }
 
 impl Default for BenchmarkOptions {
@@ -51,6 +55,7 @@ impl Default for BenchmarkOptions {
             secondaries: 2,
             faults: diablo_chains::FaultPlan::none(),
             sig_verify: None,
+            storage: None,
         }
     }
 }
@@ -180,6 +185,7 @@ pub fn run_with_setup(
     // An explicit override (CLI / caller) wins over the spec's
     // `sigverify:` section, mirroring the concurrency rule above.
     let sig_verify = options.sig_verify.or(spec.sig_verify);
+    let storage = options.storage.or(spec.storage);
     let harness_options = HarnessOptions {
         seed: options.seed,
         exec_mode: options.exec_mode,
@@ -189,6 +195,7 @@ pub fn run_with_setup(
         faults: faults.clone(),
         sig_verify,
         queue: Default::default(),
+        storage,
     };
     let secondaries = ranges.len();
     let result = match ChainHarness::with_config(chain, setup.config.clone(), dapp, harness_options)

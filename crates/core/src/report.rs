@@ -41,6 +41,8 @@ fn phase_of(name: &str) -> Option<(usize, &'static str)> {
         Some((2, "execution"))
     } else if name.starts_with("net.") {
         Some((3, "network"))
+    } else if name.starts_with("store.") {
+        Some((4, "storage"))
     } else {
         None
     }
@@ -99,6 +101,20 @@ impl Report {
             tail.p95(),
             tail.p99(),
         );
+        if let Some(storage) = &r.storage {
+            let _ = writeln!(
+                out,
+                "state store ({}): root {}…, {} blocks / {} txs persisted, \
+                 {} resident ({} pruned), {} B resident",
+                storage.mode,
+                &storage.root_hex[..16],
+                storage.blocks,
+                storage.txs,
+                storage.resident_blocks,
+                storage.pruned_blocks,
+                storage.resident_bytes,
+            );
+        }
         out.push_str(&self.fault_summary());
         out.push_str(&self.phase_breakdown());
         out
@@ -251,6 +267,7 @@ mod tests {
                 records,
                 unable_reason: None,
                 blocks: Vec::new(),
+                storage: None,
             },
             secondaries: 2,
             clients: 4,
@@ -307,6 +324,30 @@ mod tests {
         assert!(c < n, "{table}");
         // Empty telemetry renders nothing.
         assert_eq!(report().phase_breakdown(), "");
+    }
+
+    #[test]
+    fn storage_line_appears_when_the_store_ran() {
+        assert!(!report().stats_text().contains("state store"));
+        let mut r = report();
+        r.result.storage = Some(diablo_chains::StorageReport {
+            mode: "distance=3".into(),
+            root_hex: "cd".repeat(32),
+            blocks: 12,
+            txs: 240,
+            resident_blocks: 7,
+            resident_bytes: 4096,
+            pruned_blocks: 5,
+            hot_pages: 2,
+            frozen_pages: 1,
+            storage_entries: 90,
+        });
+        let text = r.stats_text();
+        assert!(text.contains("state store (distance=3)"), "{text}");
+        assert!(text.contains("root cdcdcdcdcdcdcdcd…"), "{text}");
+        assert!(text.contains("12 blocks / 240 txs"), "{text}");
+        // Store spans group under their own phase in the breakdown.
+        assert_eq!(phase_of("store.persist_us"), Some((4, "storage")));
     }
 
     #[test]

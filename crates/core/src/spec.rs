@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use diablo_chains::{Concurrency, FaultPlan, SigVerify};
+use diablo_chains::{Concurrency, FaultPlan, PruneMode, SigVerify, StorageConfig};
 use diablo_workloads::Workload;
 
 use crate::yaml::{self, Value};
@@ -29,6 +29,10 @@ pub struct BenchmarkSpec {
     /// `sigverify:` section (`None` when absent = the chain's standard
     /// curve; an explicit `BenchmarkOptions::sig_verify` overrides it).
     pub sig_verify: Option<SigVerify>,
+    /// Append-only state store requested by the optional `storage:`
+    /// section (`None` when absent = the staged commit pipeline is off;
+    /// an explicit `BenchmarkOptions::storage` overrides it).
+    pub storage: Option<StorageConfig>,
 }
 
 /// One entry of the `workloads:` list: `number` identical clients.
@@ -130,11 +134,16 @@ impl BenchmarkSpec {
             Some(section) => Some(parse_sigverify(section)?),
             None => None,
         };
+        let storage = match root.get("storage") {
+            Some(section) => Some(parse_storage(section)?),
+            None => None,
+        };
         Ok(BenchmarkSpec {
             workloads,
             fault,
             execution,
             sig_verify,
+            storage,
         })
     }
 
@@ -448,6 +457,56 @@ fn parse_sigverify(section: &Value) -> Result<SigVerify, SpecError> {
     })
 }
 
+/// Parses the `storage:` section: the staged commit pipeline's
+/// append-only state store. All keys are optional; prune modes follow
+/// [`PruneMode::parse`] (`full`, `distance=N`, `before=N`):
+///
+/// ```yaml
+/// storage:
+///   prune: distance=128  # full | distance=N | before=N
+///   segment_blocks: 64   # blocks per static-file segment
+///   hot_pages: 64        # decoded-page cap of the flat tables
+/// ```
+fn parse_storage(section: &Value) -> Result<StorageConfig, SpecError> {
+    let map = section
+        .as_map()
+        .ok_or_else(|| err("`storage` must be a map of store keys"))?;
+    for (key, _) in map {
+        if !matches!(key.as_str(), "prune" | "segment_blocks" | "hot_pages") {
+            return Err(err(format!("unknown `storage` key `{key}`")));
+        }
+    }
+    let defaults = StorageConfig::default();
+    let prune = match section.get("prune") {
+        Some(v) => {
+            let text = v
+                .as_str()
+                .ok_or_else(|| err("`storage.prune` must be a string"))?;
+            PruneMode::parse(text).map_err(|e| err(format!("bad `storage.prune` mode: {e}")))?
+        }
+        None => defaults.prune,
+    };
+    let segment_blocks = match section.get("segment_blocks") {
+        Some(v) => v
+            .as_u64()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| err("`storage.segment_blocks` must be a positive integer"))?,
+        None => defaults.segment_blocks,
+    };
+    let hot_pages = match section.get("hot_pages") {
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| err("`storage.hot_pages` must be a non-negative integer"))?
+            as usize,
+        None => defaults.hot_pages,
+    };
+    Ok(StorageConfig {
+        prune,
+        segment_blocks,
+        hot_pages,
+    })
+}
+
 /// Parses `"update(1, 1)"` into `("update", [1, 1])`.
 fn parse_call(call: &str) -> Result<(String, Vec<i64>), SpecError> {
     let call = call.trim();
@@ -743,6 +802,49 @@ workloads:
         assert!(bad("  per_tx_us: -3\n").0.contains("non-negative"));
         assert!(bad("  per_tx_us: 55\n  max_speedup: 0.5\n").0.contains("at least 1"));
         assert!(bad("  per_tx_us: 55\n  knee: 4\n").0.contains("unknown `sigverify` key"));
+    }
+
+    #[test]
+    fn storage_section_parses() {
+        let base = r#"
+workloads:
+  - number: 1
+    client:
+      behavior:
+        - interaction: !transfer
+            from: { sample: !account { number: 10 } }
+          load:
+            0: 10
+            60: 0
+"#;
+        // Absent section → the staged commit pipeline stays off.
+        assert_eq!(BenchmarkSpec::parse(base).unwrap().storage, None);
+
+        let with = |section: &str| format!("{base}storage:\n{section}");
+        let parse = |section: &str| BenchmarkSpec::parse(&with(section)).unwrap().storage;
+        assert_eq!(
+            parse("  prune: distance=128\n  segment_blocks: 8\n  hot_pages: 16\n"),
+            Some(StorageConfig {
+                prune: PruneMode::Distance(128),
+                segment_blocks: 8,
+                hot_pages: 16,
+            })
+        );
+        // Keys default from `StorageConfig::default()`; an empty map
+        // turns the store on with the archive configuration.
+        assert_eq!(parse("  prune: before=40\n"), Some(StorageConfig {
+            prune: PruneMode::Before(40),
+            ..StorageConfig::default()
+        }));
+        assert_eq!(parse("  hot_pages: 0\n"), Some(StorageConfig {
+            hot_pages: 0,
+            ..StorageConfig::default()
+        }));
+
+        let bad = |section: &str| BenchmarkSpec::parse(&with(section)).unwrap_err();
+        assert!(bad("  prune: sometimes\n").0.contains("storage.prune"));
+        assert!(bad("  segment_blocks: 0\n").0.contains("segment_blocks"));
+        assert!(bad("  pages: 3\n").0.contains("unknown `storage` key"));
     }
 
     #[test]

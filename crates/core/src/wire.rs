@@ -652,6 +652,7 @@ pub fn serve_primary(
         faults: faults.clone(),
         sig_verify: options.sig_verify,
         queue: Default::default(),
+        storage: options.storage.or(spec.storage),
     };
     let result = match ChainHarness::new(chain, deployment, dapp, harness_options) {
         Ok(h) => h.run(merged_sorted, workload_name, spec.duration_secs() as f64),

@@ -1,0 +1,99 @@
+//! Pruning policy: how much history the store retains.
+//!
+//! Pruning only drops *persisted artifacts* (whole segments of block
+//! headers and receipts, and it lets the accounts table freeze colder
+//! pages); it never feeds back into root computation. That is the
+//! determinism contract: a pruned run reports the same state, receipts
+//! and chain roots as the unpruned run, because the roots are computed
+//! before the prune stage looks at anything.
+
+use std::fmt;
+
+/// How much block history the store keeps resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneMode {
+    /// Archive node: keep every block and receipt.
+    Full,
+    /// Keep the most recent `n` blocks behind the tip.
+    Distance(u64),
+    /// Keep blocks at heights `>= b`; everything before is prunable.
+    Before(u64),
+}
+
+impl PruneMode {
+    /// The first height that must remain resident when the tip is at
+    /// `tip`. Everything strictly below the horizon may be pruned.
+    pub fn horizon(&self, tip: u64) -> u64 {
+        match *self {
+            PruneMode::Full => 0,
+            PruneMode::Distance(n) => tip.saturating_sub(n),
+            PruneMode::Before(b) => b.min(tip),
+        }
+    }
+
+    /// Parses the CLI / spec grammar: `full`, `distance=N`, `before=N`.
+    pub fn parse(s: &str) -> Result<PruneMode, String> {
+        if s == "full" {
+            return Ok(PruneMode::Full);
+        }
+        let parse_n = |v: &str, what: &str| {
+            v.parse::<u64>()
+                .map_err(|_| format!("invalid prune {what} '{v}': expected an integer"))
+        };
+        if let Some(v) = s.strip_prefix("distance=") {
+            return Ok(PruneMode::Distance(parse_n(v, "distance")?));
+        }
+        if let Some(v) = s.strip_prefix("before=") {
+            return Ok(PruneMode::Before(parse_n(v, "height")?));
+        }
+        Err(format!(
+            "unknown prune mode '{s}': expected full, distance=N or before=N"
+        ))
+    }
+
+    /// The canonical spelling, matching what [`PruneMode::parse`]
+    /// accepts (used in reports, so round-trips).
+    pub fn name(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for PruneMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PruneMode::Full => f.write_str("full"),
+            PruneMode::Distance(n) => write!(f, "distance={n}"),
+            PruneMode::Before(b) => write!(f, "before={b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizons() {
+        assert_eq!(PruneMode::Full.horizon(1000), 0);
+        assert_eq!(PruneMode::Distance(64).horizon(1000), 936);
+        assert_eq!(PruneMode::Distance(64).horizon(10), 0);
+        assert_eq!(PruneMode::Before(500).horizon(1000), 500);
+        // `before` past the tip clamps: the tip itself is never pruned.
+        assert_eq!(PruneMode::Before(5000).horizon(1000), 1000);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for s in ["full", "distance=64", "before=100"] {
+            let m = PruneMode::parse(s).unwrap();
+            assert_eq!(m.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "archive", "distance=", "distance=x", "before=-1"] {
+            assert!(PruneMode::parse(s).is_err(), "{s:?} should not parse");
+        }
+    }
+}

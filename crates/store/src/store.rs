@@ -1,0 +1,429 @@
+//! The staged commit driver: execute → merkleize → persist → prune.
+//!
+//! `diablo-chains` calls [`StateStore::commit_block`] once per
+//! committed block, *after* executing it. The store then runs three
+//! telemetry-spanned stages:
+//!
+//! 1. **merkleize** — fold the post-execution contract state into a
+//!    Merkle [`trie`] root, hash the receipts, digest the
+//!    touched-accounts delta, and chain everything into a running
+//!    `block_root`. Roots are computed before anything is pruned, so
+//!    they are identical under every [`PruneMode`].
+//! 2. **persist** — append the block header and packed receipts to
+//!    their [`SegmentedLog`]s, mirror the state into the flat
+//!    [`PagedState`] storage table, and bump the touched accounts in
+//!    the [`FlatTable`].
+//! 3. **prune** — drop whole segments below the prune horizon and
+//!    freeze the accounts table down to its hot-page cap.
+//!
+//! Every stage is deterministic and integer-only; a run with the store
+//! enabled reports byte-identical roots at any worker count, on either
+//! event-queue backend, under any prune mode.
+
+use diablo_telemetry::{counter, gauge, span};
+use diablo_vm::{ContractState, PagedState, StateLimits};
+
+use crate::digest::Digest;
+use crate::prune::PruneMode;
+use crate::segment::SegmentedLog;
+use crate::table::FlatTable;
+use crate::trie;
+
+/// Bytes of one block header record: height, committed-at micros,
+/// tx count, payload bytes, state root, receipts root.
+pub const BLOCK_HEADER_BYTES: usize = 8 + 8 + 4 + 4 + 32 + 32;
+
+/// Bytes of one packed receipt: id, gas, flags.
+pub const RECEIPT_BYTES: usize = 4 + 8 + 1;
+
+/// Domain tag of receipt digests.
+const RECEIPT_TAG: u64 = 0x7263_7074; // "rcpt"
+/// Domain tag of the blob-accounting digest folded into state roots.
+const BLOB_TAG: u64 = 0x626c_6f62; // "blob"
+/// Domain tag of the touched-accounts delta digest.
+const TOUCH_TAG: u64 = 0x746f_7563_68; // "touch"
+
+/// Storage engine configuration (the spec's `storage:` section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageConfig {
+    /// History retention policy.
+    pub prune: PruneMode,
+    /// Heights per static-file segment.
+    pub segment_blocks: u64,
+    /// Hot-page cap of the accounts table.
+    pub hot_pages: usize,
+}
+
+impl Default for StorageConfig {
+    fn default() -> StorageConfig {
+        StorageConfig {
+            prune: PruneMode::Full,
+            segment_blocks: 64,
+            hot_pages: 64,
+        }
+    }
+}
+
+/// What execution produced for one transaction, as the store sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReceiptRec {
+    /// Dense workload id of the transaction's sender.
+    pub id: u32,
+    /// Whether the call committed.
+    pub ok: bool,
+    /// Gas consumed.
+    pub gas: u64,
+}
+
+impl ReceiptRec {
+    fn digest(&self) -> Digest {
+        Digest::of_words(RECEIPT_TAG, &[u64::from(self.id), self.gas, u64::from(self.ok)])
+    }
+
+    fn pack(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(&self.gas.to_le_bytes());
+        out.push(u8::from(self.ok));
+    }
+}
+
+/// The roots [`StateStore::commit_block`] computes for one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRoots {
+    /// Merkle root of the post-block contract state.
+    pub state_root: Digest,
+    /// Merkle root of the block's receipts.
+    pub receipts_root: Digest,
+    /// Running chain root after this block.
+    pub block_root: Digest,
+}
+
+/// End-of-run storage summary, embedded in the run report when the
+/// store is enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageReport {
+    /// Prune mode, in [`PruneMode::parse`] grammar.
+    pub mode: String,
+    /// Final chain root, 64 hex chars.
+    pub root_hex: String,
+    /// Blocks committed through the store.
+    pub blocks: u64,
+    /// Receipts persisted.
+    pub txs: u64,
+    /// Block records still resident after pruning.
+    pub resident_blocks: u64,
+    /// Resident bytes across block/receipt segments and frozen pages.
+    pub resident_bytes: u64,
+    /// Block records dropped by pruning.
+    pub pruned_blocks: u64,
+    /// Hot pages in the accounts table.
+    pub hot_pages: u64,
+    /// Frozen pages in the accounts table.
+    pub frozen_pages: u64,
+    /// Entries in the flat storage table.
+    pub storage_entries: u64,
+}
+
+/// The append-only state store: segments, tables, roots and pruning
+/// behind one per-block entry point.
+#[derive(Debug, Clone)]
+pub struct StateStore {
+    config: StorageConfig,
+    blocks: SegmentedLog,
+    receipts: SegmentedLog,
+    accounts: FlatTable,
+    /// Flat mirror of the contract storage table, paged like the real
+    /// thing (the executors keep running on `ContractState`
+    /// bit-identically; this is the persisted copy).
+    storage: PagedState,
+    chain_root: Digest,
+    last_state_root: Digest,
+    txs: u64,
+}
+
+impl StateStore {
+    /// A fresh store under `config`.
+    pub fn new(config: StorageConfig) -> StateStore {
+        StateStore {
+            config,
+            blocks: SegmentedLog::new(config.segment_blocks),
+            receipts: SegmentedLog::new(config.segment_blocks),
+            accounts: FlatTable::new(),
+            storage: PagedState::new(),
+            chain_root: Digest::ZERO,
+            last_state_root: trie::empty_root(),
+            txs: 0,
+        }
+    }
+
+    /// Commits one executed block through the merkleize → persist →
+    /// prune stages.
+    ///
+    /// `state` is the post-block contract state (`None` for chains
+    /// without a deployed contract — the previous state root carries
+    /// over). `touched` lists `(sender_id, tx_count)` pairs of the
+    /// block, sorted by id. Heights are sequential from 1.
+    pub fn commit_block(
+        &mut self,
+        height: u64,
+        committed_us: u64,
+        block_bytes: u32,
+        recs: &[ReceiptRec],
+        state: Option<&ContractState>,
+        touched: &[(u32, u32)],
+    ) -> BlockRoots {
+        debug_assert_eq!(height, self.blocks.next_height(), "blocks commit in order");
+        debug_assert!(
+            touched.windows(2).all(|w| w[0].0 < w[1].0),
+            "touched accounts must be sorted by id"
+        );
+
+        // Stage 1: merkleize. Roots never look at pruned data — they
+        // are a pure function of this block's execution output.
+        let (state_root, receipts_root) = {
+            span!("store.merkleize");
+            let state_root = match state {
+                Some(s) => {
+                    let entries_root = trie::root(&s.sorted_entries());
+                    let blobs = Digest::of_words(BLOB_TAG, &[s.blob_bytes(), s.blob_count()]);
+                    Digest::combine(&entries_root, &blobs)
+                }
+                None => self.last_state_root,
+            };
+            let receipts_root =
+                trie::root_of_digests(recs.iter().map(ReceiptRec::digest).collect());
+            let mut flat = Vec::with_capacity(touched.len() * 2);
+            for &(id, n) in touched {
+                flat.push(u64::from(id));
+                flat.push(u64::from(n));
+            }
+            let touched_digest = Digest::of_words(TOUCH_TAG, &flat);
+            let content = Digest::combine(
+                &Digest::combine(&state_root, &receipts_root),
+                &touched_digest,
+            );
+            self.chain_root = Digest::combine(&self.chain_root, &content);
+            self.last_state_root = state_root;
+            (state_root, receipts_root)
+        };
+
+        // Stage 2: persist.
+        {
+            span!("store.persist");
+            let mut header = Vec::with_capacity(BLOCK_HEADER_BYTES);
+            header.extend_from_slice(&height.to_le_bytes());
+            header.extend_from_slice(&committed_us.to_le_bytes());
+            header.extend_from_slice(&(recs.len() as u32).to_le_bytes());
+            header.extend_from_slice(&block_bytes.to_le_bytes());
+            for lane in state_root.0 {
+                header.extend_from_slice(&lane.to_le_bytes());
+            }
+            for lane in receipts_root.0 {
+                header.extend_from_slice(&lane.to_le_bytes());
+            }
+            debug_assert_eq!(header.len(), BLOCK_HEADER_BYTES);
+            self.blocks.append(&header);
+
+            let mut packed = Vec::with_capacity(recs.len() * RECEIPT_BYTES);
+            for rec in recs {
+                rec.pack(&mut packed);
+            }
+            self.receipts.append(&packed);
+            self.txs += recs.len() as u64;
+
+            if let Some(s) = state {
+                let limits = StateLimits::unbounded();
+                for (k, v) in s.sorted_entries() {
+                    self.storage.store(k, v, &limits);
+                }
+            }
+            for &(id, n) in touched {
+                self.accounts.increment(id, u64::from(n), height);
+            }
+        }
+
+        // Stage 3: prune.
+        {
+            span!("store.prune");
+            let horizon = self.config.prune.horizon(height);
+            let dropped =
+                self.blocks.prune_below(horizon) + self.receipts.prune_below(horizon);
+            self.accounts.enforce_cap(self.config.hot_pages);
+            counter!("store.pruned_segments", dropped);
+        }
+
+        counter!("store.blocks");
+        counter!("store.txs", recs.len() as u64);
+        gauge!("store.resident_bytes", self.resident_bytes() as i64);
+        gauge!("store.hot_pages", self.accounts.hot_pages() as i64);
+
+        BlockRoots {
+            state_root,
+            receipts_root,
+            block_root: self.chain_root,
+        }
+    }
+
+    /// Resident bytes across both segment logs and frozen table pages.
+    pub fn resident_bytes(&self) -> u64 {
+        self.blocks.resident_bytes() + self.receipts.resident_bytes() + self.accounts.frozen_bytes()
+    }
+
+    /// The running chain root.
+    pub fn chain_root(&self) -> Digest {
+        self.chain_root
+    }
+
+    /// State root of the most recently committed block.
+    pub fn last_state_root(&self) -> Digest {
+        self.last_state_root
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &StorageConfig {
+        &self.config
+    }
+
+    /// The block-header log.
+    pub fn blocks(&self) -> &SegmentedLog {
+        &self.blocks
+    }
+
+    /// The receipts log.
+    pub fn receipts(&self) -> &SegmentedLog {
+        &self.receipts
+    }
+
+    /// The flat accounts table.
+    pub fn accounts(&self) -> &FlatTable {
+        &self.accounts
+    }
+
+    /// The persisted storage-table mirror.
+    pub fn storage(&self) -> &PagedState {
+        &self.storage
+    }
+
+    /// The end-of-run summary for the report.
+    pub fn report(&self) -> StorageReport {
+        StorageReport {
+            mode: self.config.prune.to_string(),
+            root_hex: self.chain_root.to_hex(),
+            blocks: self.blocks.next_height() - 1,
+            txs: self.txs,
+            resident_blocks: self.blocks.resident_records(),
+            resident_bytes: self.resident_bytes(),
+            pruned_blocks: self.blocks.pruned_records(),
+            hot_pages: self.accounts.hot_pages() as u64,
+            frozen_pages: self.accounts.frozen_pages() as u64,
+            storage_entries: self.storage.entry_count() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diablo_vm::ContractState;
+
+    fn demo_state(n: i64) -> ContractState {
+        let lim = StateLimits::unbounded();
+        let mut s = ContractState::new();
+        for k in 0..n {
+            s.store(k * 3 - 7, k + 1, &lim);
+        }
+        s
+    }
+
+    fn run_blocks(mode: PruneMode, blocks: u64) -> StateStore {
+        let mut store = StateStore::new(StorageConfig {
+            prune: mode,
+            segment_blocks: 4,
+            hot_pages: 2,
+        });
+        for h in 1..=blocks {
+            let state = demo_state(h as i64 % 7 + 1);
+            let recs: Vec<ReceiptRec> = (0..3)
+                .map(|i| ReceiptRec {
+                    id: (h as u32 * 3 + i) % 11,
+                    ok: i != 2,
+                    gas: 21_000 + h * 10 + u64::from(i),
+                })
+                .collect();
+            let touched: Vec<(u32, u32)> = {
+                let mut t: Vec<u32> = recs.iter().map(|r| r.id).collect();
+                t.sort_unstable();
+                t.dedup();
+                t.into_iter().map(|id| (id, 1)).collect()
+            };
+            store.commit_block(h, h * 1_000, 96, &recs, Some(&state), &touched);
+        }
+        store
+    }
+
+    #[test]
+    fn roots_are_identical_across_prune_modes() {
+        let full = run_blocks(PruneMode::Full, 40);
+        let distance = run_blocks(PruneMode::Distance(5), 40);
+        let before = run_blocks(PruneMode::Before(30), 40);
+        assert_eq!(full.chain_root(), distance.chain_root());
+        assert_eq!(full.chain_root(), before.chain_root());
+        assert_eq!(full.last_state_root(), distance.last_state_root());
+        // But the pruned stores hold less.
+        assert!(distance.report().resident_blocks < full.report().resident_blocks);
+        assert!(distance.report().pruned_blocks > 0);
+        assert_eq!(full.report().pruned_blocks, 0);
+    }
+
+    #[test]
+    fn empty_blocks_carry_the_state_root_forward() {
+        let mut store = StateStore::new(StorageConfig::default());
+        let state = demo_state(5);
+        let r1 = store.commit_block(1, 10, 32, &[], Some(&state), &[]);
+        // An empty block with no contract snapshot reuses the root.
+        let r2 = store.commit_block(2, 20, 0, &[], None, &[]);
+        assert_eq!(r1.state_root, r2.state_root);
+        assert_ne!(r1.block_root, r2.block_root, "chain root still advances");
+    }
+
+    #[test]
+    fn headers_and_receipts_round_trip() {
+        let store = run_blocks(PruneMode::Full, 6);
+        let header = store.blocks().get(3).expect("height 3 resident");
+        assert_eq!(header.len(), BLOCK_HEADER_BYTES);
+        assert_eq!(u64::from_le_bytes(header[0..8].try_into().unwrap()), 3);
+        assert_eq!(u64::from_le_bytes(header[8..16].try_into().unwrap()), 3_000);
+        assert_eq!(u32::from_le_bytes(header[16..20].try_into().unwrap()), 3);
+        let receipts = store.receipts().get(3).expect("receipts resident");
+        assert_eq!(receipts.len(), 3 * RECEIPT_BYTES);
+        assert_eq!(
+            u64::from_le_bytes(receipts[4..12].try_into().unwrap()),
+            21_030
+        );
+    }
+
+    #[test]
+    fn report_counts_line_up() {
+        let store = run_blocks(PruneMode::Distance(8), 20);
+        let rep = store.report();
+        assert_eq!(rep.mode, "distance=8");
+        assert_eq!(rep.blocks, 20);
+        assert_eq!(rep.txs, 60);
+        assert_eq!(rep.root_hex.len(), 64);
+        assert_eq!(rep.resident_blocks + rep.pruned_blocks, 20);
+        assert!(rep.hot_pages <= 2);
+        assert!(rep.storage_entries > 0);
+    }
+
+    #[test]
+    fn storage_mirror_matches_contract_state() {
+        let store = run_blocks(PruneMode::Full, 9);
+        // Last block wrote demo_state(9 % 7 + 1 = 3); the mirror holds
+        // the union of all blocks' entries, so spot-check the final
+        // values.
+        let final_state = demo_state(3);
+        for (k, v) in final_state.sorted_entries() {
+            assert_eq!(store.storage().load(k), v);
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! The flat accounts table: dense ids, fixed pages, bounded hot set.
+//!
+//! Workload plans already name accounts with dense `u32` ids, so the
+//! accounts table needs no hashing at all — an id indexes directly into
+//! page `id / 4096`, slot `id % 4096` (the interning satellite of this
+//! PR makes the chains side feed those ids straight through). Each page
+//! is in one of three states:
+//!
+//! - **Empty** — never touched; costs one enum tag.
+//! - **Hot** — a resident `Box<[u64; 4096]>` taking writes directly.
+//! - **Frozen** — varint-packed bytes, the in-memory stand-in for a
+//!   page flushed to disk. Reads decode in place; writes thaw the page
+//!   back to hot first.
+//!
+//! [`FlatTable::enforce_cap`] bounds the hot set: when more than
+//! `hot_cap` pages are hot it freezes the coldest (smallest last-touch
+//! block, ties broken by smallest page index — fully deterministic), so
+//! a million-account run keeps O(hot_cap × 4096) resident counters no
+//! matter how many accounts exist.
+
+/// Ids per page (4096 = 12 bits, so a u32 id splits into page ≤ 2^20).
+pub const PAGE: usize = 4096;
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Empty,
+    Hot {
+        values: Box<[u64; PAGE]>,
+        /// Block height of the last write into this page.
+        last_touch: u64,
+    },
+    Frozen(Vec<u8>),
+}
+
+/// A dense `u32`-keyed table of `u64` counters with a bounded hot set.
+#[derive(Debug, Clone)]
+pub struct FlatTable {
+    pages: Vec<Slot>,
+    entries: u64,
+    freezes: u64,
+    thaws: u64,
+}
+
+/// Appends `v` as a LEB128 varint.
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint at `*pos`, advancing it.
+fn get_varint(buf: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let byte = buf[*pos];
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+/// Packs a hot page: `last_touch`, then 4096 values as varints. Counts
+/// are overwhelmingly small (most accounts send a handful of txs), so
+/// this is ~1 byte per slot instead of 8.
+fn freeze_page(values: &[u64; PAGE], last_touch: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(PAGE + 10);
+    put_varint(&mut out, last_touch);
+    for &v in values.iter() {
+        put_varint(&mut out, v);
+    }
+    out
+}
+
+/// Unpacks a frozen page back to `(values, last_touch)`.
+fn thaw_page(buf: &[u8]) -> (Box<[u64; PAGE]>, u64) {
+    let mut pos = 0;
+    let last_touch = get_varint(buf, &mut pos);
+    let mut values = Box::new([0u64; PAGE]);
+    for v in values.iter_mut() {
+        *v = get_varint(buf, &mut pos);
+    }
+    debug_assert_eq!(pos, buf.len());
+    (values, last_touch)
+}
+
+impl FlatTable {
+    /// A new empty table.
+    pub fn new() -> FlatTable {
+        FlatTable {
+            pages: Vec::new(),
+            entries: 0,
+            freezes: 0,
+            thaws: 0,
+        }
+    }
+
+    /// Adds `delta` to the counter of `id`, thawing its page if frozen.
+    /// `now_block` stamps the page for eviction ordering.
+    pub fn increment(&mut self, id: u32, delta: u64, now_block: u64) {
+        let page = id as usize / PAGE;
+        let slot = id as usize % PAGE;
+        if page >= self.pages.len() {
+            self.pages.resize(page + 1, Slot::Empty);
+        }
+        let entry = &mut self.pages[page];
+        match entry {
+            Slot::Hot { values, last_touch } => {
+                if values[slot] == 0 && delta > 0 {
+                    self.entries += 1;
+                }
+                values[slot] += delta;
+                *last_touch = now_block;
+            }
+            Slot::Frozen(buf) => {
+                let (mut values, _) = thaw_page(buf);
+                self.thaws += 1;
+                if values[slot] == 0 && delta > 0 {
+                    self.entries += 1;
+                }
+                values[slot] += delta;
+                *entry = Slot::Hot {
+                    values,
+                    last_touch: now_block,
+                };
+            }
+            Slot::Empty => {
+                let mut values = Box::new([0u64; PAGE]);
+                if delta > 0 {
+                    self.entries += 1;
+                }
+                values[slot] = delta;
+                *entry = Slot::Hot {
+                    values,
+                    last_touch: now_block,
+                };
+            }
+        }
+    }
+
+    /// The counter of `id` (0 when never set). Frozen pages are decoded
+    /// in place without thawing, so reads never grow the hot set.
+    pub fn get(&self, id: u32) -> u64 {
+        let page = id as usize / PAGE;
+        let slot = id as usize % PAGE;
+        match self.pages.get(page) {
+            Some(Slot::Hot { values, .. }) => values[slot],
+            Some(Slot::Frozen(buf)) => {
+                let mut pos = 0;
+                let _last_touch = get_varint(buf, &mut pos);
+                let mut v = 0;
+                for _ in 0..=slot {
+                    v = get_varint(buf, &mut pos);
+                }
+                v
+            }
+            _ => 0,
+        }
+    }
+
+    /// Freezes the coldest hot pages until at most `hot_cap` remain.
+    /// Eviction order is deterministic: smallest `last_touch` first,
+    /// ties broken by smallest page index.
+    pub fn enforce_cap(&mut self, hot_cap: usize) {
+        let mut hot: Vec<(u64, usize)> = self
+            .pages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Slot::Hot { last_touch, .. } => Some((*last_touch, i)),
+                _ => None,
+            })
+            .collect();
+        if hot.len() <= hot_cap {
+            return;
+        }
+        hot.sort_unstable();
+        for &(_, i) in hot.iter().take(hot.len() - hot_cap) {
+            let entry = &mut self.pages[i];
+            if let Slot::Hot { values, last_touch } = entry {
+                *entry = Slot::Frozen(freeze_page(values, *last_touch));
+                self.freezes += 1;
+            }
+        }
+    }
+
+    /// Non-zero counters ever set.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Currently hot (resident array) pages.
+    pub fn hot_pages(&self) -> usize {
+        self.pages
+            .iter()
+            .filter(|s| matches!(s, Slot::Hot { .. }))
+            .count()
+    }
+
+    /// Currently frozen (packed) pages.
+    pub fn frozen_pages(&self) -> usize {
+        self.pages
+            .iter()
+            .filter(|s| matches!(s, Slot::Frozen(_)))
+            .count()
+    }
+
+    /// Bytes held by frozen pages.
+    pub fn frozen_bytes(&self) -> u64 {
+        self.pages
+            .iter()
+            .map(|s| match s {
+                Slot::Frozen(buf) => buf.len() as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Pages frozen so far (monotonic).
+    pub fn freezes(&self) -> u64 {
+        self.freezes
+    }
+
+    /// Pages thawed so far (monotonic).
+    pub fn thaws(&self) -> u64 {
+        self.thaws
+    }
+
+    /// Digest over every `(id, count)` pair in id order, independent of
+    /// which pages happen to be hot or frozen. Differential tests use
+    /// this to prove freezing is lossless.
+    pub fn digest(&self) -> crate::digest::Digest {
+        let mut a = crate::digest::Absorber::new(0x6163_6374); // "acct"
+        for (pi, slot) in self.pages.iter().enumerate() {
+            let absorb_values = |a: &mut crate::digest::Absorber, values: &[u64; PAGE]| {
+                for (si, &v) in values.iter().enumerate() {
+                    if v != 0 {
+                        a.absorb((pi * PAGE + si) as u64);
+                        a.absorb(v);
+                    }
+                }
+            };
+            match slot {
+                Slot::Hot { values, .. } => absorb_values(&mut a, values),
+                Slot::Frozen(buf) => {
+                    let (values, _) = thaw_page(buf);
+                    absorb_values(&mut a, &values);
+                }
+                Slot::Empty => {}
+            }
+        }
+        a.finish()
+    }
+}
+
+impl Default for FlatTable {
+    fn default() -> FlatTable {
+        FlatTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varints_round_trip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, 16_383, 16_384, u64::MAX];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_varint(&buf, &mut pos), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn increments_accumulate_across_pages() {
+        let mut t = FlatTable::new();
+        t.increment(0, 1, 1);
+        t.increment(0, 2, 2);
+        t.increment(PAGE as u32, 5, 2); // second page
+        t.increment(1_000_000, 7, 3); // far page
+        assert_eq!(t.get(0), 3);
+        assert_eq!(t.get(PAGE as u32), 5);
+        assert_eq!(t.get(1_000_000), 7);
+        assert_eq!(t.get(42), 0);
+        assert_eq!(t.entries(), 3);
+        assert_eq!(t.hot_pages(), 3);
+    }
+
+    #[test]
+    fn freeze_is_lossless_and_reads_do_not_thaw() {
+        let mut t = FlatTable::new();
+        for id in 0..(3 * PAGE as u32) {
+            if id % 7 == 0 {
+                t.increment(id, u64::from(id) + 1, 1);
+            }
+        }
+        let before = t.digest();
+        t.enforce_cap(1);
+        assert_eq!(t.hot_pages(), 1);
+        assert_eq!(t.frozen_pages(), 2);
+        assert_eq!(t.digest(), before, "freezing must be lossless");
+        // Reads on frozen pages decode in place.
+        assert_eq!(t.get(7), 8);
+        assert_eq!(t.hot_pages(), 1, "get() must not thaw");
+        // A write thaws.
+        t.increment(7, 1, 2);
+        assert_eq!(t.get(7), 9);
+        assert_eq!(t.hot_pages(), 2);
+        assert_eq!(t.thaws(), 1);
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic() {
+        let mut t = FlatTable::new();
+        // Pages 0..4 touched at blocks 5, 3, 3, 9.
+        t.increment(0, 1, 5);
+        t.increment(PAGE as u32, 1, 3);
+        t.increment(2 * PAGE as u32, 1, 3);
+        t.increment(3 * PAGE as u32, 1, 9);
+        t.enforce_cap(2);
+        // Coldest are pages 1 and 2 (touch 3); tie broken by index, both
+        // evicted. Pages 0 (touch 5) and 3 (touch 9) stay hot.
+        assert_eq!(t.get(0), 1);
+        assert_eq!(t.hot_pages(), 2);
+        let frozen: Vec<bool> = (0..4)
+            .map(|p| {
+                let mut probe = t.clone();
+                probe.increment(p * PAGE as u32, 0, 100);
+                probe.thaws() > t.thaws()
+            })
+            .collect();
+        assert_eq!(frozen, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn cap_zero_freezes_everything() {
+        let mut t = FlatTable::new();
+        for p in 0..5u32 {
+            t.increment(p * PAGE as u32, 1, u64::from(p));
+        }
+        t.enforce_cap(0);
+        assert_eq!(t.hot_pages(), 0);
+        assert_eq!(t.frozen_pages(), 5);
+        assert!(t.frozen_bytes() > 0);
+        for p in 0..5u32 {
+            assert_eq!(t.get(p * PAGE as u32), 1);
+        }
+    }
+}

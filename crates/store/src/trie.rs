@@ -1,0 +1,126 @@
+//! Per-block Merkle state roots: a balanced binary trie over sorted
+//! key/value pairs.
+//!
+//! The root commits to the exact entry set *and* its order, so two runs
+//! agree on a root exactly when they agree on the state — the property
+//! the differential suites lean on. Input pairs must be sorted by key
+//! (use `ContractState::sorted_entries` / `PagedState::sorted_entries`);
+//! sortedness is what makes the root independent of `HashMap` iteration
+//! order by construction.
+//!
+//! Shape: leaves are hashed `(key, value)` pairs; each level pairs
+//! adjacent nodes left-to-right and promotes an odd trailing node, like
+//! a classic block-transaction Merkle tree. No proofs are generated —
+//! the simulator needs integrity checking, not light clients — so the
+//! tree is never materialized, only folded level by level in place.
+
+use crate::digest::Digest;
+
+/// Domain tag of leaf digests.
+const LEAF_TAG: u64 = 0x6c65_6166; // "leaf"
+/// The root of an empty entry set.
+const EMPTY_TAG: u64 = 0x656d_7074_79; // "empty"
+
+/// Digest of one `(key, value)` leaf.
+pub fn leaf(key: i64, value: i64) -> Digest {
+    Digest::of_words(LEAF_TAG, &[key as u64, value as u64])
+}
+
+/// The root of an empty tree (distinct from any leaf or node).
+pub fn empty_root() -> Digest {
+    Digest::of_words(EMPTY_TAG, &[])
+}
+
+/// Folds a leaf level into its Merkle root.
+pub fn root_of_digests(mut level: Vec<Digest>) -> Digest {
+    if level.is_empty() {
+        return empty_root();
+    }
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.chunks_exact(2);
+        for pair in &mut it {
+            next.push(Digest::combine(&pair[0], &pair[1]));
+        }
+        if let [odd] = it.remainder() {
+            next.push(*odd);
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// The Merkle root of sorted `(key, value)` pairs.
+///
+/// # Panics
+///
+/// Debug-panics when `pairs` is not strictly sorted by key: an unsorted
+/// input would tie the root to iteration order, the exact bug this
+/// module exists to rule out.
+pub fn root(pairs: &[(i64, i64)]) -> Digest {
+    debug_assert!(
+        pairs.windows(2).all(|w| w[0].0 < w[1].0),
+        "merkle input must be strictly key-sorted"
+    );
+    root_of_digests(pairs.iter().map(|&(k, v)| leaf(k, v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_singleton_and_pair_roots_are_distinct() {
+        let e = root(&[]);
+        let one = root(&[(1, 10)]);
+        let two = root(&[(1, 10), (2, 20)]);
+        assert_eq!(e, empty_root());
+        assert_ne!(e, one);
+        assert_ne!(one, two);
+        // A single leaf's root is the leaf itself.
+        assert_eq!(one, leaf(1, 10));
+    }
+
+    #[test]
+    fn root_commits_to_values_and_keys() {
+        let base = root(&[(1, 10), (2, 20), (3, 30)]);
+        assert_ne!(base, root(&[(1, 10), (2, 21), (3, 30)]));
+        assert_ne!(base, root(&[(1, 10), (2, 20), (4, 30)]));
+        assert_ne!(base, root(&[(1, 10), (2, 20)]));
+    }
+
+    #[test]
+    fn odd_levels_fold_correctly() {
+        // 5 leaves: level sizes 5 → 3 → 2 → 1; check against the
+        // hand-folded tree.
+        let pairs: Vec<(i64, i64)> = (0..5).map(|i| (i, i * 7)).collect();
+        let l: Vec<Digest> = pairs.iter().map(|&(k, v)| leaf(k, v)).collect();
+        let n01 = Digest::combine(&l[0], &l[1]);
+        let n23 = Digest::combine(&l[2], &l[3]);
+        let n0123 = Digest::combine(&n01, &n23);
+        let expect = Digest::combine(&n0123, &l[4]);
+        assert_eq!(root(&pairs), expect);
+    }
+
+    #[test]
+    fn same_pairs_same_root_regardless_of_source() {
+        // The sorted contract representation and the paged one must
+        // produce identical roots (the store compares them in tests).
+        use diablo_vm::{ContractState, PagedState, StateLimits};
+        let lim = StateLimits::unbounded();
+        let mut a = ContractState::new();
+        let mut b = PagedState::new();
+        for key in [900i64, -3, 0, 512, 77, -258] {
+            a.store(key, key * 11, &lim);
+            b.store(key, key * 11, &lim);
+        }
+        assert_eq!(root(&a.sorted_entries()), root(&b.sorted_entries()));
+    }
+
+    #[test]
+    #[should_panic(expected = "key-sorted")]
+    #[cfg(debug_assertions)]
+    fn unsorted_input_panics_in_debug() {
+        let _ = root(&[(2, 1), (1, 1)]);
+    }
+}

@@ -144,6 +144,18 @@ impl ContractState {
         self.entries.len()
     }
 
+    /// The `(key, value)` entries sorted by key.
+    ///
+    /// `entries` is a `HashMap`, so its iteration order is
+    /// nondeterministic; every serialization of a state — Merkle roots,
+    /// JSON dumps, differential comparisons — must go through this
+    /// helper so the output is stable by construction.
+    pub fn sorted_entries(&self) -> Vec<(Word, Word)> {
+        let mut pairs: Vec<(Word, Word)> = self.entries.iter().map(|(&k, &v)| (k, v)).collect();
+        pairs.sort_unstable_by_key(|&(k, _)| k);
+        pairs
+    }
+
     /// Total opaque payload bytes absorbed.
     pub fn blob_bytes(&self) -> u64 {
         self.blob_bytes

@@ -1,0 +1,77 @@
+//! Differential property test: [`PagedState`] is behaviourally
+//! identical to [`ContractState`] through the [`StateAccess`] trait.
+//!
+//! Random operation sequences — stores (including explicit zeros,
+//! negative and page-boundary keys), loads and blob accounting, under
+//! random entry-count limits — are applied to both backends. Every
+//! operation must agree on its return value, every load on its result,
+//! and the final states must agree entry-for-entry via the sorted
+//! iteration helpers. This is what lets `diablo-store` hold the
+//! persisted storage table in pages while the executors keep producing
+//! bit-identical results against the canonical map.
+
+use diablo_testkit::gen::{u64s, vecs};
+use diablo_testkit::{prop_assert, prop_assert_eq, Property};
+use diablo_vm::{ContractState, PagedState, StateAccess, StateLimits};
+
+/// Decodes one generated word into an operation on both states.
+/// Returns `false` on a disagreement (asserted by the caller).
+fn apply(op: u64, map: &mut ContractState, paged: &mut PagedState, limits: &StateLimits) -> bool {
+    // Keys cluster into a few pages (low byte spread, small page part)
+    // with occasional far-flung and negative outliers.
+    let raw = (op >> 8) as i64;
+    let key = match op % 100 {
+        0..=79 => raw % 1024,
+        80..=89 => -(raw % 1024),
+        _ => raw.wrapping_mul(0x9e37),
+    };
+    let value = (op as i64).wrapping_mul(31) % 1000 - 500;
+    match op % 7 {
+        0 | 1 | 2 | 3 => {
+            let a = StateAccess::store(map, key, value, limits);
+            let b = StateAccess::store(paged, key, value, limits);
+            a == b
+        }
+        4 | 5 => StateAccess::load(map, key) == StateAccess::load(paged, key),
+        _ => {
+            let len = op % 200;
+            let a = StateAccess::store_blob(map, len, limits);
+            let b = StateAccess::store_blob(paged, len, limits);
+            if a != b {
+                return false;
+            }
+            if op % 2 == 0 {
+                map.unstore_blob(len);
+                paged.unstore_blob(len);
+            }
+            true
+        }
+    }
+}
+
+#[test]
+fn paged_state_matches_contract_state() {
+    Property::new("paged_state_matches_contract_state")
+        .cases(64)
+        .check(&vecs(u64s(0..=u64::MAX), 0..=400), |ops: &Vec<u64>| {
+            // A tight limit in some cases exercises the rejection path.
+            let max_entries = if ops.len() % 3 == 0 { 40 } else { usize::MAX / 2 };
+            let limits = StateLimits {
+                max_blob_bytes: 100,
+                max_entries,
+            };
+            let mut map = ContractState::new();
+            let mut paged = PagedState::new();
+            for &op in ops {
+                prop_assert!(
+                    apply(op, &mut map, &mut paged, &limits),
+                    "backends disagreed on op {op:#x}"
+                );
+            }
+            prop_assert_eq!(map.entry_count(), paged.entry_count());
+            prop_assert_eq!(map.blob_bytes(), paged.blob_bytes());
+            prop_assert_eq!(map.blob_count(), paged.blob_count());
+            prop_assert_eq!(map.sorted_entries(), paged.sorted_entries());
+            Ok(())
+        });
+}

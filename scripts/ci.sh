@@ -97,6 +97,53 @@ cmp "$chaos_a" "$chaos_b" || {
 }
 rm -f "$chaos_a" "$chaos_b"
 
+# Storage smoke: the staged commit pipeline (execute → merkleize →
+# persist → prune, docs/STORAGE.md) must (a) report the same state root
+# at every prune mode, (b) be byte-identical across worker counts with
+# the store on, and (c) leave output byte-identical to the pre-store
+# format when disabled.
+echo "==> storage smoke (prune modes agree on roots, store output byte-compared)"
+store_a="$(mktemp /tmp/diablo-store-a.XXXXXX.json)"
+store_b="$(mktemp /tmp/diablo-store-b.XXXXXX.json)"
+root_ref=""
+for prune in full distance=3 before=20; do
+    cargo run -q --release --offline --bin diablo -- run --chain=quorum \
+        --seed=11 --exact --prune="$prune" --segment-blocks=4 \
+        --output="$store_a" workloads/exchange-apple.yaml >/dev/null
+    root="$(grep -o '"root":"[0-9a-f]*"' "$store_a")"
+    [ -n "$root" ] || { echo "storage smoke: no root under --prune=$prune" >&2; exit 1; }
+    if [ -z "$root_ref" ]; then root_ref="$root"; fi
+    [ "$root" = "$root_ref" ] || {
+        echo "storage smoke: --prune=$prune root differs: $root vs $root_ref" >&2
+        exit 1
+    }
+done
+cargo run -q --release --offline --bin diablo -- run --chain=quorum \
+    --seed=11 --exact --optimistic --threads=8 --store \
+    --output="$store_a" workloads/exchange-apple.yaml >/dev/null
+cargo run -q --release --offline --bin diablo -- run --chain=quorum \
+    --seed=11 --exact --threads=1 --store \
+    --output="$store_b" workloads/exchange-apple.yaml >/dev/null
+for key in '"storage":{' '"store.blocks"'; do
+    grep -qF "$key" "$store_a" || {
+        echo "storage smoke: missing $key in $store_a" >&2
+        exit 1
+    }
+done
+# The storage section and store.* gauges must agree between the serial
+# and the 8-worker optimistic run (full records differ only in the
+# telemetry the executors themselves emit, so compare the store parts).
+for pat in '"storage":{[^}]*}' '"store\.[a-z_]*":[0-9]*'; do
+    a="$(grep -o "$pat" "$store_a")"; b="$(grep -o "$pat" "$store_b")"
+    [ "$a" = "$b" ] || {
+        echo "storage smoke: store output differs across executors" >&2
+        echo "  8-worker optimistic: $a" >&2
+        echo "  serial:              $b" >&2
+        exit 1
+    }
+done
+rm -f "$store_a" "$store_b"
+
 # Disabled-build check: with telemetry compiled out, the no-op macros
 # must still type-check everywhere and tier-1 must pass. A separate
 # target dir keeps the two configurations' caches apart.
@@ -143,6 +190,16 @@ DIABLO_BENCH_SAMPLES=5 DIABLO_BENCH_JSON="$bench_json" \
     cargo bench -q --offline -p diablo-bench --bench scale
 cargo run -q --release --offline -p diablo-bench --bin bench_gate -- \
     results/BENCH_baseline.json "$bench_json/BENCH_scale.json" \
+    "${DIABLO_BENCH_GATE_PCT:-10}"
+
+# Same gate over the state-store bench: the staged commit pipeline's
+# e2e overhead and its trie/table kernels must stay within the window.
+# The baseline file carries both suites; the gate matches by name.
+echo "==> bench gate (state_store bench vs results/BENCH_baseline.json)"
+DIABLO_BENCH_SAMPLES=5 DIABLO_BENCH_JSON="$bench_json" \
+    cargo bench -q --offline -p diablo-bench --bench state_store
+cargo run -q --release --offline -p diablo-bench --bin bench_gate -- \
+    results/BENCH_baseline.json "$bench_json/BENCH_state_store.json" \
     "${DIABLO_BENCH_GATE_PCT:-10}"
 
 echo "CI OK"

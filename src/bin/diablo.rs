@@ -123,6 +123,35 @@ fn parse_concurrency(args: &Args) -> Result<diablo::chains::Concurrency, String>
         .ok_or_else(|| format!("bad --execution={mode} (serial | parallel | optimistic)"))
 }
 
+/// Resolves the storage flags (`--store`, `--prune=MODE`,
+/// `--segment-blocks=N`, `--hot-pages=N`) into a state-store
+/// configuration. `--prune`/`--segment-blocks`/`--hot-pages` imply
+/// `--store`; no storage flag at all defers to the spec's `storage:`
+/// section (and then to no store).
+fn parse_storage_flags(args: &Args) -> Result<Option<diablo::chains::StorageConfig>, String> {
+    let tuning =
+        args.has("prune") || args.has("segment-blocks") || args.has("hot-pages");
+    if !args.has("store") && !tuning {
+        return Ok(None);
+    }
+    let mut config = diablo::chains::StorageConfig::default();
+    if let Some(mode) = args.get("prune") {
+        config.prune =
+            diablo::chains::PruneMode::parse(mode).map_err(|e| format!("bad --prune: {e}"))?;
+    }
+    if let Some(n) = args.get("segment-blocks") {
+        config.segment_blocks = n
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("bad --segment-blocks")?;
+    }
+    if let Some(n) = args.get("hot-pages") {
+        config.hot_pages = n.parse::<usize>().map_err(|_| "bad --hot-pages")?;
+    }
+    Ok(Some(config))
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  diablo run --chain=<name> [--deployment=<name>] [--secondaries=N] \
@@ -140,6 +169,14 @@ fn usage() -> ExitCode {
          --execution=MODE                 serial | parallel | optimistic\n  \
          --exact                          exact execution mode (interpret every call;\n                                   \
          required for the block executors to engage)\n\n\
+         storage flags (same grammar as the spec's `storage:` section; roots are\n\
+         identical at every prune mode, see docs/STORAGE.md):\n  \
+         --store                          persist blocks/receipts/state in the staged\n                                   \
+         commit pipeline (execute-merkleize-persist-prune)\n  \
+         --prune=MODE                     full | distance=N | before=N (implies --store)\n  \
+         --segment-blocks=N               blocks per static-file segment (implies --store)\n  \
+         --hot-pages=N                    decoded-page cap of the flat account/storage\n                                   \
+         tables (implies --store)\n\n\
          chaos flags (repeatable; same grammar as the spec's `fault:` section):\n  \
          --crash=NODES@AT[..RECOVER]      crash nodes, optionally recovering\n  \
          --partition=GRP/GRP@FROM..UNTIL  split the network into components\n  \
@@ -176,6 +213,7 @@ fn parse_common(args: &Args) -> Result<(Chain, DeploymentKind, BenchmarkOptions,
     }
     options.concurrency = parse_concurrency(args)?;
     options.faults = parse_chaos(args)?;
+    options.storage = parse_storage_flags(args)?;
     let spec_path = args
         .positional
         .get(1)
@@ -227,6 +265,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         }
         options.concurrency = parse_concurrency(args)?;
         options.faults = parse_chaos(args)?;
+        options.storage = parse_storage_flags(args)?;
         let spec_path = args
             .positional
             .get(1)
