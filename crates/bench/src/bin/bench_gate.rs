@@ -23,7 +23,16 @@
 //! An empty intersection is itself a failure — a gate that finds
 //! nothing to compare (renamed benchmarks, empty files) must not pass
 //! silently.
+//!
+//! Besides the pass/fail text, every invocation appends one JSON line
+//! per compared benchmark (`baseline_ns`, `current_ns`, `ratio`,
+//! `verdict`) to the report file named by `DIABLO_GATE_REPORT`
+//! (default `results/GATE_report.json`), so scripted pipelines can read
+//! verdicts without scraping the text output. Appending keeps the
+//! report whole when CI gates several suites in sequence; the file is
+//! truncated at most once per process tree via `DIABLO_GATE_TRUNCATE`.
 
+use std::io::Write as _;
 use std::process::ExitCode;
 
 /// One parsed `BENCH_*.json` line.
@@ -32,6 +41,14 @@ struct Entry {
     mean_ns: f64,
     min_ns: f64,
     items: u64,
+}
+
+/// One gate decision, as written to the machine-readable report.
+struct Verdict {
+    name: String,
+    baseline_ns: f64,
+    current_ns: f64,
+    verdict: &'static str,
 }
 
 /// Extracts `"key":<number>` from a JSON line our own emitter wrote.
@@ -72,6 +89,42 @@ fn parse_file(path: &str) -> Result<Vec<Entry>, String> {
     Ok(entries)
 }
 
+/// Writes the machine-readable report: one JSON line per decision.
+/// `DIABLO_GATE_TRUNCATE=1` starts the file over; otherwise lines
+/// append so sequential gate invocations build one report.
+fn write_report(verdicts: &[Verdict]) -> Result<(), String> {
+    let path = std::env::var("DIABLO_GATE_REPORT")
+        .unwrap_or_else(|_| "results/GATE_report.json".to_string());
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        }
+    }
+    let truncate = std::env::var("DIABLO_GATE_TRUNCATE").as_deref() == Ok("1");
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(!truncate)
+        .write(true)
+        .truncate(truncate)
+        .open(&path)
+        .map_err(|e| format!("{path}: {e}"))?;
+    for v in verdicts {
+        let ratio = if v.baseline_ns > 0.0 {
+            v.current_ns / v.baseline_ns
+        } else {
+            0.0
+        };
+        writeln!(
+            file,
+            "{{\"name\":\"{}\",\"baseline_ns\":{:.0},\"current_ns\":{:.0},\
+             \"ratio\":{:.4},\"verdict\":\"{}\"}}",
+            v.name, v.baseline_ns, v.current_ns, ratio, v.verdict
+        )
+        .map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (baseline_path, current_path) = match (args.first(), args.get(1)) {
@@ -100,9 +153,16 @@ fn main() -> ExitCode {
 
     let mut compared = 0usize;
     let mut regressions = 0usize;
+    let mut verdicts: Vec<Verdict> = Vec::new();
     for cur in &current {
         let Some(base) = baseline.iter().find(|b| b.name == cur.name) else {
             println!("  new       {:<44} (no baseline)", cur.name);
+            verdicts.push(Verdict {
+                name: cur.name.clone(),
+                baseline_ns: 0.0,
+                current_ns: cur.min_ns,
+                verdict: "new",
+            });
             continue;
         };
         if base.items != cur.items {
@@ -110,6 +170,12 @@ fn main() -> ExitCode {
                 "  skipped   {:<44} shape mismatch: {} vs {} items",
                 cur.name, cur.items, base.items
             );
+            verdicts.push(Verdict {
+                name: cur.name.clone(),
+                baseline_ns: base.mean_ns,
+                current_ns: cur.min_ns,
+                verdict: "skipped",
+            });
             continue;
         }
         compared += 1;
@@ -120,12 +186,23 @@ fn main() -> ExitCode {
         } else {
             "ok"
         };
+        verdicts.push(Verdict {
+            name: cur.name.clone(),
+            baseline_ns: base.mean_ns,
+            current_ns: cur.min_ns,
+            verdict,
+        });
         println!(
             "  {verdict:<9} {:<44} {:>9.2} ms -> {:>9.2} ms ({delta_pct:+.1}%)",
             cur.name,
             base.mean_ns / 1e6,
             cur.min_ns / 1e6,
         );
+    }
+
+    if let Err(e) = write_report(&verdicts) {
+        eprintln!("bench_gate: report: {e}");
+        return ExitCode::from(2);
     }
 
     if compared == 0 {

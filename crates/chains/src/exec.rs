@@ -68,6 +68,17 @@ impl Concurrency {
         }
     }
 
+    /// Stable numeric code of the mode (serial 0, static-parallel 1,
+    /// optimistic 2) — the tracer's `executed` annotation. Worker
+    /// counts are deliberately excluded: they never change results.
+    pub fn code(self) -> u64 {
+        match self {
+            Concurrency::Serial => 0,
+            Concurrency::Parallel(_) => 1,
+            Concurrency::Optimistic(_) => 2,
+        }
+    }
+
     /// Parses a mode name (`serial`, `parallel`, `optimistic`) plus a
     /// worker count into a concurrency setting — the shared grammar of
     /// the CLI's `--execution=`/`--threads=`/`--optimistic` flags and
@@ -135,6 +146,10 @@ pub struct ExecutionEngine {
     concurrency: Concurrency,
     /// The deployed contract for the experiment's DApp (if any).
     contract: Option<Contract>,
+    /// Per-transaction execution counts of the last committed block
+    /// (speculations + re-executions under the optimistic executor, 1
+    /// everywhere else) — the tracer's `executed` annotation.
+    last_exec_counts: Vec<u32>,
     /// Profiled-mode cache: (entry, arg class) → (cost, replays since
     /// refresh).
     cache: HashMap<(&'static str, ArgClass), (ExecCost, u64)>,
@@ -160,6 +175,7 @@ impl ExecutionEngine {
             mode,
             concurrency: Concurrency::Serial,
             contract: None,
+            last_exec_counts: Vec::new(),
             cache: HashMap::new(),
         }
     }
@@ -175,6 +191,7 @@ impl ExecutionEngine {
             mode,
             concurrency: Concurrency::Serial,
             contract: Some(contract),
+            last_exec_counts: Vec::new(),
             cache: HashMap::new(),
         })
     }
@@ -188,6 +205,14 @@ impl ExecutionEngine {
     /// The configured block-commit concurrency.
     pub fn concurrency(&self) -> Concurrency {
         self.concurrency
+    }
+
+    /// How many times each transaction of the last
+    /// [`ExecutionEngine::execute_block`] batch ran: always 1 on the
+    /// serial and statically-scheduled paths, the speculation count
+    /// under the optimistic executor. Empty before the first block.
+    pub fn last_exec_counts(&self) -> &[u32] {
+        &self.last_exec_counts
     }
 
     /// The engine's VM flavor.
@@ -306,6 +331,10 @@ impl ExecutionEngine {
     pub fn execute_block(&mut self, payloads: &[Payload]) -> Vec<ExecCost> {
         let threads = self.concurrency.threads();
         diablo_telemetry::record!("exec.block.txs", payloads.len() as u64);
+        // Every path below runs each transaction exactly once, except
+        // the optimistic executor, which overwrites its slots with the
+        // real speculation counts.
+        self.last_exec_counts = vec![1; payloads.len()];
         let plannable =
             self.mode == ExecMode::Exact && payloads.len() >= 2 && self.contract.is_some();
         // The optimistic protocol itself is worker-count independent, so
@@ -374,13 +403,17 @@ impl ExecutionEngine {
         // transaction.
         let map = |k: usize, result| cost_of(result, intrinsics[k]);
         let results = if optimistic {
-            OptimisticExecutor::new(threads).execute(
+            let (results, execs) = OptimisticExecutor::new(threads).execute_counting(
                 &vm,
                 &contract.prepared,
                 &mut contract.initial_state,
                 &txs,
                 map,
-            )
+            );
+            for (&slot, count) in slots.iter().zip(execs) {
+                self.last_exec_counts[slot] = count;
+            }
+            results
         } else {
             ParallelExecutor::new(threads).execute(
                 &vm,

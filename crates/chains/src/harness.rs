@@ -56,6 +56,10 @@ pub struct HarnessOptions {
     /// Append-only state store configuration (the spec's `storage:`
     /// section); `None` = the staged commit pipeline is off.
     pub storage: Option<StorageConfig>,
+    /// Per-transaction lifecycle tracing budget (`--trace-sample`);
+    /// `None` = the tracer stays off and the run is byte-identical to
+    /// an untraced one.
+    pub trace: Option<diablo_telemetry::trace::TraceSample>,
 }
 
 impl Default for HarnessOptions {
@@ -70,6 +74,7 @@ impl Default for HarnessOptions {
             sig_verify: None,
             queue: QueueBackend::Wheel,
             storage: None,
+            trace: None,
         }
     }
 }
@@ -190,6 +195,13 @@ impl ChainHarness {
         // Rewind the telemetry clock so span timings start from virtual
         // zero even if a previous run in this process left it advanced.
         diablo_telemetry::clock::set_sim_now(SimTime::ZERO);
+        // Arm the per-transaction tracer before the first event fires;
+        // membership is keyed on the run seed so re-runs sample the
+        // same transactions.
+        match self.options.trace {
+            Some(sample) => diablo_telemetry::trace::configure(sample, self.options.seed),
+            None => diablo_telemetry::trace::disable(),
+        }
         {
             let _run = diablo_telemetry::span("harness.run");
             {
@@ -211,6 +223,7 @@ impl ChainHarness {
             unable_reason: None,
             blocks,
             storage,
+            trace: diablo_telemetry::trace::take(),
         }
     }
 }

@@ -149,9 +149,29 @@ impl OptimisticExecutor {
         R: Send,
         F: Fn(usize, Result<Receipt, ExecError>) -> R + Sync,
     {
+        self.execute_counting(vm, prepared, state, txs, map).0
+    }
+
+    /// Like [`OptimisticExecutor::execute`], additionally returning how
+    /// many times each transaction ran (speculative executions plus any
+    /// serial-valve re-execution). The counts are part of the
+    /// deterministic protocol — identical at any worker count — and
+    /// feed the lifecycle tracer's `executed` annotation.
+    pub fn execute_counting<R, F>(
+        &self,
+        vm: &Interpreter,
+        prepared: &PreparedProgram,
+        state: &mut ContractState,
+        txs: &[BlockTx],
+        map: F,
+    ) -> (Vec<R>, Vec<u32>)
+    where
+        R: Send,
+        F: Fn(usize, Result<Receipt, ExecError>) -> R + Sync,
+    {
         let n = txs.len();
         if n == 0 {
-            return Vec::new();
+            return (Vec::new(), Vec::new());
         }
         let limits = prepared.flavor().state_limits();
         let mut slots: Vec<Option<Speculation<R>>> = (0..n).map(|_| None).collect();
@@ -272,6 +292,9 @@ impl OptimisticExecutor {
                     stats.validation_aborts += 1;
                 }
                 stats.serial_reexecs += 1;
+                // The re-execution commits immediately below, so the
+                // budget check never sees this increment.
+                execs[next] += 1;
                 slots[next] = None;
                 let (entry, ctx) = &txs[next];
                 let r = vm.execute_prepared(prepared, *entry, ctx, state);
@@ -283,9 +306,11 @@ impl OptimisticExecutor {
         if diablo_telemetry::enabled() {
             stats.record();
         }
-        out.into_iter()
+        let out = out
+            .into_iter()
             .map(|r| r.expect("every transaction committed"))
-            .collect()
+            .collect();
+        (out, execs)
     }
 }
 

@@ -97,6 +97,9 @@ pub struct RunResult {
     /// the run did not enable storage (the default), keeping reports
     /// byte-identical to the pre-store execution path.
     pub storage: Option<StorageReport>,
+    /// Per-transaction lifecycle traces; `None` when tracing was off
+    /// (the default), keeping reports byte-identical to untraced runs.
+    pub trace: Option<diablo_telemetry::trace::TraceSet>,
 }
 
 /// Events-per-second over a window, `0.0` for an empty or degenerate
@@ -123,6 +126,7 @@ impl RunResult {
             unable_reason: Some(reason),
             blocks: Vec::new(),
             storage: None,
+            trace: None,
         }
     }
 
@@ -316,6 +320,7 @@ mod tests {
             unable_reason: None,
             blocks: Vec::new(),
             storage: None,
+            trace: None,
         }
     }
 

@@ -22,7 +22,8 @@ use std::collections::VecDeque;
 use diablo_contracts::{calls, DApp};
 use diablo_net::{DeploymentConfig, DeploymentKind, QuorumModel};
 use diablo_sim::{DetRng, QueueBackend, Scheduler, SimDuration, SimTime, World};
-use diablo_store::{ReceiptRec, StateStore, StorageConfig, StorageReport};
+use diablo_store::{BlockRoots, ReceiptRec, StateStore, StorageConfig, StorageReport};
+use diablo_telemetry::trace::{self, TraceStage};
 use diablo_workloads::Workload;
 
 use crate::chain::Chain;
@@ -86,6 +87,9 @@ pub struct Experiment {
     /// Append-only state store configuration; `None` (the default)
     /// disables the staged commit pipeline entirely.
     pub storage: Option<StorageConfig>,
+    /// Per-transaction lifecycle tracing budget; `None` (the default)
+    /// keeps the tracer off.
+    pub trace: Option<diablo_telemetry::trace::TraceSample>,
 }
 
 impl Experiment {
@@ -107,6 +111,7 @@ impl Experiment {
             sig_verify: None,
             queue: QueueBackend::Wheel,
             storage: None,
+            trace: None,
         }
     }
 
@@ -187,6 +192,13 @@ impl Experiment {
         self
     }
 
+    /// Enables per-transaction lifecycle tracing under the given
+    /// sampling budget.
+    pub fn with_trace(mut self, sample: diablo_telemetry::trace::TraceSample) -> Self {
+        self.trace = Some(sample);
+        self
+    }
+
     /// Runs the experiment to completion.
     pub fn run(self) -> RunResult {
         let workload_name = self.workload.name().to_string();
@@ -201,6 +213,7 @@ impl Experiment {
             sig_verify: self.sig_verify,
             queue: self.queue,
             storage: self.storage,
+            trace: self.trace,
         };
         // An unbuildable or unrunnable DApp makes the whole chain
         // "unable" (Figure 5's X marks, Figure 2's missing bars).
@@ -320,6 +333,9 @@ pub struct ChainSim {
     plan: TickPlan,
     /// Current block height.
     height: u64,
+    /// Consensus rounds attempted (proposals, including wasted ones) —
+    /// the tracer's round annotation.
+    rounds: u64,
     /// Rotating proposer index.
     proposer: usize,
     /// Median one-way gossip delay from each node site (seconds).
@@ -425,6 +441,7 @@ impl ChainSim {
             records: Vec::with_capacity(total),
             plan,
             height: 0,
+            rounds: 0,
             proposer: 0,
             site_gossip_secs,
             gas_estimate: probe_cost.gas.max(1),
@@ -488,6 +505,13 @@ impl ChainSim {
             let planned = self.plan.txs[i];
             let id = self.records.len() as u32;
             self.records.push(TxRecord::submitted_at(planned.at));
+            trace::emit(
+                id as u64,
+                TraceStage::Submitted,
+                planned.at.as_micros(),
+                (planned.sender % self.params.accounts.max(1)) as u64,
+                0,
+            );
             // The collocated Secondary submits to its nearest node; the
             // transaction must gossip to the proposers before inclusion.
             let mut site = (id as usize) % nodes;
@@ -498,11 +522,24 @@ impl ChainSim {
                 // policy runs out, then reports the transaction
                 // rejected.
                 match self.resolve_submission(planned.at) {
-                    Some(at) => submit_at = at,
+                    Some(at) => {
+                        if at > planned.at {
+                            trace::emit(
+                                id as u64,
+                                TraceStage::Retried,
+                                at.as_micros(),
+                                at.since(planned.at).as_micros(),
+                                0,
+                            );
+                        }
+                        submit_at = at;
+                    }
                     None => {
+                        let decided = planned.at + self.faults.retry_policy().timeout;
                         let rec = &mut self.records[id as usize];
                         rec.status = TxStatus::Rejected;
-                        rec.decided = Some(planned.at + self.faults.retry_policy().timeout);
+                        rec.decided = Some(decided);
+                        trace::emit(id as u64, TraceStage::Rejected, decided.as_micros(), 0, 0);
                         continue;
                     }
                 }
@@ -514,6 +551,13 @@ impl ChainSim {
                         let alt = (site + off) % nodes;
                         if !self.timeline.is_crashed(alt, submit_at) {
                             diablo_telemetry::counter!("client.submit.rerouted");
+                            trace::emit(
+                                id as u64,
+                                TraceStage::Rerouted,
+                                submit_at.as_micros(),
+                                alt as u64,
+                                0,
+                            );
                             site = alt;
                             break;
                         }
@@ -537,8 +581,16 @@ impl ChainSim {
                 if let Some(p) = self.timeline.partition_at(available) {
                     let comp = p.component.get(site).copied().unwrap_or(0);
                     if comp != p.committing {
+                        let deferred_from = available;
                         available = available.max(p.until);
                         diablo_telemetry::counter!("net.partition.deferred");
+                        trace::emit(
+                            id as u64,
+                            TraceStage::Deferred,
+                            available.as_micros(),
+                            available.since(deferred_from).as_micros(),
+                            0,
+                        );
                     }
                 }
             }
@@ -553,9 +605,18 @@ impl ChainSim {
             };
             let sender = tx.sender;
             match self.pool.admit(tx) {
-                Ok(()) => {}
+                Ok(()) => {
+                    trace::emit(id as u64, TraceStage::Admitted, available.as_micros(), 0, 0);
+                }
                 Err(AdmitError::PoolFull) => {
                     self.records[id as usize].status = TxStatus::DroppedPoolFull;
+                    trace::emit(
+                        id as u64,
+                        TraceStage::DroppedPoolFull,
+                        available.as_micros(),
+                        0,
+                        0,
+                    );
                     if self.params.nonce_gaps {
                         // The dropped nonce stalls every *later*
                         // transaction of this account (geth nonce
@@ -566,6 +627,13 @@ impl ChainSim {
                 }
                 Err(AdmitError::PerSenderLimit) => {
                     self.records[id as usize].status = TxStatus::DroppedPerSender;
+                    trace::emit(
+                        id as u64,
+                        TraceStage::DroppedPerSender,
+                        available.as_micros(),
+                        0,
+                        0,
+                    );
                 }
             }
         }
@@ -652,6 +720,7 @@ impl ChainSim {
             for id in evicted {
                 self.records[id as usize].status = TxStatus::DroppedExpired;
                 self.records[id as usize].decided = Some(now);
+                trace::emit(id as u64, TraceStage::DroppedExpired, now.as_micros(), 0, 0);
             }
         }
     }
@@ -678,6 +747,13 @@ impl ChainSim {
                 } else {
                     TxStatus::Failed
                 };
+                trace::emit(
+                    id as u64,
+                    TraceStage::Finalized,
+                    decided.as_micros(),
+                    ok as u64,
+                    0,
+                );
             }
         }
     }
@@ -685,6 +761,7 @@ impl ChainSim {
     /// Produces one block (or a failed round) and returns the delay
     /// until the next proposal.
     fn propose(&mut self, now: SimTime) -> SimDuration {
+        self.rounds += 1;
         self.evict_expired(now);
         let n = self.qmodel.node_count();
         let leader = self.proposer % n;
@@ -724,7 +801,9 @@ impl ChainSim {
                 diablo_telemetry::record_duration!("consensus.hotstuff.phase_us", phase);
                 diablo_telemetry::record_duration!("consensus.hotstuff.round_us", phase * 3);
                 let commit = now + phase * 3; // three-chain commit
-                self.commit_block(now, commit);
+                // HotStuff's fitted round model absorbs verification
+                // and execution; no explicit execution share.
+                self.commit_block(now, commit, SimDuration::ZERO);
                 phase.max(min_round)
             }
             ConsensusKind::Ibft {
@@ -751,7 +830,7 @@ impl ChainSim {
                 diablo_telemetry::record_duration!("consensus.ibft.commit_us", commit_lat);
                 diablo_telemetry::record_duration!("consensus.ibft.round_us", total);
                 let commit = now + total;
-                self.commit_block(now, commit);
+                self.commit_block(now, commit, exec);
                 // IBFT does not pipeline: the next proposal follows the
                 // previous commit.
                 total.max(min_period)
@@ -767,7 +846,7 @@ impl ChainSim {
                 diablo_telemetry::record_duration!("consensus.clique.broadcast_us", broadcast);
                 diablo_telemetry::record_duration!("consensus.clique.round_us", broadcast + exec);
                 let commit = now + broadcast + exec;
-                self.commit_block(now, commit);
+                self.commit_block(now, commit, exec);
                 period
             }
             ConsensusKind::AlgorandBa {
@@ -794,7 +873,9 @@ impl ChainSim {
                 );
                 diablo_telemetry::record_duration!("consensus.ba_star.round_us", round);
                 let commit = now + round;
-                self.commit_block(now, commit);
+                // BA★'s fixed λ timeouts budget verification and
+                // execution inside the fitted round; no explicit share.
+                self.commit_block(now, commit, SimDuration::ZERO);
                 round
             }
             ConsensusKind::AvalancheSnow {
@@ -813,7 +894,7 @@ impl ChainSim {
                 diablo_telemetry::record_duration!("consensus.snow.sampling_us", sampling);
                 diablo_telemetry::record_duration!("consensus.snow.round_us", sampling + exec);
                 let commit = now + sampling + exec;
-                self.commit_block(now, commit);
+                self.commit_block(now, commit, exec);
                 if self.pool.len() >= self.params.block_tx_limit {
                     period_loaded
                 } else {
@@ -840,7 +921,7 @@ impl ChainSim {
                 diablo_telemetry::record_duration!("consensus.dbft.commit_us", commit_lat);
                 diablo_telemetry::record_duration!("consensus.dbft.round_us", total);
                 let commit = now + total;
-                self.commit_block(now, commit);
+                self.commit_block(now, commit, exec);
                 total.max(min_period)
             }
             ConsensusKind::TowerBft { slot, skip_rate } => {
@@ -854,7 +935,7 @@ impl ChainSim {
                 let exec = self.exec_delay_estimate(now);
                 diablo_telemetry::record_duration!("consensus.tower_bft.round_us", slot + exec);
                 let commit = now + slot + exec;
-                self.commit_block(now, commit);
+                self.commit_block(now, commit, exec);
                 slot
             }
         }
@@ -1019,9 +1100,10 @@ impl ChainSim {
     }
 
     /// Runs the store's merkleize → persist → prune stages for the
-    /// block just appended at `self.height`. A no-op when the run did
-    /// not enable storage — disabled runs stay byte-identical to the
-    /// pre-store execution path.
+    /// block just appended at `self.height`, returning the block's
+    /// roots. A no-op (`None`) when the run did not enable storage —
+    /// disabled runs stay byte-identical to the pre-store execution
+    /// path.
     fn persist_block(
         &mut self,
         committed: SimTime,
@@ -1029,25 +1111,24 @@ impl ChainSim {
         recs: &[ReceiptRec],
         changed: bool,
         touched: &[(u32, u32)],
-    ) {
-        if let Some(store) = self.store.as_mut() {
-            // Empty blocks carry the previous state root forward, so the
-            // (possibly large) contract state is only re-merkleized when
-            // this block actually executed something.
-            let state = if changed {
-                self.engine.contract().map(|c| &c.initial_state)
-            } else {
-                None
-            };
-            store.commit_block(
-                self.height,
-                committed.as_micros(),
-                bytes,
-                recs,
-                state,
-                touched,
-            );
-        }
+    ) -> Option<BlockRoots> {
+        let store = self.store.as_mut()?;
+        // Empty blocks carry the previous state root forward, so the
+        // (possibly large) contract state is only re-merkleized when
+        // this block actually executed something.
+        let state = if changed {
+            self.engine.contract().map(|c| &c.initial_state)
+        } else {
+            None
+        };
+        Some(store.commit_block(
+            self.height,
+            committed.as_micros(),
+            bytes,
+            recs,
+            state,
+            touched,
+        ))
     }
 
     /// Advances the chain by one empty block (skipped or empty slots
@@ -1067,7 +1148,14 @@ impl ChainSim {
     }
 
     /// Fills a block from the pool, executes it and queues finality.
-    fn commit_block(&mut self, now: SimTime, committed: SimTime) {
+    ///
+    /// `exec_share` is the (unjittered) verification-plus-execution
+    /// estimate the proposing arm folded into `committed`; zero for the
+    /// consensus models whose fitted rounds absorb execution. The
+    /// consensus-phase latency histogram and the tracer's `ordered`
+    /// stamp both exclude it, so the per-phase table and the per-tx
+    /// waterfall attribute that time to execution exactly once.
+    fn commit_block(&mut self, now: SimTime, committed: SimTime, exec_share: SimDuration) {
         let capacity = self.block_capacity(now);
         let fee = &self.fee;
         let broken = &self.broken_from;
@@ -1085,12 +1173,25 @@ impl ChainSim {
         self.fee.on_block(fill);
         diablo_telemetry::counter!("consensus.blocks.committed");
         diablo_telemetry::record!("consensus.block.txs", batch.len() as u64);
-        diablo_telemetry::record_duration!("consensus.commit_latency_us", committed.since(now));
+        diablo_telemetry::record_duration!(
+            "consensus.commit_latency_us",
+            committed.since(now).saturating_sub(exec_share)
+        );
         if diablo_telemetry::enabled() {
             for &id in &batch {
                 // Queueing delay: submission to inclusion in a block.
                 let tx = self.pool.meta(id);
                 diablo_telemetry::record_duration!("mempool.queue_wait_us", now.since(tx.submitted));
+            }
+        }
+        if trace::active() {
+            let round = self.rounds;
+            let block = self.height + 1;
+            let ordered_us = committed.as_micros().saturating_sub(exec_share.as_micros());
+            for &id in &batch {
+                let tid = self.pool.meta(id).id as u64;
+                trace::emit(tid, TraceStage::Selected, now.as_micros(), round, 0);
+                trace::emit(tid, TraceStage::Ordered, ordered_us, round, block);
             }
         }
         self.height += 1;
@@ -1109,6 +1210,18 @@ impl ChainSim {
             // order either way.
             let payloads: Vec<Payload> = batch.iter().map(|&id| self.pool.meta(id).payload).collect();
             let costs = self.engine.execute_block(&payloads);
+            if trace::active() {
+                // The mode code and per-transaction execution counts are
+                // the executor-dependent annotations: they live in the
+                // trace set (and on the wire) but never in the Chrome
+                // export, which must stay byte-identical across modes.
+                let mode = self.engine.concurrency().code();
+                let counts = self.engine.last_exec_counts();
+                for (&id, &count) in batch.iter().zip(counts) {
+                    let tid = self.pool.meta(id).id as u64;
+                    trace::emit(tid, TraceStage::Executed, committed.as_micros(), mode, count as u64);
+                }
+            }
             if self.store.is_some() {
                 // Receipts in block order; the touched-accounts delta
                 // aggregated and sorted by dense sender id.
@@ -1130,7 +1243,21 @@ impl ChainSim {
                         _ => touched.push((sender, 1)),
                     }
                 }
-                self.persist_block(committed, block_bytes, &recs, true, &touched);
+                let roots = self.persist_block(committed, block_bytes, &recs, true, &touched);
+                if let Some(roots) = roots {
+                    if trace::active() {
+                        for &id in &batch {
+                            let tid = self.pool.meta(id).id as u64;
+                            trace::emit(
+                                tid,
+                                TraceStage::Persisted,
+                                committed.as_micros(),
+                                roots.state_root.0[0],
+                                self.height,
+                            );
+                        }
+                    }
+                }
             }
             let txs = batch
                 .iter()

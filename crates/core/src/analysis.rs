@@ -121,6 +121,7 @@ mod tests {
             unable_reason: None,
             blocks: Vec::new(),
             storage: None,
+            trace: None,
         }
     }
 

@@ -192,11 +192,26 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 }
                 *pos += 1;
             }
+            Some(&b) if b < 0x80 => {
+                out.push(b as char);
+                *pos += 1;
+            }
             Some(_) => {
-                // Consume one UTF-8 scalar.
-                let rest =
-                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| err(*pos, "bad utf-8"))?;
-                let c = rest.chars().next().expect("non-empty");
+                // Consume one multi-byte UTF-8 scalar. Validate at most
+                // 4 bytes — validating the whole remaining input here
+                // made parsing quadratic on large single-line files.
+                let chunk = &bytes[*pos..(*pos + 4).min(bytes.len())];
+                let c = match std::str::from_utf8(chunk) {
+                    Ok(s) => s.chars().next().expect("non-empty"),
+                    Err(e) if e.valid_up_to() > 0 => {
+                        std::str::from_utf8(&chunk[..e.valid_up_to()])
+                            .expect("validated prefix")
+                            .chars()
+                            .next()
+                            .expect("non-empty")
+                    }
+                    Err(_) => return Err(err(*pos, "bad utf-8")),
+                };
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -345,6 +360,7 @@ mod tests {
             unable_reason: None,
             blocks: Vec::new(),
             storage: None,
+            trace: None,
         };
         let text = crate::output::results_json(&result);
         let stats = read_result_stats(&text).unwrap();

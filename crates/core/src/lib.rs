@@ -35,6 +35,7 @@ pub mod report;
 pub mod secondary;
 pub mod setup;
 pub mod spec;
+pub mod tracediff;
 pub mod wire;
 pub mod yaml;
 

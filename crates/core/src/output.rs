@@ -193,6 +193,7 @@ mod tests {
             unable_reason: None,
             blocks: Vec::new(),
             storage: None,
+            trace: None,
         }
     }
 

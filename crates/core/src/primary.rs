@@ -43,6 +43,10 @@ pub struct BenchmarkOptions {
     /// `--store`/`--prune` flags) wins over the spec's `storage:`
     /// section, `None` defers to it (and then to no store at all).
     pub storage: Option<diablo_chains::StorageConfig>,
+    /// Per-transaction lifecycle tracing budget (the CLI's
+    /// `--trace-sample`); `None` keeps the tracer off and the run
+    /// byte-identical to an untraced one.
+    pub trace: Option<diablo_telemetry::trace::TraceSample>,
 }
 
 impl Default for BenchmarkOptions {
@@ -56,6 +60,7 @@ impl Default for BenchmarkOptions {
             faults: diablo_chains::FaultPlan::none(),
             sig_verify: None,
             storage: None,
+            trace: None,
         }
     }
 }
@@ -196,6 +201,7 @@ pub fn run_with_setup(
         sig_verify,
         queue: Default::default(),
         storage,
+        trace: options.trace,
     };
     let secondaries = ranges.len();
     let result = match ChainHarness::with_config(chain, setup.config.clone(), dapp, harness_options)

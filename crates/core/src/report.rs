@@ -268,6 +268,7 @@ mod tests {
                 unable_reason: None,
                 blocks: Vec::new(),
                 storage: None,
+                trace: None,
             },
             secondaries: 2,
             clients: 4,

@@ -1,0 +1,277 @@
+//! `trace-diff`: deterministic comparison of two Chrome trace files.
+//!
+//! Loads two files written by `--trace-out`, aligns transactions by
+//! identity (the Chrome `tid`, which the tracer sets to the run-global
+//! transaction id), and reports per-stage latency deltas. Because the
+//! sampler's membership is a pure function of the seed and the id set,
+//! two runs of the same workload at the same seed trace the *same*
+//! transactions — the alignment is total and the diff attributes a
+//! configuration change (say, a different `sigverify:` setting) to the
+//! lifecycle stage it actually lengthened.
+//!
+//! Only complete (`"ph":"X"`) duration events participate: instant
+//! events carry no duration and flow events are presentation glue.
+
+use std::collections::BTreeMap;
+
+use crate::json::{parse, Json};
+
+/// The canonical waterfall order (`TraceSet::waterfall`), plus the
+/// synthetic end-to-end row.
+const STAGES: [&str; 6] = [
+    "network",
+    "mempool",
+    "consensus",
+    "execution",
+    "storage",
+    "finality",
+];
+
+/// One transaction's per-stage durations, µs.
+type StageDurs = BTreeMap<&'static str, u64>;
+
+/// Per-stage latency deltas between two aligned trace files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageDiff {
+    /// Stage name (a waterfall phase, or `total` for end-to-end).
+    pub stage: &'static str,
+    /// Transactions carrying the stage in both files.
+    pub matched: usize,
+    /// Mean of `b − a`, µs.
+    pub mean_us: f64,
+    /// Median delta, µs.
+    pub p50_us: i64,
+    /// 95th-percentile delta, µs.
+    pub p95_us: i64,
+    /// 99th-percentile delta, µs.
+    pub p99_us: i64,
+}
+
+/// The full diff of two trace files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDiff {
+    /// Transactions present in both files.
+    pub aligned: usize,
+    /// Transactions only in the first file.
+    pub only_a: usize,
+    /// Transactions only in the second file.
+    pub only_b: usize,
+    /// Per-stage deltas in waterfall order, then `total`. Stages absent
+    /// from both files are omitted.
+    pub stages: Vec<StageDiff>,
+}
+
+/// Parses a `--trace-out` file into `tid → stage → duration µs`.
+pub fn parse_trace(text: &str) -> Result<BTreeMap<u64, StageDurs>, String> {
+    let doc = parse(text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("not a Chrome trace file: no traceEvents array")?;
+    let mut txs: BTreeMap<u64, StageDurs> = BTreeMap::new();
+    for event in events {
+        if event.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        let name = event.get("name").and_then(Json::as_str).unwrap_or("");
+        let Some(stage) = STAGES.iter().find(|&&s| s == name) else {
+            continue; // foreign duration events pass through silently
+        };
+        let tid = event
+            .get("tid")
+            .and_then(Json::as_f64)
+            .ok_or("duration event without tid")? as u64;
+        let dur = event
+            .get("dur")
+            .and_then(Json::as_f64)
+            .ok_or("duration event without dur")? as u64;
+        txs.entry(tid).or_default().insert(stage, dur);
+    }
+    Ok(txs)
+}
+
+/// Nearest-rank percentile of a sorted slice.
+fn percentile(sorted: &[i64], p: usize) -> i64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+/// Diffs two parsed trace files: per-stage deltas (`b − a`) over the
+/// transactions both traced.
+pub fn diff(a: &BTreeMap<u64, StageDurs>, b: &BTreeMap<u64, StageDurs>) -> TraceDiff {
+    let aligned: Vec<u64> = a.keys().filter(|id| b.contains_key(id)).copied().collect();
+    let only_a = a.len() - aligned.len();
+    let only_b = b.len() - aligned.len();
+
+    let mut stages = Vec::new();
+    let mut totals: Vec<i64> = Vec::new();
+    let mut total_count = 0usize;
+    for stage in STAGES {
+        let mut deltas: Vec<i64> = Vec::new();
+        for id in &aligned {
+            let (da, db) = (a[id].get(stage), b[id].get(stage));
+            if let (Some(&da), Some(&db)) = (da, db) {
+                deltas.push(db as i64 - da as i64);
+            }
+        }
+        if deltas.is_empty() {
+            continue;
+        }
+        deltas.sort_unstable();
+        let sum: i64 = deltas.iter().sum();
+        stages.push(StageDiff {
+            stage,
+            matched: deltas.len(),
+            mean_us: sum as f64 / deltas.len() as f64,
+            p50_us: percentile(&deltas, 50),
+            p95_us: percentile(&deltas, 95),
+            p99_us: percentile(&deltas, 99),
+        });
+    }
+    // End-to-end: the sum of each transaction's stage durations in both
+    // files (stages telescope, so this is decided − submitted).
+    for id in &aligned {
+        let ta: u64 = a[id].values().sum();
+        let tb: u64 = b[id].values().sum();
+        totals.push(tb as i64 - ta as i64);
+        total_count += 1;
+    }
+    if total_count > 0 {
+        totals.sort_unstable();
+        let sum: i64 = totals.iter().sum();
+        stages.push(StageDiff {
+            stage: "total",
+            matched: total_count,
+            mean_us: sum as f64 / total_count as f64,
+            p50_us: percentile(&totals, 50),
+            p95_us: percentile(&totals, 95),
+            p99_us: percentile(&totals, 99),
+        });
+    }
+
+    TraceDiff {
+        aligned: aligned.len(),
+        only_a,
+        only_b,
+        stages,
+    }
+}
+
+/// Parses and diffs two trace file bodies.
+pub fn diff_texts(a: &str, b: &str) -> Result<TraceDiff, String> {
+    Ok(diff(&parse_trace(a)?, &parse_trace(b)?))
+}
+
+/// Renders a diff as the `trace-diff` subcommand's report.
+pub fn render(d: &TraceDiff) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace-diff: {} transactions aligned ({} only in A, {} only in B)",
+        d.aligned, d.only_a, d.only_b
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>12} {:>10} {:>10} {:>10}",
+        "stage", "txs", "mean \u{394}\u{b5}s", "p50", "p95", "p99"
+    );
+    for s in &d.stages {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8} {:>+12.1} {:>+10} {:>+10} {:>+10}",
+            s.stage, s.matched, s.mean_us, s.p50_us, s.p95_us, s.p99_us
+        );
+    }
+    if d.stages.is_empty() {
+        let _ = writeln!(out, "(no stages in common)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(entries: &[(u64, &str, u64, u64)]) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, (tid, name, ts, dur)) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\
+                 \"pid\":1,\"tid\":{tid}}}"
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    #[test]
+    fn attributes_delta_to_the_changed_stage() {
+        // B's execution stage is uniformly 500µs longer; every other
+        // stage is unchanged. The diff must say exactly that.
+        let a = trace(&[
+            (0, "mempool", 0, 100),
+            (0, "execution", 100, 1_000),
+            (1, "mempool", 0, 120),
+            (1, "execution", 120, 1_100),
+        ]);
+        let b = trace(&[
+            (0, "mempool", 0, 100),
+            (0, "execution", 100, 1_500),
+            (1, "mempool", 0, 120),
+            (1, "execution", 120, 1_600),
+        ]);
+        let d = diff_texts(&a, &b).unwrap();
+        assert_eq!(d.aligned, 2);
+        assert_eq!((d.only_a, d.only_b), (0, 0));
+        let by_name: BTreeMap<&str, &StageDiff> =
+            d.stages.iter().map(|s| (s.stage, s)).collect();
+        assert_eq!(by_name["mempool"].p50_us, 0);
+        assert_eq!(by_name["execution"].p50_us, 500);
+        assert_eq!(by_name["execution"].mean_us, 500.0);
+        assert_eq!(by_name["total"].p50_us, 500);
+    }
+
+    #[test]
+    fn unaligned_transactions_are_counted_not_diffed() {
+        let a = trace(&[(0, "mempool", 0, 10), (1, "mempool", 0, 20)]);
+        let b = trace(&[(1, "mempool", 0, 25), (2, "mempool", 0, 30)]);
+        let d = diff_texts(&a, &b).unwrap();
+        assert_eq!(d.aligned, 1);
+        assert_eq!((d.only_a, d.only_b), (1, 1));
+        assert_eq!(d.stages[0].p50_us, 5);
+    }
+
+    #[test]
+    fn ignores_instant_and_flow_events() {
+        let a = "{\"traceEvents\":[\
+                  {\"name\":\"submitted\",\"ph\":\"i\",\"ts\":1,\"pid\":1,\"tid\":0,\"s\":\"t\"},\
+                  {\"name\":\"tx\",\"ph\":\"s\",\"id\":0,\"ts\":1,\"pid\":1,\"tid\":0},\
+                  {\"name\":\"network\",\"ph\":\"X\",\"ts\":1,\"dur\":9,\"pid\":1,\"tid\":0}]}";
+        let parsed = parse_trace(a).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[&0].len(), 1);
+        assert_eq!(parsed[&0]["network"], 9);
+    }
+
+    #[test]
+    fn rejects_non_trace_files() {
+        assert!(parse_trace("{\"foo\":1}").is_err());
+        assert!(parse_trace("not json").is_err());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<i64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50), 50);
+        assert_eq!(percentile(&sorted, 95), 95);
+        assert_eq!(percentile(&sorted, 99), 99);
+        assert_eq!(percentile(&[7], 99), 7);
+        assert_eq!(percentile(&[], 50), 0);
+    }
+}

@@ -118,6 +118,16 @@ pub enum Message {
         /// The Secondary's recorded counters/histograms/spans.
         snapshot: diablo_telemetry::TelemetrySnapshot,
     },
+    /// Secondary → Primary: the local transaction-trace contribution,
+    /// merged by the Primary into the run's trace set exactly like
+    /// telemetry snapshots (sent right after `Telemetry`). Planning-side
+    /// Secondaries carry an empty set today — the simulation (and thus
+    /// every lifecycle event) runs on the Primary — so the merged trace
+    /// is byte-identical at any secondary count by construction.
+    TraceChunk {
+        /// The Secondary's sampled transaction traces.
+        set: diablo_telemetry::trace::TraceSet,
+    },
     /// Primary → Secondary: experiment over, disconnect.
     Done,
 }
@@ -219,6 +229,54 @@ pub fn get_telemetry(
     Ok(snapshot)
 }
 
+/// Encodes a trace set: sampler parameters, then the per-transaction
+/// trails in the set's canonical (id-sorted) order.
+pub fn put_trace(buf: &mut ByteBuf, set: &diablo_telemetry::trace::TraceSet) {
+    buf.put_u64_le(set.seed);
+    buf.put_u64_le(set.cap);
+    buf.put_u32_le(set.txs.len() as u32);
+    for tx in &set.txs {
+        buf.put_u64_le(tx.id);
+        buf.put_u32_le(tx.events.len() as u32);
+        for ev in &tx.events {
+            buf.put_u8(ev.stage as u8);
+            buf.put_u64_le(ev.at_us);
+            buf.put_u64_le(ev.arg0);
+            buf.put_u64_le(ev.arg1);
+        }
+    }
+}
+
+/// Decodes a trace set written by [`put_trace`].
+pub fn get_trace(buf: &mut ByteReader) -> Result<diablo_telemetry::trace::TraceSet, String> {
+    use diablo_telemetry::trace::{TraceEvent, TraceSet, TraceStage, TxTrace};
+    let seed = buf.get_u64_le().map_err(|_| "truncated trace header")?;
+    let cap = buf.get_u64_le().map_err(|_| "truncated trace header")?;
+    let n = buf.get_u32_le().map_err(|_| "truncated trace count")? as usize;
+    let mut txs = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let id = buf.get_u64_le()?;
+        let m = buf.get_u32_le().map_err(|_| "truncated event count")? as usize;
+        if buf.remaining() < m * 25 {
+            return Err("truncated trace events".into());
+        }
+        let mut events = Vec::with_capacity(m);
+        for _ in 0..m {
+            let code = buf.get_u8()?;
+            let stage = TraceStage::from_u8(code)
+                .ok_or_else(|| format!("unknown trace stage {code}"))?;
+            events.push(TraceEvent {
+                stage,
+                at_us: buf.get_u64_le()?,
+                arg0: buf.get_u64_le()?,
+                arg1: buf.get_u64_le()?,
+            });
+        }
+        txs.push(TxTrace { id, events });
+    }
+    Ok(TraceSet { seed, cap, txs })
+}
+
 /// Starts a frame: reserves the 4-byte length prefix and writes the
 /// message tag. Finish with [`finish_frame`].
 fn begin_frame(tag: u8, capacity: usize) -> ByteBuf {
@@ -314,6 +372,11 @@ pub fn encode(msg: &Message) -> ByteBuf {
             put_telemetry(&mut f, snapshot);
             f
         }
+        Message::TraceChunk { set } => {
+            let mut f = begin_frame(10, 20 + set.txs.len() * 64);
+            put_trace(&mut f, set);
+            f
+        }
     };
     finish_frame(framed)
 }
@@ -398,6 +461,9 @@ pub fn decode(body: &[u8]) -> Result<Message, String> {
         8 => Ok(Message::Done),
         9 => Ok(Message::Telemetry {
             snapshot: get_telemetry(&mut body)?,
+        }),
+        10 => Ok(Message::TraceChunk {
+            set: get_trace(&mut body)?,
         }),
         other => Err(format!("unknown message tag {other}")),
     }
@@ -653,8 +719,9 @@ pub fn serve_primary(
         sig_verify: options.sig_verify,
         queue: Default::default(),
         storage: options.storage.or(spec.storage),
+        trace: options.trace,
     };
-    let result = match ChainHarness::new(chain, deployment, dapp, harness_options) {
+    let mut result = match ChainHarness::new(chain, deployment, dapp, harness_options) {
         Ok(h) => h.run(merged_sorted, workload_name, spec.duration_secs() as f64),
         Err(reason) => RunResult::unable(chain, workload_name, spec.duration_secs() as f64, reason),
     };
@@ -712,7 +779,11 @@ pub fn serve_primary(
         if dead[si] {
             continue;
         }
-        let collect = (|| -> Result<diablo_telemetry::TelemetrySnapshot, String> {
+        type SecondaryReport = (
+            diablo_telemetry::TelemetrySnapshot,
+            diablo_telemetry::trace::TraceSet,
+        );
+        let collect = (|| -> Result<SecondaryReport, String> {
             match read_message(stream)? {
                 Message::Stats { .. } => {}
                 other => return Err(format!("expected Stats, got {other:?}")),
@@ -721,11 +792,26 @@ pub fn serve_primary(
                 Message::Telemetry { snapshot } => snapshot,
                 other => return Err(format!("expected Telemetry, got {other:?}")),
             };
+            let set = match read_message(stream)? {
+                Message::TraceChunk { set } => set,
+                other => return Err(format!("expected TraceChunk, got {other:?}")),
+            };
             let _ = write_message(stream, &Message::Done);
-            Ok(snapshot)
+            Ok((snapshot, set))
         })();
         match collect {
-            Ok(snapshot) => telemetry.merge(&snapshot),
+            Ok((snapshot, set)) => {
+                telemetry.merge(&snapshot);
+                // Merged like telemetry: today's planning-side chunks
+                // are empty (the merge is the identity), and an untraced
+                // run keeps `trace: None` so reports stay byte-identical
+                // to an untraced Primary's.
+                match result.trace.as_mut() {
+                    Some(trace) => trace.merge(&set),
+                    None if !set.is_empty() => result.trace = Some(set),
+                    None => {}
+                }
+            }
             Err(_) => {
                 diablo_telemetry::counter!("secondary.lost", 1);
                 dead[si] = true;
@@ -840,6 +926,12 @@ pub fn run_secondary(addr: &str, tag: &str) -> Result<String, String> {
             snapshot: diablo_telemetry::snapshot(),
         },
     )?;
+    write_message(
+        &mut stream,
+        &Message::TraceChunk {
+            set: diablo_telemetry::trace::take().unwrap_or_default(),
+        },
+    )?;
     match read_message(&mut stream)? {
         Message::Done => Ok(text),
         other => Err(format!("expected Done, got {other:?}")),
@@ -921,6 +1013,43 @@ mod tests {
                     ));
                     s
                 },
+            },
+            Message::TraceChunk {
+                set: diablo_telemetry::trace::TraceSet {
+                    seed: 42,
+                    cap: 64,
+                    txs: vec![
+                        diablo_telemetry::trace::TxTrace {
+                            id: 7,
+                            events: vec![
+                                diablo_telemetry::trace::TraceEvent {
+                                    stage: diablo_telemetry::trace::TraceStage::Submitted,
+                                    at_us: 1_000,
+                                    arg0: 3,
+                                    arg1: 0,
+                                },
+                                diablo_telemetry::trace::TraceEvent {
+                                    stage: diablo_telemetry::trace::TraceStage::Finalized,
+                                    at_us: 2_500,
+                                    arg0: 1,
+                                    arg1: 0,
+                                },
+                            ],
+                        },
+                        diablo_telemetry::trace::TxTrace {
+                            id: 9,
+                            events: vec![diablo_telemetry::trace::TraceEvent {
+                                stage: diablo_telemetry::trace::TraceStage::Rejected,
+                                at_us: 4_000,
+                                arg0: 0,
+                                arg1: 0,
+                            }],
+                        },
+                    ],
+                },
+            },
+            Message::TraceChunk {
+                set: diablo_telemetry::trace::TraceSet::default(),
             },
             Message::Done,
         ];

@@ -408,4 +408,97 @@ mod tests {
         };
         assert_eq!(snap.collapsed_spans(), "a 4\na;b 6\n");
     }
+
+    #[test]
+    fn merging_an_empty_histogram_is_the_identity() {
+        // A worker that never touched a histogram reports it with
+        // `count == 0`; merging that must not disturb the aggregate —
+        // in particular it must not drag `min` down to the empty 0.
+        let mut populated = hist(&[5, 10, 20]);
+        let before = populated.clone();
+        populated.merge(&HistogramSnapshot::default());
+        assert_eq!(populated, before);
+
+        // The mirror case: an empty aggregate adopts the populated
+        // snapshot wholesale (same bytes a direct freeze would give).
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+
+        // And empty + empty stays empty rather than inventing moments.
+        let mut a = HistogramSnapshot::default();
+        a.merge(&HistogramSnapshot::default());
+        assert_eq!(a, HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn counter_merge_saturates_instead_of_wrapping() {
+        let mut a = TelemetrySnapshot {
+            counters: vec![("tx.sent".into(), u64::MAX - 1)],
+            ..Default::default()
+        };
+        let b = TelemetrySnapshot {
+            counters: vec![("tx.sent".into(), 5)],
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.counter("tx.sent"), Some(u64::MAX));
+        // Saturation is absorbing: further merges stay pinned.
+        a.merge(&b);
+        assert_eq!(a.counter("tx.sent"), Some(u64::MAX));
+
+        // Histogram sums saturate the same way (counts still add).
+        let mut h = HistogramSnapshot {
+            count: 1,
+            sum: u64::MAX - 10,
+            min: 1,
+            max: 1,
+            buckets: vec![(0, 1)],
+        };
+        h.merge(&HistogramSnapshot {
+            count: 1,
+            sum: 100,
+            min: 1,
+            max: 1,
+            buckets: vec![(0, 1)],
+        });
+        assert_eq!(h.sum, u64::MAX);
+        assert_eq!(h.count, 2);
+    }
+
+    #[test]
+    fn merging_a_zero_span_snapshot_preserves_the_aggregate() {
+        // A Secondary that planned nothing reports a snapshot with no
+        // spans at all; the merge must leave the Primary's spans intact
+        // and invent no phantom entries.
+        let mut a = TelemetrySnapshot {
+            spans: vec![(
+                "harness;commit".into(),
+                SpanStat {
+                    count: 5,
+                    inclusive_us: 900,
+                    exclusive_us: 400,
+                },
+            )],
+            ..Default::default()
+        };
+        let before = a.clone();
+        a.merge(&TelemetrySnapshot::default());
+        assert_eq!(a, before);
+
+        // A named-but-idle span (all-zero stats) merges as a no-op on
+        // the numbers while unioning the name in.
+        let idle = TelemetrySnapshot {
+            spans: vec![
+                ("harness;commit".into(), SpanStat::default()),
+                ("harness;plan".into(), SpanStat::default()),
+            ],
+            ..Default::default()
+        };
+        a.merge(&idle);
+        assert_eq!(a.spans.len(), 2);
+        assert_eq!(a.spans[0].1.count, 5);
+        assert_eq!(a.spans[0].1.inclusive_us, 900);
+        assert_eq!(a.spans[1].1, SpanStat::default());
+    }
 }

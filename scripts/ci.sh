@@ -144,9 +144,39 @@ for pat in '"storage":{[^}]*}' '"store\.[a-z_]*":[0-9]*'; do
 done
 rm -f "$store_a" "$store_b"
 
+# Trace smoke: a pinned-seed run with per-transaction tracing must
+# produce byte-identical Chrome trace files across worker counts (the
+# sampler membership is a pure function of seed + transaction ids, and
+# the export carries only modeled-time facts), and trace-diff of a file
+# against itself must align every transaction with zero delta.
+echo "==> trace smoke (pinned-seed run, --trace-sample=64, 1 vs 8 workers byte-compared)"
+trace_a="$(mktemp /tmp/diablo-trace-a.XXXXXX.json)"
+trace_b="$(mktemp /tmp/diablo-trace-b.XXXXXX.json)"
+cargo run -q --release --offline --bin diablo -- run --chain=quorum \
+    --seed=11 --exact --threads=1 --trace-sample=64 \
+    --trace-out="$trace_a" workloads/exchange-apple.yaml >/dev/null
+cargo run -q --release --offline --bin diablo -- run --chain=quorum \
+    --seed=11 --exact --threads=8 --trace-sample=64 \
+    --trace-out="$trace_b" workloads/exchange-apple.yaml >/dev/null
+cmp "$trace_a" "$trace_b" || {
+    echo "trace smoke: worker counts produced different trace files" >&2
+    exit 1
+}
+grep -qF '"ph":"X"' "$trace_a" || {
+    echo "trace smoke: no duration events in $trace_a" >&2
+    exit 1
+}
+cargo run -q --release --offline --bin diablo -- trace-diff "$trace_a" "$trace_b" \
+    | grep -qF '(0 only in A, 0 only in B)' || {
+    echo "trace smoke: trace-diff failed to align identical files" >&2
+    exit 1
+}
+rm -f "$trace_a" "$trace_b"
+
 # Disabled-build check: with telemetry compiled out, the no-op macros
-# must still type-check everywhere and tier-1 must pass. A separate
-# target dir keeps the two configurations' caches apart.
+# (and the per-transaction tracer) must still type-check everywhere and
+# tier-1 must pass. A separate target dir keeps the two configurations'
+# caches apart.
 echo "==> telemetry-off build + tier-1 (--cfg diablo_telemetry_off)"
 RUSTFLAGS="--cfg diablo_telemetry_off" CARGO_TARGET_DIR=target/telemetry-off \
     cargo test -q --offline
@@ -185,10 +215,14 @@ DIABLO_BENCH_SAMPLES=2 DIABLO_BENCH_JSON="$bench_json" \
 # (run on an otherwise idle machine; commit the new file). The full-
 # scale artifact results/BENCH_scale.json is regenerated the same way
 # with DIABLO_BENCH_FULL=1.
+# Each gate also appends its per-bench verdicts to
+# results/GATE_report.json (override with DIABLO_GATE_REPORT); the
+# first gate truncates it so every CI run writes one fresh report.
 echo "==> bench gate (scale bench vs results/BENCH_baseline.json)"
 DIABLO_BENCH_SAMPLES=5 DIABLO_BENCH_JSON="$bench_json" \
     cargo bench -q --offline -p diablo-bench --bench scale
-cargo run -q --release --offline -p diablo-bench --bin bench_gate -- \
+DIABLO_GATE_TRUNCATE=1 \
+    cargo run -q --release --offline -p diablo-bench --bin bench_gate -- \
     results/BENCH_baseline.json "$bench_json/BENCH_scale.json" \
     "${DIABLO_BENCH_GATE_PCT:-10}"
 
@@ -200,6 +234,16 @@ DIABLO_BENCH_SAMPLES=5 DIABLO_BENCH_JSON="$bench_json" \
     cargo bench -q --offline -p diablo-bench --bench state_store
 cargo run -q --release --offline -p diablo-bench --bin bench_gate -- \
     results/BENCH_baseline.json "$bench_json/BENCH_state_store.json" \
+    "${DIABLO_BENCH_GATE_PCT:-10}"
+
+# Same gate over the tracing bench: the untraced run pins the hot path
+# (tracing off must cost one atomic load per emission site) and the
+# sampled/full runs bound the cost of tracing itself.
+echo "==> bench gate (trace_overhead bench vs results/BENCH_baseline.json)"
+DIABLO_BENCH_SAMPLES=5 DIABLO_BENCH_JSON="$bench_json" \
+    cargo bench -q --offline -p diablo-bench --bench trace_overhead
+cargo run -q --release --offline -p diablo-bench --bin bench_gate -- \
+    results/BENCH_baseline.json "$bench_json/BENCH_trace.json" \
     "${DIABLO_BENCH_GATE_PCT:-10}"
 
 echo "CI OK"

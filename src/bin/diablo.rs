@@ -152,6 +152,23 @@ fn parse_storage_flags(args: &Args) -> Result<Option<diablo::chains::StorageConf
     Ok(Some(config))
 }
 
+/// Resolves the tracing flags (`--trace-sample=N|all`, `--trace-out`)
+/// into a sampling budget. `--trace-out` alone implies tracing at the
+/// default reservoir limit; no tracing flag keeps the tracer off (and
+/// the run byte-identical to an untraced one).
+fn parse_trace_flags(
+    args: &Args,
+) -> Result<Option<diablo::telemetry::trace::TraceSample>, String> {
+    use diablo::telemetry::trace::TraceSample;
+    match args.get("trace-sample") {
+        Some(value) => TraceSample::parse(value)
+            .map(Some)
+            .map_err(|e| format!("bad --trace-sample: {e}")),
+        None if args.has("trace-out") => Ok(Some(TraceSample::Limit(TraceSample::DEFAULT_LIMIT))),
+        None => Ok(None),
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  diablo run --chain=<name> [--deployment=<name>] [--secondaries=N] \
@@ -160,7 +177,15 @@ fn usage() -> ExitCode {
          diablo primary --secondaries=N --chain=<name> [--port=P] [--deployment=<name>] \
          [--output=FILE] [--csv=FILE] [--stat] [chaos flags] <workload.yaml>\n  \
          diablo secondary --primary=<addr> [--tag=<zone>]\n  \
-         diablo compare <a.results.json> <b.results.json>\n\n\
+         diablo compare <a.results.json> <b.results.json>\n  \
+         diablo trace-diff <a.trace.json> <b.trace.json>\n\n\
+         tracing flags (deterministic per-transaction lifecycle traces,\n\
+         see docs/TRACING.md):\n  \
+         --trace-sample=N|all             trace the N deterministically sampled\n                                   \
+         transactions (or every one); same N + seed\n                                   \
+         traces the same transactions in any run\n  \
+         --trace-out=FILE                 write the traces as Chrome Trace Event JSON\n                                   \
+         (load in Perfetto; implies --trace-sample={})\n\n\
          execution flags (same grammar as the spec's `execution:` section; results\n\
          are bit-identical to serial at any thread count, see docs/EXECUTION.md):\n  \
          --threads=N                      block-commit worker threads (static scheduler)\n  \
@@ -186,6 +211,7 @@ fn usage() -> ExitCode {
          --kill-secondary=IDX@AT          kill a load-generating worker\n  \
          --retry=ATTEMPTSxBACKOFF_MS/TIMEOUT_MS  client retry policy\n\n\
          chains: {}\ndeployments: {}",
+        diablo::telemetry::trace::TraceSample::DEFAULT_LIMIT,
         Chain::ALL.map(|c| c.name().to_lowercase()).join(", "),
         DeploymentKind::ALL.map(|d| d.name()).join(", ")
     );
@@ -214,6 +240,7 @@ fn parse_common(args: &Args) -> Result<(Chain, DeploymentKind, BenchmarkOptions,
     options.concurrency = parse_concurrency(args)?;
     options.faults = parse_chaos(args)?;
     options.storage = parse_storage_flags(args)?;
+    options.trace = parse_trace_flags(args)?;
     let spec_path = args
         .positional
         .get(1)
@@ -239,6 +266,19 @@ fn emit(report: &Report, args: &Args) -> Result<(), String> {
     if let Some(path) = args.get("cdf") {
         std::fs::write(path, latency_cdf_dat(&report.result, 500)).map_err(|e| e.to_string())?;
         eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.get("trace-out") {
+        match &report.result.trace {
+            Some(set) => {
+                std::fs::write(path, set.to_chrome_json()).map_err(|e| e.to_string())?;
+                eprintln!("wrote {path}");
+            }
+            // Tracing was requested but the recorder produced nothing —
+            // the tracer was compiled out (`--cfg diablo_telemetry_off`).
+            None => eprintln!(
+                "warning: --trace-out={path} skipped (tracer compiled out of this binary)"
+            ),
+        }
     }
     if args.has("stat") {
         print!("{}", report.stats_text());
@@ -266,6 +306,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         options.concurrency = parse_concurrency(args)?;
         options.faults = parse_chaos(args)?;
         options.storage = parse_storage_flags(args)?;
+        options.trace = parse_trace_flags(args)?;
         let spec_path = args
             .positional
             .get(1)
@@ -384,6 +425,23 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_trace_diff(args: &Args) -> Result<(), String> {
+    let a_path = args
+        .positional
+        .get(1)
+        .ok_or("trace-diff needs two trace.json files")?;
+    let b_path = args
+        .positional
+        .get(2)
+        .ok_or("trace-diff needs two trace.json files")?;
+    let read = |p: &str| -> Result<String, String> {
+        std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))
+    };
+    let d = diablo::core::tracediff::diff_texts(&read(a_path)?, &read(b_path)?)?;
+    print!("{}", diablo::core::tracediff::render(&d));
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = Args::parse(&argv);
@@ -395,6 +453,7 @@ fn main() -> ExitCode {
         "primary" => cmd_primary(&args),
         "secondary" => cmd_secondary(&args),
         "compare" => cmd_compare(&args),
+        "trace-diff" => cmd_trace_diff(&args),
         _ => return usage(),
     };
     match result {
