@@ -9,12 +9,10 @@
 
 use diablo_contracts::DApp;
 use diablo_net::{DeploymentConfig, DeploymentKind, NetworkModel, QuorumModel};
-use diablo_sim::{QueueBackend, SimDuration, SimTime, Simulation};
-use diablo_store::StorageConfig;
+use diablo_sim::{SimDuration, SimTime, Simulation};
 
-use crate::exec::{Concurrency, ExecMode, ExecutionEngine};
-use crate::faults::FaultPlan;
-use crate::params::{ChainParams, SigVerify};
+use crate::exec::ExecutionEngine;
+use crate::params::ChainParams;
 use crate::records::RunResult;
 use crate::sim::{ChainSim, Ev, TickPlan, TICK_MS};
 use crate::tx::Payload;
@@ -32,52 +30,11 @@ pub struct PlannedTx {
 }
 
 /// Harness construction options.
-#[derive(Debug, Clone)]
-pub struct HarnessOptions {
-    /// RNG seed.
-    pub seed: u64,
-    /// Execution fidelity.
-    pub exec_mode: ExecMode,
-    /// Block-commit concurrency (worker threads for parallel execution).
-    pub concurrency: Concurrency,
-    /// Drain window after the last submission, in seconds.
-    pub grace_secs: u64,
-    /// Parameter overrides; `None` = standard parameters.
-    pub params: Option<ChainParams>,
-    /// Injected faults (crashes, slowdowns).
-    pub faults: FaultPlan,
-    /// Signature-verification cost-curve override applied on top of the
-    /// resolved parameters (the spec's `sigverify:` section); `None` =
-    /// the chain's standard curve.
-    pub sig_verify: Option<SigVerify>,
-    /// Event-queue backend of the simulation kernel (the timer wheel by
-    /// default; the reference heap for differential runs and benches).
-    pub queue: QueueBackend,
-    /// Append-only state store configuration (the spec's `storage:`
-    /// section); `None` = the staged commit pipeline is off.
-    pub storage: Option<StorageConfig>,
-    /// Per-transaction lifecycle tracing budget (`--trace-sample`);
-    /// `None` = the tracer stays off and the run is byte-identical to
-    /// an untraced one.
-    pub trace: Option<diablo_telemetry::trace::TraceSample>,
-}
-
-impl Default for HarnessOptions {
-    fn default() -> Self {
-        HarnessOptions {
-            seed: 42,
-            exec_mode: ExecMode::Profiled,
-            concurrency: Concurrency::Serial,
-            grace_secs: 60,
-            params: None,
-            faults: FaultPlan::none(),
-            sig_verify: None,
-            queue: QueueBackend::Wheel,
-            storage: None,
-            trace: None,
-        }
-    }
-}
+///
+/// Since the `RunConfig` unification this is the resolved
+/// [`crate::RunConfig`] itself; the alias keeps older call sites
+/// compiling.
+pub type HarnessOptions = crate::config::RunConfig;
 
 /// A chain ready to receive planned transactions.
 #[derive(Debug)]
@@ -110,13 +67,7 @@ impl ChainHarness {
         dapp: Option<DApp>,
         options: HarnessOptions,
     ) -> Result<Self, String> {
-        let mut params = options
-            .params
-            .clone()
-            .unwrap_or_else(|| ChainParams::standard(chain, &config));
-        if let Some(sig_verify) = options.sig_verify {
-            params.sig_verify = sig_verify;
-        }
+        let params = options.resolved_params(chain, &config);
         let flavor = chain.vm_flavor();
         let engine = match dapp {
             None => ExecutionEngine::native(flavor, options.exec_mode),
@@ -171,6 +122,7 @@ impl ChainHarness {
         // ticks are contiguous ranges over the flat vector.
         let plan = TickPlan::from_sorted(txs, TICK_MS * 1000);
 
+        let live = self.options.live;
         let world = ChainSim::from_plan(
             self.chain,
             self.params,
@@ -183,7 +135,8 @@ impl ChainHarness {
                 + SimDuration::from_secs(self.options.grace_secs),
         )
         .with_faults(self.options.faults.clone())
-        .with_store(self.options.storage);
+        .with_store(self.options.storage)
+        .with_live_pool(live.map(|cfg| crate::live::LivePool::new(cfg.workers, cfg.time_scale)));
         let mut sim = Simulation::with_backend(world, self.options.queue);
         let ticks = sim.world().tick_count();
         for k in 0..ticks {
@@ -192,9 +145,14 @@ impl ChainHarness {
         sim.schedule(SimTime::ZERO, Ev::Propose);
         let deadline = sim.world().deadline();
         let workload_end = sim.world().workload_end().min(deadline);
-        // Rewind the telemetry clock so span timings start from virtual
-        // zero even if a previous run in this process left it advanced.
-        diablo_telemetry::clock::set_sim_now(SimTime::ZERO);
+        match live {
+            // The telemetry clock: live runs measure real elapsed time;
+            // simulated runs rewind the virtual clock so span timings
+            // start from zero even if a previous run in this process
+            // left it advanced.
+            Some(_) => diablo_telemetry::clock::use_wall_clock(),
+            None => diablo_telemetry::clock::set_sim_now(SimTime::ZERO),
+        }
         // Arm the per-transaction tracer before the first event fires;
         // membership is keyed on the run seed so re-runs sample the
         // same transactions.
@@ -206,12 +164,23 @@ impl ChainHarness {
             let _run = diablo_telemetry::span("harness.run");
             {
                 let _sub = diablo_telemetry::span("harness.submission");
-                sim.run_until(workload_end);
+                match live {
+                    Some(cfg) => pace_until(&mut sim, workload_end, cfg.time_scale),
+                    None => sim.run_until(workload_end),
+                };
             }
             {
                 let _drain = diablo_telemetry::span("harness.drain");
-                sim.run_until(deadline);
+                match live {
+                    Some(cfg) => pace_until(&mut sim, deadline, cfg.time_scale),
+                    None => sim.run_until(deadline),
+                };
             }
+        }
+        if live.is_some() {
+            // Hand the deterministic clock back so a follow-up
+            // simulation (the live-diff's prediction) stays virtual.
+            diablo_telemetry::clock::use_sim_clock();
         }
         let world = sim.into_world();
         let (records, blocks, storage) = world.into_records();
@@ -226,6 +195,47 @@ impl ChainHarness {
             trace: diablo_telemetry::trace::take(),
         }
     }
+}
+
+/// Live mode's event driver: delivers the same events in the same order
+/// as [`Simulation::run_until`], but *when wall-clock time catches up*
+/// with each event's instant (divided by `scale`). Sleeping keeps the
+/// schedule honest; an event the machine cannot keep up with records
+/// its lag instead of silently rewriting history.
+fn pace_until(
+    sim: &mut Simulation<ChainSim>,
+    until: SimTime,
+    scale: f64,
+) -> u64 {
+    use std::time::{Duration, Instant};
+    let scale = if scale.is_finite() && scale > 0.0 {
+        scale
+    } else {
+        1.0
+    };
+    let anchor_sim = sim.now().as_micros();
+    let anchor_wall = Instant::now();
+    let mut delivered = 0u64;
+    while let Some(at) = sim.peek_time() {
+        if at > until {
+            break;
+        }
+        let offset_us = (at.as_micros().saturating_sub(anchor_sim)) as f64 / scale;
+        let target = anchor_wall + Duration::from_micros(offset_us as u64);
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        } else {
+            diablo_telemetry::record_duration!(
+                "live.pacing.lag_us",
+                SimDuration::from_micros((now - target).as_micros() as u64)
+            );
+        }
+        sim.step();
+        delivered += 1;
+    }
+    diablo_telemetry::counter!("live.events", delivered);
+    delivered
 }
 
 #[cfg(test)]

@@ -31,10 +31,12 @@
 
 pub mod chain;
 pub mod chaos;
+pub mod config;
 pub mod exec;
 pub mod faults;
 pub mod fees;
 pub mod harness;
+pub mod live;
 pub mod mempool;
 pub mod optimistic;
 pub mod parallel;
@@ -44,12 +46,14 @@ pub mod sim;
 pub mod tx;
 
 pub use chain::Chain;
+pub use config::{LiveConfig, RunConfig, RunOverlay};
 pub use exec::{Concurrency, ExecMode, ExecutionEngine};
 pub use optimistic::{OptimisticExecutor, OptimisticStats};
 pub use parallel::{plan_stats, ParallelExecutor, PlanStats};
 pub use faults::{FaultPlan, FaultPlanBuilder, FaultTimeline, RetryPolicy};
 pub use fees::FeeMarket;
 pub use harness::{ChainHarness, HarnessOptions, PlannedTx};
+pub use live::LivePool;
 pub use mempool::{AdmitError, Mempool, MempoolPolicy};
 pub use diablo_sim::QueueBackend;
 pub use diablo_store::{PruneMode, StorageConfig, StorageReport};

@@ -1,0 +1,231 @@
+//! Real signature-verification-shaped work for live mode.
+//!
+//! The deterministic simulation *models* signature verification with the
+//! [`crate::SigVerify`] cost curve; live mode (`--live`) replaces that
+//! modeled delay with actual CPU work of the same shape, spread over a
+//! pool of worker threads, and feeds the *measured* wall time back into
+//! the event schedule. The work itself is a calibrated integer-mixing
+//! loop (a stand-in with the arithmetic density of scalar-multiply-heavy
+//! signature checks); what matters for the fidelity diff is that the
+//! cost is paid in real time on real threads, contended like a real
+//! verifier pool.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use diablo_sim::SimDuration;
+
+use crate::params::SigVerify;
+
+/// One unit of verification work: spin the mixer for `iters` rounds.
+struct Job {
+    iters: u64,
+    done: mpsc::Sender<u64>,
+}
+
+/// A pool of worker threads performing verification-shaped work.
+///
+/// Created once per live run; [`LivePool::verify_batch`] blocks until
+/// the batch's work has actually been executed and returns the measured
+/// wall time, mapped back to simulated time through the pool's time
+/// scale.
+pub struct LivePool {
+    workers: usize,
+    /// Simulated seconds per wall second: work shrinks by this factor,
+    /// and measured durations are scaled back up, so a compressed run
+    /// still reports sim-comparable costs.
+    time_scale: f64,
+    /// Calibrated mixer throughput, iterations per microsecond.
+    iters_per_us: f64,
+    jobs: mpsc::Sender<Job>,
+    /// Keeps worker handles so the pool joins cleanly on drop.
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Total batches and wall microseconds spent, for telemetry.
+    batches: AtomicU64,
+    busy_us: AtomicU64,
+}
+
+impl std::fmt::Debug for LivePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LivePool")
+            .field("workers", &self.workers)
+            .field("time_scale", &self.time_scale)
+            .field("iters_per_us", &self.iters_per_us)
+            .finish()
+    }
+}
+
+/// The integer mixer the workers spin on (splitmix64's finalizer). The
+/// result is returned so the optimizer cannot elide the loop.
+#[inline]
+fn mix_rounds(mut x: u64, iters: u64) -> u64 {
+    for _ in 0..iters {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= z ^ (z >> 31);
+    }
+    x
+}
+
+/// Measures the mixer's throughput on this machine, in iterations per
+/// microsecond.
+fn calibrate() -> f64 {
+    // Warm up, then time a fixed round count long enough to dwarf timer
+    // granularity (~a few hundred microseconds on any modern core).
+    let _ = std::hint::black_box(mix_rounds(1, 10_000));
+    let rounds = 2_000_000u64;
+    let started = Instant::now();
+    let _ = std::hint::black_box(mix_rounds(7, rounds));
+    let us = started.elapsed().as_secs_f64() * 1e6;
+    (rounds as f64 / us.max(1.0)).max(1.0)
+}
+
+impl LivePool {
+    /// Spawns `workers` verification threads (at least one) and
+    /// calibrates the work loop.
+    pub fn new(workers: usize, time_scale: f64) -> LivePool {
+        let workers = workers.max(1);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("live-verify-{i}"))
+                    .spawn(move || loop {
+                        let job = match rx.lock().unwrap().recv() {
+                            Ok(job) => job,
+                            Err(_) => return, // pool dropped
+                        };
+                        let out = std::hint::black_box(mix_rounds(i as u64 + 1, job.iters));
+                        let _ = job.done.send(out);
+                    })
+                    .expect("spawn live verifier")
+            })
+            .collect();
+        LivePool {
+            workers,
+            time_scale: if time_scale.is_finite() && time_scale > 0.0 {
+                time_scale
+            } else {
+                1.0
+            },
+            iters_per_us: calibrate(),
+            jobs: tx,
+            handles,
+            batches: AtomicU64::new(0),
+            busy_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Performs the real work standing in for verifying a batch of `n`
+    /// signatures under `sig`'s cost curve, split across the pool, and
+    /// returns the *measured* cost in simulated time.
+    ///
+    /// The modeled [`SigVerify::batch_cost`] sets the work target; the
+    /// wall time actually spent (divided by the worker count the model
+    /// already accounts for, multiplied back by the time scale) is what
+    /// the live event schedule pays.
+    pub fn verify_batch(&self, n: usize, sig: &SigVerify) -> SimDuration {
+        if n == 0 {
+            return SimDuration::ZERO;
+        }
+        let modeled_us = sig.batch_cost(n).as_micros();
+        // Work shrinks by the time scale so a compressed run keeps its
+        // real-time budget; measurements scale back up symmetrically.
+        let target_us = (modeled_us as f64 / self.time_scale).max(1.0);
+        let per_worker_us = target_us / self.workers as f64;
+        let iters = (per_worker_us * self.iters_per_us).max(1.0) as u64;
+
+        let started = Instant::now();
+        let (done_tx, done_rx) = mpsc::channel();
+        for _ in 0..self.workers {
+            self.jobs
+                .send(Job {
+                    iters,
+                    done: done_tx.clone(),
+                })
+                .expect("live pool workers alive");
+        }
+        drop(done_tx);
+        while done_rx.recv().is_ok() {}
+        let wall = started.elapsed();
+
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.busy_us
+            .fetch_add(wall.as_micros() as u64, Ordering::Relaxed);
+        diablo_telemetry::record_duration!(
+            "live.verify.wall_us",
+            SimDuration::from_micros(wall.as_micros() as u64)
+        );
+        SimDuration::from_micros((wall.as_secs_f64() * 1e6 * self.time_scale) as u64)
+    }
+
+    /// `(batches executed, wall microseconds spent)` so far.
+    pub fn totals(&self) -> (u64, u64) {
+        (
+            self.batches.load(Ordering::Relaxed),
+            self.busy_us.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Drop for LivePool {
+    fn drop(&mut self) {
+        // Replacing the sender closes the job channel, which stops the
+        // workers; join so no thread outlives the run owning the pool.
+        let (dead_tx, _dead_rx) = mpsc::channel();
+        self.jobs = dead_tx;
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn empty_batches_cost_nothing() {
+        let pool = LivePool::new(2, 1.0);
+        assert_eq!(pool.verify_batch(0, &SigVerify::ed25519(4)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn work_is_actually_performed_and_measured() {
+        let pool = LivePool::new(2, 1.0);
+        let cost = pool.verify_batch(64, &SigVerify::ed25519(4));
+        assert!(cost > SimDuration::ZERO, "measured work takes real time");
+        let (batches, busy) = pool.totals();
+        assert_eq!(batches, 1);
+        assert!(busy > 0);
+    }
+
+    #[test]
+    fn time_scale_shrinks_the_wall_cost() {
+        let slow = LivePool::new(1, 1.0);
+        let fast = LivePool::new(1, 50.0);
+        let sig = SigVerify::ed25519(4);
+        let wall = |pool: &LivePool| {
+            let t = Instant::now();
+            let _ = pool.verify_batch(256, &sig);
+            t.elapsed()
+        };
+        let a = wall(&slow);
+        let b = wall(&fast);
+        // Generous bound: the scaled pool must be well under the
+        // unscaled wall time even on noisy CI machines.
+        assert!(b < a + Duration::from_millis(1), "scaled run is not slower: {a:?} vs {b:?}");
+    }
+}

@@ -188,7 +188,7 @@ impl SigVerify {
 }
 
 /// Everything the simulator needs to run one chain on one deployment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChainParams {
     /// Which chain these parameters model.
     pub chain: Chain,

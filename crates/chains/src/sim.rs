@@ -27,10 +27,11 @@ use diablo_telemetry::trace::{self, TraceStage};
 use diablo_workloads::Workload;
 
 use crate::chain::Chain;
+use crate::config::RunConfig;
 use crate::exec::{Concurrency, ExecMode, ExecutionEngine};
 use crate::faults::{FaultPlan, FaultTimeline};
 use crate::fees::FeeMarket;
-use crate::harness::{ChainHarness, HarnessOptions, PlannedTx};
+use crate::harness::{ChainHarness, PlannedTx};
 use crate::mempool::{AdmitError, Mempool};
 use crate::params::{ChainParams, ConsensusKind, SigVerify};
 use crate::records::{BlockRecord, RunResult, TxRecord, TxStatus};
@@ -59,37 +60,15 @@ pub struct Experiment {
     pub workload: Workload,
     /// DApp to invoke; `None` = native transfers.
     pub dapp: Option<DApp>,
-    /// RNG seed (same seed ⇒ identical run).
-    pub seed: u64,
-    /// Execution fidelity.
-    pub exec_mode: ExecMode,
-    /// Block-commit concurrency (worker threads for parallel execution
-    /// of committed batches; results are bit-identical to serial).
-    pub concurrency: Concurrency,
-    /// Extra seconds the chain keeps producing blocks after the last
-    /// submission (drain window).
-    pub grace_secs: u64,
-    /// Parameter overrides (ablations); `None` = standard parameters.
-    pub params: Option<ChainParams>,
+    /// The run knobs (seed, execution, faults, storage, …), shared with
+    /// every other entry point through [`crate::RunConfig`].
+    pub run: RunConfig,
     /// Explicit deployment override (custom setups); `None` = the
     /// standard configuration of `deployment`.
     pub config: Option<DeploymentConfig>,
-    /// Injected faults (crashes, slowdowns).
-    pub faults: FaultPlan,
     /// Explicit function selection applied to every invocation (the
     /// spec's `function: "..."`); `None` = default per-DApp rotation.
     pub call: Option<CallSel>,
-    /// Signature-verification cost-curve override; `None` = the chain's
-    /// standard curve.
-    pub sig_verify: Option<SigVerify>,
-    /// Event-queue backend of the simulation kernel.
-    pub queue: QueueBackend,
-    /// Append-only state store configuration; `None` (the default)
-    /// disables the staged commit pipeline entirely.
-    pub storage: Option<StorageConfig>,
-    /// Per-transaction lifecycle tracing budget; `None` (the default)
-    /// keeps the tracer off.
-    pub trace: Option<diablo_telemetry::trace::TraceSample>,
 }
 
 impl Experiment {
@@ -100,18 +79,9 @@ impl Experiment {
             deployment,
             workload,
             dapp: None,
-            seed: 42,
-            exec_mode: ExecMode::Profiled,
-            concurrency: Concurrency::Serial,
-            grace_secs: 60,
-            params: None,
+            run: RunConfig::default(),
             config: None,
-            faults: FaultPlan::none(),
             call: None,
-            sig_verify: None,
-            queue: QueueBackend::Wheel,
-            storage: None,
-            trace: None,
         }
     }
 
@@ -123,37 +93,37 @@ impl Experiment {
 
     /// Overrides the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.run.seed = seed;
         self
     }
 
     /// Overrides the execution mode.
     pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
-        self.exec_mode = mode;
+        self.run.exec_mode = mode;
         self
     }
 
     /// Overrides the block-commit concurrency.
     pub fn with_concurrency(mut self, concurrency: Concurrency) -> Self {
-        self.concurrency = concurrency;
+        self.run.concurrency = concurrency;
         self
     }
 
     /// Overrides the chain parameters (ablation studies).
     pub fn with_params(mut self, params: ChainParams) -> Self {
-        self.params = Some(params);
+        self.run.params = Some(params);
         self
     }
 
     /// Overrides the drain window.
     pub fn with_grace(mut self, secs: u64) -> Self {
-        self.grace_secs = secs;
+        self.run.grace_secs = secs;
         self
     }
 
     /// Injects faults (crashes, network slowdowns).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
-        self.faults = faults;
+        self.run.faults = faults;
         self
     }
 
@@ -173,14 +143,14 @@ impl Experiment {
 
     /// Overrides the signature-verification cost curve (ablations).
     pub fn with_sig_verify(mut self, sig_verify: SigVerify) -> Self {
-        self.sig_verify = Some(sig_verify);
+        self.run.sig_verify = Some(sig_verify);
         self
     }
 
     /// Runs the simulation kernel on an explicit event-queue backend
     /// (wheel-vs-heap differential runs and benches).
     pub fn with_queue_backend(mut self, queue: QueueBackend) -> Self {
-        self.queue = queue;
+        self.run.queue = queue;
         self
     }
 
@@ -188,14 +158,14 @@ impl Experiment {
     /// the execute → merkleize → persist → prune pipeline under
     /// `config`.
     pub fn with_storage(mut self, config: StorageConfig) -> Self {
-        self.storage = Some(config);
+        self.run.storage = Some(config);
         self
     }
 
     /// Enables per-transaction lifecycle tracing under the given
     /// sampling budget.
     pub fn with_trace(mut self, sample: diablo_telemetry::trace::TraceSample) -> Self {
-        self.trace = Some(sample);
+        self.run.trace = Some(sample);
         self
     }
 
@@ -203,18 +173,7 @@ impl Experiment {
     pub fn run(self) -> RunResult {
         let workload_name = self.workload.name().to_string();
         let workload_secs = self.workload.duration_secs() as f64;
-        let options = HarnessOptions {
-            seed: self.seed,
-            exec_mode: self.exec_mode,
-            concurrency: self.concurrency,
-            grace_secs: self.grace_secs,
-            params: self.params.clone(),
-            faults: self.faults.clone(),
-            sig_verify: self.sig_verify,
-            queue: self.queue,
-            storage: self.storage,
-            trace: self.trace,
-        };
+        let options = self.run.clone();
         // An unbuildable or unrunnable DApp makes the whole chain
         // "unable" (Figure 5's X marks, Figure 2's missing bars).
         let config = self
@@ -376,6 +335,10 @@ pub struct ChainSim {
     /// The append-only state store, when the run enables the staged
     /// commit pipeline.
     store: Option<StateStore>,
+    /// Live mode's verification pool: when attached, the modeled
+    /// signature-verification delay is replaced with real, measured
+    /// work (`crate::live`).
+    live: Option<crate::live::LivePool>,
 }
 
 impl ChainSim {
@@ -459,7 +422,16 @@ impl ChainSim {
             timeline: FaultTimeline::empty(),
             round_stretch: 1.0,
             store: None,
+            live: None,
         }
+    }
+
+    /// Attaches live mode's verification pool: block execution now pays
+    /// *measured* wall time for signature checks instead of the modeled
+    /// curve.
+    pub(crate) fn with_live_pool(mut self, pool: Option<crate::live::LivePool>) -> Self {
+        self.live = pool;
+        self
     }
 
     /// Enables the staged commit pipeline: every committed block is
@@ -1091,7 +1063,14 @@ impl ChainSim {
     /// execution explicitly charges verification with it.
     fn exec_delay_estimate(&self, now: SimTime) -> SimDuration {
         let txs = self.block_capacity(now).min(self.pool.len());
-        let sig = self.params.sig_verify.batch_cost(txs);
+        // Live mode pays the real, measured verification cost; the
+        // simulation charges the modeled curve. Either way the cost
+        // lands in the same telemetry key, so live-diff compares them
+        // phase by phase.
+        let sig = match &self.live {
+            Some(pool) => pool.verify_batch(txs, &self.params.sig_verify),
+            None => self.params.sig_verify.batch_cost(txs),
+        };
         diablo_telemetry::record_duration!("exec.sigverify_us", sig);
         let ops = txs as f64 * self.ops_estimate as f64;
         let d = SimDuration::from_secs_f64(ops / self.params.exec_ops_per_sec.max(1.0));

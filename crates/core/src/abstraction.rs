@@ -158,6 +158,23 @@ pub enum ConnectorError {
         /// The node's stated reason.
         reason: String,
     },
+    /// A live endpoint could not be reached over the wire (connection
+    /// refused, reset, timed out) — the peer may simply not be up yet,
+    /// so retrying per the [`diablo_chains::RetryPolicy`] is warranted.
+    Unreachable {
+        /// The address dialed.
+        addr: String,
+        /// The socket error.
+        reason: String,
+    },
+    /// A live endpoint address that cannot resolve at all (malformed
+    /// host:port, failed name resolution) — no retry fixes it.
+    BadAddress {
+        /// The address given.
+        addr: String,
+        /// Why it does not resolve.
+        reason: String,
+    },
 }
 
 impl ConnectorError {
@@ -166,7 +183,9 @@ impl ConnectorError {
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            ConnectorError::ResourceExhausted { .. } | ConnectorError::Rejected { .. }
+            ConnectorError::ResourceExhausted { .. }
+                | ConnectorError::Rejected { .. }
+                | ConnectorError::Unreachable { .. }
         )
     }
 }
@@ -194,6 +213,12 @@ impl std::fmt::Display for ConnectorError {
             ConnectorError::EmptyResource { what } => write!(f, "{what} must be non-empty"),
             ConnectorError::ResourceExhausted { what } => write!(f, "{what} exhausted"),
             ConnectorError::Rejected { reason } => write!(f, "submission rejected: {reason}"),
+            ConnectorError::Unreachable { addr, reason } => {
+                write!(f, "`{addr}` unreachable: {reason}")
+            }
+            ConnectorError::BadAddress { addr, reason } => {
+                write!(f, "bad address `{addr}`: {reason}")
+            }
         }
     }
 }

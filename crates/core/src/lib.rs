@@ -29,6 +29,8 @@ pub mod adapters;
 pub mod analysis;
 pub mod bytebuf;
 pub mod json;
+pub mod live;
+pub mod livediff;
 pub mod output;
 pub mod primary;
 pub mod report;
@@ -44,6 +46,8 @@ pub use abstraction::{
     SimConnector,
 };
 pub use bytebuf::{ByteBuf, ByteReader};
+pub use live::run_live;
+pub use livediff::LiveDiff;
 pub use primary::{run_local, BenchmarkOptions};
 pub use report::Report;
 pub use setup::Setup;

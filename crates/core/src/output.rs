@@ -135,6 +135,51 @@ pub fn results_json_with_telemetry(
     out
 }
 
+/// Serializes a full [`crate::Report`]: the standard
+/// [`results_json_with_telemetry`] document plus — for live runs — a
+/// top-level `"liveDiff"` section with the fidelity score, the
+/// throughput comparison, the per-phase median ratios and the number of
+/// Secondaries lost mid-run. Reports without a live diff serialize
+/// byte-identically to [`results_json_with_telemetry`], so simulated
+/// runs keep their pinned-seed golden outputs.
+pub fn results_json_report(report: &crate::Report) -> String {
+    let mut out = results_json_with_telemetry(&report.result, &report.telemetry);
+    let Some(diff) = &report.live_diff else {
+        return out;
+    };
+    let closed = out.pop();
+    debug_assert_eq!(closed, Some('}'));
+    let _ = write!(
+        out,
+        ",\"liveDiff\":{{\"fidelity\":{:.6},\"lostSecondaries\":{},\
+         \"liveThroughput\":{:.3},\"simThroughput\":{:.3},\
+         \"liveLatency\":{:.3},\"simLatency\":{:.3},\"phases\":[",
+        diff.fidelity,
+        report.lost_secondaries.len(),
+        diff.live_throughput,
+        diff.sim_throughput,
+        diff.live_latency,
+        diff.sim_latency
+    );
+    for (i, p) in diff.phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"phase\":\"{}\",\"metric\":\"{}\",\"liveP50\":{},\"simP50\":{},\
+             \"ratio\":{:.6}}}",
+            p.phase,
+            json_escape(&p.metric),
+            p.live_p50_us,
+            p.sim_p50_us,
+            p.ratio
+        );
+    }
+    out.push_str("]}}");
+    out
+}
+
 /// Converts a run to the artifact's CSV format: one line per
 /// transaction with the submission time (seconds) and the commit
 /// latency (seconds; empty when not committed), ordered by submission —
@@ -273,6 +318,37 @@ mod tests {
         let storage = parsed.get("storage").expect("storage section");
         assert!(storage.get("root").is_some());
         assert!(storage.get("residentBytes").is_some());
+    }
+
+    #[test]
+    fn live_diff_section_appears_only_for_live_reports() {
+        let mut report = crate::Report {
+            result: sample(),
+            secondaries: 2,
+            clients: 4,
+            telemetry: diablo_telemetry::TelemetrySnapshot::default(),
+            faults: diablo_chains::FaultPlan::none(),
+            lost_secondaries: Vec::new(),
+            live_diff: None,
+        };
+        assert_eq!(
+            results_json_report(&report),
+            results_json_with_telemetry(&report.result, &report.telemetry),
+            "simulated reports keep the pre-live byte format"
+        );
+
+        report.live_diff = Some(crate::livediff::diff(
+            &crate::livediff::RunSummary::default(),
+            &crate::livediff::RunSummary::default(),
+        ));
+        report.lost_secondaries = vec![1];
+        let json = results_json_report(&report);
+        assert!(json.contains("\"liveDiff\":{\"fidelity\":"), "{json}");
+        assert!(json.contains("\"lostSecondaries\":1"), "{json}");
+        let parsed = crate::json::parse(&json).expect("valid json");
+        let diff = parsed.get("liveDiff").expect("liveDiff section");
+        let fidelity = diff.get("fidelity").and_then(crate::json::Json::as_f64);
+        assert!(fidelity.is_some_and(|f| f.is_finite()), "{json}");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! harness); `crate::wire` adds the distributed Primary/Secondary mode
 //! over TCP.
 
-use diablo_chains::{ChainHarness, Concurrency, ExecMode, HarnessOptions, PlannedTx};
+use diablo_chains::{ChainHarness, PlannedTx, RunConfig, RunOverlay};
 use diablo_net::DeploymentKind;
 
 use crate::adapters;
@@ -20,48 +20,34 @@ use crate::spec::BenchmarkSpec;
 use diablo_chains::Chain;
 
 /// Options of a benchmark run.
+///
+/// The run knobs are a [`RunOverlay`]: the *invocation's* layer of the
+/// configuration, applied on top of the spec's own sections (and the
+/// defaults below them) by the one resolution rule,
+/// `RunConfig::layered(&[&spec.overlay(), &options.run])`. An unset
+/// field defers to the spec; a set field wins; faults are additive.
 #[derive(Debug, Clone)]
 pub struct BenchmarkOptions {
-    /// RNG seed for the simulated chain.
-    pub seed: u64,
-    /// Execution fidelity of the simulated chain.
-    pub exec_mode: ExecMode,
-    /// Block-commit concurrency of the simulated chain.
-    pub concurrency: Concurrency,
-    /// Drain window after the last submission, seconds.
-    pub grace_secs: u64,
+    /// The invocation's run settings (the CLI's flags land here).
+    pub run: RunOverlay,
     /// Number of Secondaries to dispatch across.
     pub secondaries: usize,
-    /// Faults injected on top of the spec's own `fault:` section (the
-    /// CLI's chaos flags land here; merged with the spec's plan).
-    pub faults: diablo_chains::FaultPlan,
-    /// Signature-verification cost-curve override; an explicit setting
-    /// wins over the spec's `sigverify:` section, `None` defers to it
-    /// (and then to the chain's standard curve).
-    pub sig_verify: Option<diablo_chains::SigVerify>,
-    /// Append-only state store override; an explicit setting (the CLI's
-    /// `--store`/`--prune` flags) wins over the spec's `storage:`
-    /// section, `None` defers to it (and then to no store at all).
-    pub storage: Option<diablo_chains::StorageConfig>,
-    /// Per-transaction lifecycle tracing budget (the CLI's
-    /// `--trace-sample`); `None` keeps the tracer off and the run
-    /// byte-identical to an untraced one.
-    pub trace: Option<diablo_telemetry::trace::TraceSample>,
 }
 
 impl Default for BenchmarkOptions {
     fn default() -> Self {
         BenchmarkOptions {
-            seed: 42,
-            exec_mode: ExecMode::Profiled,
-            concurrency: Concurrency::Serial,
-            grace_secs: 60,
+            run: RunOverlay::none(),
             secondaries: 2,
-            faults: diablo_chains::FaultPlan::none(),
-            sig_verify: None,
-            storage: None,
-            trace: None,
         }
+    }
+}
+
+impl BenchmarkOptions {
+    /// Resolves the effective configuration of a run under `spec`:
+    /// `defaults ← spec ← this invocation`.
+    pub fn resolve(&self, spec: &BenchmarkSpec) -> RunConfig {
+        RunConfig::layered(&[&spec.overlay(), &self.run])
     }
 }
 
@@ -172,40 +158,19 @@ pub fn run_with_setup(
     });
     let mut plans: Vec<Vec<PlannedTx>> = plans.into_iter().collect::<Result<_, _>>()?;
 
-    // The effective fault schedule: the spec's own `fault:` section
-    // plus whatever the invocation added (CLI chaos flags).
-    let faults = spec.fault.clone().merged(options.faults.clone());
-    // The effective block-commit concurrency: an explicit CLI setting
-    // (`--threads`/`--optimistic`) wins over the spec's `execution:`
-    // section, mirroring how chaos flags extend the spec's faults.
-    let concurrency = match options.concurrency {
-        Concurrency::Serial => spec.execution.unwrap_or(Concurrency::Serial),
-        explicit => explicit,
-    };
+    // The one layered resolution: defaults ← the spec's sections ← the
+    // invocation's overlay (CLI flags). The fault schedule is additive
+    // — the CLI's chaos flags pile onto the spec's `fault:` section —
+    // and every other knob is won by the topmost layer that sets it.
+    let run = options.resolve(&spec);
+    let faults = run.faults.clone();
     let lost_secondaries = apply_secondary_kills(&faults, &ranges, &mut plans);
 
     let mut merged: Vec<PlannedTx> = plans.into_iter().flatten().collect();
     merged.sort_by_key(|t| t.at);
 
-    // An explicit override (CLI / caller) wins over the spec's
-    // `sigverify:` section, mirroring the concurrency rule above.
-    let sig_verify = options.sig_verify.or(spec.sig_verify);
-    let storage = options.storage.or(spec.storage);
-    let harness_options = HarnessOptions {
-        seed: options.seed,
-        exec_mode: options.exec_mode,
-        concurrency,
-        grace_secs: options.grace_secs,
-        params: None,
-        faults: faults.clone(),
-        sig_verify,
-        queue: Default::default(),
-        storage,
-        trace: options.trace,
-    };
     let secondaries = ranges.len();
-    let result = match ChainHarness::with_config(chain, setup.config.clone(), dapp, harness_options)
-    {
+    let result = match ChainHarness::with_config(chain, setup.config.clone(), dapp, run) {
         Ok(harness) => harness.run(merged, workload_name, spec.duration_secs() as f64),
         Err(reason) => diablo_chains::RunResult::unable(
             chain,
@@ -221,6 +186,7 @@ pub fn run_with_setup(
         telemetry: diablo_telemetry::snapshot(),
         faults,
         lost_secondaries,
+        live_diff: None,
     })
 }
 
@@ -354,7 +320,10 @@ workloads:
             spec,
             "apple-only",
             &BenchmarkOptions {
-                exec_mode: diablo_chains::ExecMode::Exact,
+                run: RunOverlay {
+                    exec_mode: Some(diablo_chains::ExecMode::Exact),
+                    ..RunOverlay::none()
+                },
                 ..Default::default()
             },
         )

@@ -27,11 +27,15 @@ pub struct Report {
     /// truncated, or — in distributed mode — their results never
     /// arrived and the aggregation is partial).
     pub lost_secondaries: Vec<usize>,
+    /// The live run's fidelity diff against its simulation twin
+    /// (`--live`, see [`crate::livediff`]); `None` for pure
+    /// simulations.
+    pub live_diff: Option<crate::livediff::LiveDiff>,
 }
 
 /// The pipeline phase a telemetry metric belongs to, by name prefix;
-/// `None` for metrics outside the four per-phase groups.
-fn phase_of(name: &str) -> Option<(usize, &'static str)> {
+/// `None` for metrics outside the five per-phase groups.
+pub(crate) fn phase_of(name: &str) -> Option<(usize, &'static str)> {
     if name.starts_with("mempool.") {
         Some((0, "mempool"))
     } else if name.starts_with("consensus.") {
@@ -117,6 +121,9 @@ impl Report {
         }
         out.push_str(&self.fault_summary());
         out.push_str(&self.phase_breakdown());
+        if let Some(diff) = &self.live_diff {
+            out.push_str(&crate::livediff::render(diff));
+        }
         out
     }
 
@@ -275,6 +282,7 @@ mod tests {
             telemetry: TelemetrySnapshot::default(),
             faults: FaultPlan::none(),
             lost_secondaries: Vec::new(),
+            live_diff: None,
         }
     }
 
@@ -360,6 +368,7 @@ mod tests {
             telemetry: TelemetrySnapshot::default(),
             faults: FaultPlan::none(),
             lost_secondaries: Vec::new(),
+            live_diff: None,
         };
         assert!(!r.able());
         assert!(r.stats_text().contains("budget exceeded"));

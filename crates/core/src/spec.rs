@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use diablo_chains::{Concurrency, FaultPlan, PruneMode, SigVerify, StorageConfig};
+use diablo_chains::{Concurrency, FaultPlan, PruneMode, RunOverlay, SigVerify, StorageConfig};
 use diablo_workloads::Workload;
 
 use crate::yaml::{self, Value};
@@ -107,6 +107,19 @@ fn err(msg: impl Into<String>) -> SpecError {
 }
 
 impl BenchmarkSpec {
+    /// The spec's contribution to the layered run configuration: its
+    /// `fault:`, `execution:`, `sigverify:` and `storage:` sections as
+    /// one overlay — the middle layer of `defaults ← spec ← CLI`.
+    pub fn overlay(&self) -> RunOverlay {
+        RunOverlay {
+            concurrency: self.execution,
+            faults: self.fault.clone(),
+            sig_verify: self.sig_verify,
+            storage: self.storage,
+            ..RunOverlay::none()
+        }
+    }
+
     /// Parses a benchmark configuration file.
     pub fn parse(text: &str) -> Result<BenchmarkSpec, SpecError> {
         let root = yaml::parse(text)?;

@@ -15,7 +15,7 @@ use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 
 use diablo_chains::tx::CallSel;
-use diablo_chains::{Chain, ChainHarness, HarnessOptions, Payload, PlannedTx, RunResult, TxStatus};
+use diablo_chains::{Chain, ChainHarness, Payload, PlannedTx, RunResult, TxStatus};
 use diablo_contracts::DApp;
 use diablo_net::DeploymentKind;
 use diablo_sim::SimTime;
@@ -605,9 +605,12 @@ pub fn serve_primary(
     let clients = spec.client_count();
     let ranges = partition_clients(clients, n_secondaries);
 
-    // The effective fault schedule: the spec's own `fault:` section
-    // plus the invocation's chaos flags.
-    let faults = spec.fault.clone().merged(options.faults.clone());
+    // The one layered resolution (defaults ← spec ← invocation). The
+    // TCP path previously hand-merged only `storage:`; it now honors
+    // the spec's `execution:` and `sigverify:` sections exactly like
+    // the in-process runner.
+    let run = options.resolve(&spec);
+    let faults = run.faults.clone();
 
     // The report's telemetry covers exactly this experiment.
     diablo_telemetry::reset();
@@ -709,19 +712,7 @@ pub fn serve_primary(
     let merged_sorted: Vec<PlannedTx> = order.iter().map(|&i| merged[i]).collect();
 
     // Run the benchmark.
-    let harness_options = HarnessOptions {
-        seed: options.seed,
-        exec_mode: options.exec_mode,
-        concurrency: options.concurrency,
-        grace_secs: options.grace_secs,
-        params: None,
-        faults: faults.clone(),
-        sig_verify: options.sig_verify,
-        queue: Default::default(),
-        storage: options.storage.or(spec.storage),
-        trace: options.trace,
-    };
-    let mut result = match ChainHarness::new(chain, deployment, dapp, harness_options) {
+    let mut result = match ChainHarness::new(chain, deployment, dapp, run.clone()) {
         Ok(h) => h.run(merged_sorted, workload_name, spec.duration_secs() as f64),
         Err(reason) => RunResult::unable(chain, workload_name, spec.duration_secs() as f64, reason),
     };
@@ -832,14 +823,77 @@ pub fn serve_primary(
         telemetry,
         faults,
         lost_secondaries,
+        live_diff: None,
     })
 }
 
+/// Error of a Secondary run, split so callers can map connection
+/// transience onto distinct process exit codes.
+#[derive(Debug)]
+pub enum SecondaryError {
+    /// The Primary could not be reached (or the address is nonsense);
+    /// `ConnectorError::is_transient` tells the two apart.
+    Connect(crate::abstraction::ConnectorError),
+    /// The wire protocol failed after the connection was up.
+    Protocol(String),
+}
+
+impl std::fmt::Display for SecondaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SecondaryError::Connect(e) => write!(f, "{e}"),
+            SecondaryError::Protocol(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SecondaryError {}
+
 /// Runs the Secondary end of the distributed mode against the Primary
-/// at `addr`. Returns the local statistics text it reported.
+/// at `addr`, retrying the default policy's worth of transient connect
+/// failures. Returns the local statistics text it reported.
 pub fn run_secondary(addr: &str, tag: &str) -> Result<String, String> {
+    run_secondary_with_retry(addr, tag, &diablo_chains::RetryPolicy::default())
+        .map_err(|e| e.to_string())
+}
+
+/// [`run_secondary`] under an explicit connect-retry policy (the
+/// `--retry` grammar): a refused or reset connection — transient, the
+/// Primary may still be binding — is retried with doubling backoff; an
+/// address that cannot resolve fails fast.
+pub fn run_secondary_with_retry(
+    addr: &str,
+    tag: &str,
+    retry: &diablo_chains::RetryPolicy,
+) -> Result<String, SecondaryError> {
+    use crate::abstraction::ConnectorError;
+    use diablo_net::{dial, DialErrorKind, DialPolicy};
+
     diablo_telemetry::reset();
-    let mut stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    let policy = DialPolicy {
+        attempts: retry.attempts,
+        backoff: std::time::Duration::from_micros(retry.backoff.as_micros()),
+        deadline: std::time::Duration::from_micros(retry.timeout.as_micros()),
+    };
+    let stream = dial(addr, &policy).map_err(|e| {
+        diablo_telemetry::counter!("secondary.dial_failed", 1);
+        SecondaryError::Connect(match e.kind {
+            DialErrorKind::BadAddress => ConnectorError::BadAddress {
+                addr: e.addr,
+                reason: e.reason,
+            },
+            DialErrorKind::Unreachable => ConnectorError::Unreachable {
+                addr: e.addr,
+                reason: e.reason,
+            },
+        })
+    })?;
+    secondary_session(stream, tag).map_err(SecondaryError::Protocol)
+}
+
+/// The Secondary's side of the wire protocol, from Hello to Done, on an
+/// established connection.
+fn secondary_session(mut stream: TcpStream, tag: &str) -> Result<String, String> {
     write_message(
         &mut stream,
         &Message::Hello {

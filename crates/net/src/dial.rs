@@ -1,0 +1,219 @@
+//! Wall-clock TCP dialing with retry.
+//!
+//! Live mode connects real processes over real sockets, so unlike the
+//! simulated submission path a connection attempt can genuinely fail in
+//! two distinct ways: the peer is *not reachable yet* (connection
+//! refused while the Primary is still binding, reset, timed out) — a
+//! transient condition worth retrying with backoff — or the address
+//! itself is *nonsense* (unparseable host:port, failed resolution),
+//! which no amount of retrying fixes. [`dial`] encodes exactly that
+//! split; `diablo-core` maps the two kinds onto its `ConnectorError`
+//! transience classification.
+
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Retry schedule of a [`dial`] call.
+///
+/// Mirrors the simulated `RetryPolicy` of `diablo-chains` (the CLI's
+/// `--retry=ATTEMPTSxBACKOFF_MS/TIMEOUT_MS` grammar): `attempts` tries
+/// in total, a backoff that doubles between tries, and a hard wall-clock
+/// deadline over the whole dial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DialPolicy {
+    /// Maximum connection attempts, first try included (1 = never
+    /// retry).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles on every further
+    /// attempt.
+    pub backoff: Duration,
+    /// Hard deadline over the whole dial, including backoff sleeps.
+    pub deadline: Duration,
+}
+
+impl Default for DialPolicy {
+    fn default() -> Self {
+        DialPolicy {
+            attempts: 3,
+            backoff: Duration::from_millis(500),
+            deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Why a [`dial`] failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DialErrorKind {
+    /// The address cannot resolve to a socket address at all; retrying
+    /// is pointless and [`dial`] fails on the first attempt.
+    BadAddress,
+    /// Every attempt failed to connect (refused, reset, timed out);
+    /// the peer may come up later.
+    Unreachable,
+}
+
+/// A failed [`dial`], with the attempt count actually spent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DialError {
+    /// Transient-vs-fatal classification.
+    pub kind: DialErrorKind,
+    /// The address as given by the caller.
+    pub addr: String,
+    /// The last underlying error.
+    pub reason: String,
+    /// Connection attempts actually made (1 for a bad address: the
+    /// failure is detected before any connect).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for DialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            DialErrorKind::BadAddress => {
+                write!(f, "bad address `{}`: {}", self.addr, self.reason)
+            }
+            DialErrorKind::Unreachable => write!(
+                f,
+                "`{}` unreachable after {} attempt(s): {}",
+                self.addr, self.attempts, self.reason
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DialError {}
+
+/// Connects to `addr`, retrying transient failures per `policy`.
+///
+/// An unresolvable address fails fast on the first attempt with
+/// [`DialErrorKind::BadAddress`]; connect failures are retried with
+/// doubling backoff until the attempt or deadline budget runs out, then
+/// reported as [`DialErrorKind::Unreachable`].
+pub fn dial(addr: &str, policy: &DialPolicy) -> Result<TcpStream, DialError> {
+    let bad = |reason: String| DialError {
+        kind: DialErrorKind::BadAddress,
+        addr: addr.to_string(),
+        reason,
+        attempts: 1,
+    };
+    let targets: Vec<SocketAddr> = match addr.to_socket_addrs() {
+        Ok(it) => it.collect(),
+        Err(e) => return Err(bad(e.to_string())),
+    };
+    if targets.is_empty() {
+        return Err(bad("resolved to no socket address".to_string()));
+    }
+
+    let started = Instant::now();
+    let attempts = policy.attempts.max(1);
+    let mut backoff = policy.backoff;
+    let mut last = String::new();
+    let mut made = 0u32;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            // Respect the overall deadline across backoff sleeps too: a
+            // retry that cannot start before the deadline is abandoned.
+            let remaining = policy.deadline.saturating_sub(started.elapsed());
+            if remaining.is_zero() {
+                break;
+            }
+            std::thread::sleep(backoff.min(remaining));
+            backoff = backoff.saturating_mul(2);
+            if started.elapsed() >= policy.deadline {
+                break;
+            }
+        }
+        made += 1;
+        let per_try = policy
+            .deadline
+            .saturating_sub(started.elapsed())
+            .max(Duration::from_millis(1));
+        match TcpStream::connect_timeout(&targets[0], per_try) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = e.to_string(),
+        }
+    }
+    Err(DialError {
+        kind: DialErrorKind::Unreachable,
+        addr: addr.to_string(),
+        reason: last,
+        attempts: made,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn fast(attempts: u32) -> DialPolicy {
+        DialPolicy {
+            attempts,
+            backoff: Duration::from_millis(5),
+            deadline: Duration::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn dial_reaches_a_listening_peer() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        assert!(dial(&addr, &fast(1)).is_ok());
+    }
+
+    #[test]
+    fn bad_address_fails_fast_without_retrying() {
+        let err = dial("not an address", &fast(5)).unwrap_err();
+        assert_eq!(err.kind, DialErrorKind::BadAddress);
+        assert_eq!(err.attempts, 1, "no connect attempts for a bad address");
+    }
+
+    #[test]
+    fn refusal_is_retried_per_policy() {
+        // Bind-then-drop guarantees a port nobody listens on.
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let err = dial(&format!("127.0.0.1:{port}"), &fast(3)).unwrap_err();
+        assert_eq!(err.kind, DialErrorKind::Unreachable);
+        assert_eq!(err.attempts, 3, "every allowed attempt was spent");
+    }
+
+    #[test]
+    fn retry_succeeds_once_the_peer_binds() {
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let binder = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            let listener = TcpListener::bind(("127.0.0.1", port)).unwrap();
+            let _ = listener.accept();
+        });
+        let policy = DialPolicy {
+            attempts: 50,
+            backoff: Duration::from_millis(10),
+            deadline: Duration::from_secs(10),
+        };
+        assert!(dial(&addr, &policy).is_ok(), "late-binding peer reached");
+        binder.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_caps_the_attempt_budget() {
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let policy = DialPolicy {
+            attempts: 1_000,
+            backoff: Duration::from_millis(20),
+            deadline: Duration::from_millis(60),
+        };
+        let err = dial(&format!("127.0.0.1:{port}"), &policy).unwrap_err();
+        assert_eq!(err.kind, DialErrorKind::Unreachable);
+        assert!(err.attempts < 1_000, "deadline stopped the retry loop");
+    }
+}

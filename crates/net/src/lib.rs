@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod dial;
 pub mod machine;
 pub mod matrix;
 pub mod model;
@@ -19,6 +20,7 @@ pub mod quorum;
 pub mod region;
 
 pub use config::{DeploymentConfig, DeploymentKind, NodeSite};
+pub use dial::{dial, DialError, DialErrorKind, DialPolicy};
 pub use machine::{InstanceType, MachineSpec};
 pub use matrix::{bandwidth_mbps, rtt_ms, INTRA_DC_BANDWIDTH_MBPS, INTRA_DC_RTT_MS};
 pub use model::NetworkModel;

@@ -110,6 +110,34 @@ impl<W: World> Simulation<W> {
         self.world
     }
 
+    /// The instant of the next queued event, if any.
+    ///
+    /// This is the pacing hook of live mode: a wall-clock driver peeks
+    /// the next instant, sleeps until real time catches up, then
+    /// delivers it with [`Simulation::step`].
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Delivers exactly the next queued event (advancing the clock to
+    /// it), or returns `None` on an empty queue.
+    ///
+    /// A `step()` loop is observably identical to [`Simulation::run_until`]: same
+    /// events, same order, same clock — only the caller controls when
+    /// each delivery happens.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (at, event) = self.queue.pop()?;
+        debug_assert!(at >= self.now, "time must be monotone");
+        self.now = at;
+        let mut sched = Scheduler::new(at);
+        self.world.handle(at, event, &mut sched);
+        for (t, e) in sched.pending {
+            self.queue.schedule(t, e);
+        }
+        self.delivered += 1;
+        Some(at)
+    }
+
     /// Runs until the queue drains or the clock passes `deadline`.
     ///
     /// Events scheduled exactly at the deadline are delivered; later
@@ -194,6 +222,22 @@ mod tests {
         assert_eq!(sim.world().log.len(), 5); // t = 0..=4
         sim.run_to_completion();
         assert_eq!(sim.world().log.len(), 11);
+    }
+
+    #[test]
+    fn stepping_is_identical_to_run_until() {
+        let mut run = Simulation::new(Countdown { log: Vec::new() });
+        run.schedule(SimTime::ZERO, Tick(5));
+        run.run_to_completion();
+
+        let mut stepped = Simulation::new(Countdown { log: Vec::new() });
+        stepped.schedule(SimTime::ZERO, Tick(5));
+        while let Some(next) = stepped.peek_time() {
+            let delivered = stepped.step().unwrap();
+            assert_eq!(delivered, next, "peek agrees with the delivered instant");
+        }
+        assert_eq!(stepped.world().log, run.world().log);
+        assert_eq!(stepped.delivered(), run.delivered());
     }
 
     #[test]

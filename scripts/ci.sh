@@ -173,6 +173,50 @@ cargo run -q --release --offline --bin diablo -- trace-diff "$trace_a" "$trace_b
 }
 rm -f "$trace_a" "$trace_b"
 
+# Live smoke: the Primary spawns two real Secondary processes over
+# localhost TCP and paces the run against the wall clock (compressed
+# 50× via --time-scale so the 12 s workload takes well under a second).
+# The run must complete with no lost Secondaries and report a finite
+# live-vs-simulation fidelity score in the liveDiff section.
+echo "==> live smoke (2 Secondary processes over TCP, fidelity-diffed)"
+live_json="$(mktemp /tmp/diablo-live.XXXXXX.json)"
+cargo run -q --release --offline --bin diablo -- run --live --chain=quorum \
+    --seed=11 --secondaries=2 --grace=2 --time-scale=50 \
+    --output="$live_json" workloads/exchange.yaml >/dev/null
+for key in '"liveDiff":{' '"lostSecondaries":0' '"phases":[' ; do
+    grep -qF "$key" "$live_json" || {
+        echo "live smoke: missing $key in $live_json" >&2
+        exit 1
+    }
+done
+fidelity="$(grep -o '"fidelity":[0-9.]*' "$live_json" | head -n1 | cut -d: -f2)"
+[ -n "$fidelity" ] || {
+    echo "live smoke: fidelity is not a finite number" >&2
+    exit 1
+}
+awk "BEGIN { exit !($fidelity > 0 && $fidelity <= 1) }" || {
+    echo "live smoke: fidelity $fidelity out of (0, 1]" >&2
+    exit 1
+}
+rm -f "$live_json"
+
+# Sim-path regression: without --live, the unified RunConfig resolution
+# must leave reports byte-identical to the checked-in golden file (same
+# spec, same pinned seed). This is the guard that the config redesign
+# and the live plumbing never perturb the deterministic path.
+echo "==> sim golden (pinned-seed run vs results/golden_sim_exchange.json)"
+sim_json="$(mktemp /tmp/diablo-sim-golden.XXXXXX.json)"
+cargo run -q --release --offline --bin diablo -- run --chain=quorum \
+    --seed=11 --output="$sim_json" workloads/exchange-apple.yaml >/dev/null
+cmp "$sim_json" results/golden_sim_exchange.json || {
+    echo "sim golden: results JSON drifted from the golden file" >&2
+    echo "  (if the change is intentional, regenerate the golden:" >&2
+    echo "   diablo run --chain=quorum --seed=11 \\" >&2
+    echo "       --output=results/golden_sim_exchange.json workloads/exchange-apple.yaml)" >&2
+    exit 1
+}
+rm -f "$sim_json"
+
 # Disabled-build check: with telemetry compiled out, the no-op macros
 # (and the per-transaction tracer) must still type-check everywhere and
 # tier-1 must pass. A separate target dir keeps the two configurations'

@@ -8,240 +8,87 @@
 //!     workload.yaml
 //! diablo secondary --primary=127.0.0.1:5000 --tag=us-east-2
 //! diablo run --chain=solana --deployment=devnet --stat workload.yaml
+//! diablo run --live --chain=quorum --stat workload.yaml
 //! ```
 //!
 //! `primary` serves the distributed TCP mode and waits for
 //! `--secondaries=N` connections; `secondary` connects to a primary;
 //! `run` executes the whole pipeline in-process (planning threads play
-//! the secondaries).
+//! the secondaries), or — with `--live` — over real Secondary
+//! processes, real sockets and wall-clock time, diffed against the
+//! deterministic simulation of the same configuration.
+//!
+//! The flag surface is one declarative table (`diablo::cli`); the usage
+//! text is generated from it and unknown flags are errors.
+//!
+//! Exit codes: `0` success, `1` failure, `2` non-transient connection
+//! error (a Secondary given an unresolvable `--primary` address fails
+//! fast instead of retrying).
 
 use std::net::TcpListener;
 use std::process::ExitCode;
 
 use diablo::chains::Chain;
+use diablo::cli::{usage_text, Invocation};
 use diablo::core::analysis::{latency_cdf_dat, throughput_series_dat};
 use diablo::core::json::read_result_stats;
-use diablo::core::output::{results_csv, results_json_with_telemetry};
+use diablo::core::output::{results_csv, results_json_report};
 use diablo::core::primary::run_with_setup;
-use diablo::core::wire::{run_secondary, serve_primary};
-use diablo::core::{run_local, BenchmarkOptions, Report, Setup};
+use diablo::core::wire::{run_secondary_with_retry, serve_primary, SecondaryError};
+use diablo::core::{run_local, run_live, BenchmarkOptions, Report, Setup};
 use diablo::net::DeploymentKind;
 
-struct Args {
-    flags: Vec<(String, String)>,
-    positional: Vec<String>,
+/// Exit code for errors the retry policy must not paper over: a
+/// non-transient connection failure (bad address).
+const EXIT_NON_TRANSIENT: u8 = 2;
+
+/// A command failure carrying its process exit code.
+struct Failure {
+    code: u8,
+    message: String,
 }
 
-impl Args {
-    fn parse(argv: &[String]) -> Args {
-        let mut flags = Vec::new();
-        let mut positional = Vec::new();
-        for arg in argv {
-            if let Some(rest) = arg.strip_prefix("--") {
-                match rest.split_once('=') {
-                    Some((k, v)) => flags.push((k.to_string(), v.to_string())),
-                    None => flags.push((rest.to_string(), "true".to_string())),
-                }
-            } else {
-                positional.push(arg.clone());
-            }
-        }
-        Args { flags, positional }
-    }
-
-    fn get(&self, key: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .rev()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
-    }
-
-    fn has(&self, key: &str) -> bool {
-        self.get(key).is_some()
-    }
-
-    /// Every value given for a repeatable flag, in invocation order
-    /// (chaos flags like `--crash` may appear more than once).
-    fn all(&self, key: &str) -> Vec<&str> {
-        self.flags
-            .iter()
-            .filter(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
-            .collect()
+impl From<String> for Failure {
+    fn from(message: String) -> Failure {
+        Failure { code: 1, message }
     }
 }
 
-/// The chaos flags: each maps to a `fault:` directive of the same name
-/// ([`diablo::chains::chaos`]), so CLI and YAML share one grammar.
-const CHAOS_FLAGS: [&str; 7] = [
-    "crash",
-    "partition",
-    "loss",
-    "corrupt",
-    "slowdown",
-    "kill-secondary",
-    "retry",
-];
-
-/// Builds a fault plan from the invocation's chaos flags.
-fn parse_chaos(args: &Args) -> Result<diablo::chains::FaultPlan, String> {
-    let mut builder = diablo::chains::FaultPlan::builder();
-    for key in CHAOS_FLAGS {
-        for value in args.all(key) {
-            builder = diablo::chains::chaos::apply_directive(builder, key, value)?;
+impl From<&str> for Failure {
+    fn from(message: &str) -> Failure {
+        Failure {
+            code: 1,
+            message: message.to_string(),
         }
     }
-    Ok(builder.build())
 }
 
-/// Resolves the execution flags (`--threads=N`, `--optimistic`,
-/// `--execution=MODE`) into a block-commit concurrency. Both parallel
-/// executors are bit-identical to serial (see `docs/EXECUTION.md`), so
-/// these flags change wall-clock time, never results.
-fn parse_concurrency(args: &Args) -> Result<diablo::chains::Concurrency, String> {
-    let threads = match args.get("threads") {
-        Some(n) => Some(
-            n.parse::<usize>()
-                .ok()
-                .filter(|&n| n >= 1)
-                .ok_or("bad --threads")?,
-        ),
-        None => None,
+/// Builds the invocation's [`BenchmarkOptions`]: the CLI overlay plus
+/// the Secondary count.
+fn options(inv: &Invocation) -> Result<BenchmarkOptions, String> {
+    let mut options = BenchmarkOptions {
+        run: inv.overlay()?,
+        ..BenchmarkOptions::default()
     };
-    let mode = match (args.get("execution"), args.has("optimistic")) {
-        (Some(_), true) => return Err("--execution and --optimistic are exclusive".into()),
-        (Some(mode), false) => Some(mode),
-        (None, true) => Some("optimistic"),
-        // --threads alone selects the static parallel scheduler.
-        (None, false) => threads.is_some().then_some("parallel"),
-    };
-    let Some(mode) = mode else {
-        return Ok(diablo::chains::Concurrency::Serial);
-    };
-    diablo::chains::Concurrency::from_mode(mode, threads.unwrap_or(4))
-        .ok_or_else(|| format!("bad --execution={mode} (serial | parallel | optimistic)"))
+    if let Some(n) = inv.get("secondaries") {
+        options.secondaries = n.parse().map_err(|_| "bad --secondaries")?;
+    }
+    Ok(options)
 }
 
-/// Resolves the storage flags (`--store`, `--prune=MODE`,
-/// `--segment-blocks=N`, `--hot-pages=N`) into a state-store
-/// configuration. `--prune`/`--segment-blocks`/`--hot-pages` imply
-/// `--store`; no storage flag at all defers to the spec's `storage:`
-/// section (and then to no store).
-fn parse_storage_flags(args: &Args) -> Result<Option<diablo::chains::StorageConfig>, String> {
-    let tuning =
-        args.has("prune") || args.has("segment-blocks") || args.has("hot-pages");
-    if !args.has("store") && !tuning {
-        return Ok(None);
-    }
-    let mut config = diablo::chains::StorageConfig::default();
-    if let Some(mode) = args.get("prune") {
-        config.prune =
-            diablo::chains::PruneMode::parse(mode).map_err(|e| format!("bad --prune: {e}"))?;
-    }
-    if let Some(n) = args.get("segment-blocks") {
-        config.segment_blocks = n
-            .parse::<u64>()
-            .ok()
-            .filter(|&n| n >= 1)
-            .ok_or("bad --segment-blocks")?;
-    }
-    if let Some(n) = args.get("hot-pages") {
-        config.hot_pages = n.parse::<usize>().map_err(|_| "bad --hot-pages")?;
-    }
-    Ok(Some(config))
-}
-
-/// Resolves the tracing flags (`--trace-sample=N|all`, `--trace-out`)
-/// into a sampling budget. `--trace-out` alone implies tracing at the
-/// default reservoir limit; no tracing flag keeps the tracer off (and
-/// the run byte-identical to an untraced one).
-fn parse_trace_flags(
-    args: &Args,
-) -> Result<Option<diablo::telemetry::trace::TraceSample>, String> {
-    use diablo::telemetry::trace::TraceSample;
-    match args.get("trace-sample") {
-        Some(value) => TraceSample::parse(value)
-            .map(Some)
-            .map_err(|e| format!("bad --trace-sample: {e}")),
-        None if args.has("trace-out") => Ok(Some(TraceSample::Limit(TraceSample::DEFAULT_LIMIT))),
-        None => Ok(None),
-    }
-}
-
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  diablo run --chain=<name> [--deployment=<name>] [--secondaries=N] \
-         [--seed=N] [--threads=N] [--optimistic] [--output=FILE] [--csv=FILE] \
-         [--series=FILE] [--cdf=FILE] [--stat] [chaos flags] <workload.yaml>\n  \
-         diablo primary --secondaries=N --chain=<name> [--port=P] [--deployment=<name>] \
-         [--output=FILE] [--csv=FILE] [--stat] [chaos flags] <workload.yaml>\n  \
-         diablo secondary --primary=<addr> [--tag=<zone>]\n  \
-         diablo compare <a.results.json> <b.results.json>\n  \
-         diablo trace-diff <a.trace.json> <b.trace.json>\n\n\
-         tracing flags (deterministic per-transaction lifecycle traces,\n\
-         see docs/TRACING.md):\n  \
-         --trace-sample=N|all             trace the N deterministically sampled\n                                   \
-         transactions (or every one); same N + seed\n                                   \
-         traces the same transactions in any run\n  \
-         --trace-out=FILE                 write the traces as Chrome Trace Event JSON\n                                   \
-         (load in Perfetto; implies --trace-sample={})\n\n\
-         execution flags (same grammar as the spec's `execution:` section; results\n\
-         are bit-identical to serial at any thread count, see docs/EXECUTION.md):\n  \
-         --threads=N                      block-commit worker threads (static scheduler)\n  \
-         --optimistic                     Block-STM-style speculation (handles dynamic\n                                   \
-         footprints; combine with --threads=N, default 4)\n  \
-         --execution=MODE                 serial | parallel | optimistic\n  \
-         --exact                          exact execution mode (interpret every call;\n                                   \
-         required for the block executors to engage)\n\n\
-         storage flags (same grammar as the spec's `storage:` section; roots are\n\
-         identical at every prune mode, see docs/STORAGE.md):\n  \
-         --store                          persist blocks/receipts/state in the staged\n                                   \
-         commit pipeline (execute-merkleize-persist-prune)\n  \
-         --prune=MODE                     full | distance=N | before=N (implies --store)\n  \
-         --segment-blocks=N               blocks per static-file segment (implies --store)\n  \
-         --hot-pages=N                    decoded-page cap of the flat account/storage\n                                   \
-         tables (implies --store)\n\n\
-         chaos flags (repeatable; same grammar as the spec's `fault:` section):\n  \
-         --crash=NODES@AT[..RECOVER]      crash nodes, optionally recovering\n  \
-         --partition=GRP/GRP@FROM..UNTIL  split the network into components\n  \
-         --loss=RATE@FROM..UNTIL[,link=A-B]  drop consensus messages\n  \
-         --corrupt=RATE@FROM..UNTIL       corrupt client submissions\n  \
-         --slowdown=FACTOR@AT             stretch network delays\n  \
-         --kill-secondary=IDX@AT          kill a load-generating worker\n  \
-         --retry=ATTEMPTSxBACKOFF_MS/TIMEOUT_MS  client retry policy\n\n\
-         chains: {}\ndeployments: {}",
-        diablo::telemetry::trace::TraceSample::DEFAULT_LIMIT,
-        Chain::ALL.map(|c| c.name().to_lowercase()).join(", "),
-        DeploymentKind::ALL.map(|d| d.name()).join(", ")
-    );
-    ExitCode::FAILURE
-}
-
-fn parse_common(args: &Args) -> Result<(Chain, DeploymentKind, BenchmarkOptions, String), String> {
-    let chain = args
+fn parse_common(
+    inv: &Invocation,
+) -> Result<(Chain, DeploymentKind, BenchmarkOptions, String), String> {
+    let chain = inv
         .get("chain")
         .ok_or("missing --chain")
         .and_then(|c| Chain::parse(c).ok_or("unknown chain"))?;
-    let deployment = match args.get("deployment") {
+    let deployment = match inv.get("deployment") {
         Some(d) => DeploymentKind::parse(d).ok_or("unknown deployment")?,
         None => DeploymentKind::Testnet,
     };
-    let mut options = BenchmarkOptions::default();
-    if let Some(n) = args.get("secondaries") {
-        options.secondaries = n.parse().map_err(|_| "bad --secondaries")?;
-    }
-    if let Some(s) = args.get("seed") {
-        options.seed = s.parse().map_err(|_| "bad --seed")?;
-    }
-    if args.has("exact") {
-        options.exec_mode = diablo::chains::ExecMode::Exact;
-    }
-    options.concurrency = parse_concurrency(args)?;
-    options.faults = parse_chaos(args)?;
-    options.storage = parse_storage_flags(args)?;
-    options.trace = parse_trace_flags(args)?;
-    let spec_path = args
+    let options = options(inv)?;
+    let spec_path = inv
         .positional
         .get(1)
         .ok_or("missing workload file")?
@@ -249,25 +96,33 @@ fn parse_common(args: &Args) -> Result<(Chain, DeploymentKind, BenchmarkOptions,
     Ok((chain, deployment, options, spec_path))
 }
 
-fn emit(report: &Report, args: &Args) -> Result<(), String> {
-    if let Some(path) = args.get("output") {
-        std::fs::write(path, results_json_with_telemetry(&report.result, &report.telemetry))
-            .map_err(|e| e.to_string())?;
+/// The workload name a spec path reports under.
+fn workload_name(spec_path: &str) -> &str {
+    spec_path
+        .rsplit('/')
+        .next()
+        .unwrap_or(spec_path)
+        .trim_end_matches(".yaml")
+}
+
+fn emit(report: &Report, inv: &Invocation) -> Result<(), String> {
+    if let Some(path) = inv.get("output") {
+        std::fs::write(path, results_json_report(report)).map_err(|e| e.to_string())?;
         eprintln!("wrote {path}");
     }
-    if let Some(path) = args.get("csv") {
+    if let Some(path) = inv.get("csv") {
         std::fs::write(path, results_csv(&report.result)).map_err(|e| e.to_string())?;
         eprintln!("wrote {path}");
     }
-    if let Some(path) = args.get("series") {
+    if let Some(path) = inv.get("series") {
         std::fs::write(path, throughput_series_dat(&report.result)).map_err(|e| e.to_string())?;
         eprintln!("wrote {path}");
     }
-    if let Some(path) = args.get("cdf") {
+    if let Some(path) = inv.get("cdf") {
         std::fs::write(path, latency_cdf_dat(&report.result, 500)).map_err(|e| e.to_string())?;
         eprintln!("wrote {path}");
     }
-    if let Some(path) = args.get("trace-out") {
+    if let Some(path) = inv.get("trace-out") {
         match &report.result.trace {
             Some(set) => {
                 std::fs::write(path, set.to_chrome_json()).map_err(|e| e.to_string())?;
@@ -280,67 +135,50 @@ fn emit(report: &Report, args: &Args) -> Result<(), String> {
             ),
         }
     }
-    if args.has("stat") {
+    if inv.has("stat") {
         print!("{}", report.stats_text());
     }
     Ok(())
 }
 
-fn cmd_run(args: &Args) -> Result<(), String> {
+fn cmd_run(inv: &Invocation) -> Result<(), Failure> {
     // With --setup=FILE, the chain and deployment come from the setup
     // file (the paper's two-file invocation); otherwise from flags.
-    if let Some(setup_path) = args.get("setup") {
+    if let Some(setup_path) = inv.get("setup") {
+        if inv.overlay()?.live.is_some() {
+            return Err("--live needs --chain (setup files describe simulated endpoints)".into());
+        }
         let setup_text =
             std::fs::read_to_string(setup_path).map_err(|e| format!("{setup_path}: {e}"))?;
         let setup = Setup::parse(&setup_text).map_err(|e| e.to_string())?;
-        let mut options = BenchmarkOptions::default();
-        if let Some(n) = args.get("secondaries") {
-            options.secondaries = n.parse().map_err(|_| "bad --secondaries")?;
-        }
-        if let Some(seed) = args.get("seed") {
-            options.seed = seed.parse().map_err(|_| "bad --seed")?;
-        }
-        if args.has("exact") {
-            options.exec_mode = diablo::chains::ExecMode::Exact;
-        }
-        options.concurrency = parse_concurrency(args)?;
-        options.faults = parse_chaos(args)?;
-        options.storage = parse_storage_flags(args)?;
-        options.trace = parse_trace_flags(args)?;
-        let spec_path = args
+        let options = options(inv)?;
+        let spec_path = inv
             .positional
             .get(1)
             .ok_or("missing workload file")?
             .clone();
         let spec = std::fs::read_to_string(&spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
-        let name = spec_path
-            .rsplit('/')
-            .next()
-            .unwrap_or(&spec_path)
-            .trim_end_matches(".yaml");
-        let report = run_with_setup(&setup, &spec, name, &options)?;
-        return emit(&report, args);
+        let report = run_with_setup(&setup, &spec, workload_name(&spec_path), &options)?;
+        return Ok(emit(&report, inv)?);
     }
-    let (chain, deployment, options, spec_path) = parse_common(args)?;
+    let (chain, deployment, options, spec_path) = parse_common(inv)?;
     let spec = std::fs::read_to_string(&spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
-    let name = spec_path
-        .rsplit('/')
-        .next()
-        .unwrap_or(&spec_path)
-        .trim_end_matches(".yaml");
-    let report = run_local(chain, deployment, &spec, name, &options)?;
-    emit(&report, args)
+    let name = workload_name(&spec_path);
+    let report = if options.run.live.is_some() {
+        // Live mode: this very binary plays the Secondaries.
+        let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        run_live(chain, deployment, &spec, name, &options, &exe)?
+    } else {
+        run_local(chain, deployment, &spec, name, &options)?
+    };
+    Ok(emit(&report, inv)?)
 }
 
-fn cmd_primary(args: &Args) -> Result<(), String> {
-    let (chain, deployment, options, spec_path) = parse_common(args)?;
+fn cmd_primary(inv: &Invocation) -> Result<(), Failure> {
+    let (chain, deployment, options, spec_path) = parse_common(inv)?;
     let spec = std::fs::read_to_string(&spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
-    let name = spec_path
-        .rsplit('/')
-        .next()
-        .unwrap_or(&spec_path)
-        .trim_end_matches(".yaml");
-    let port: u16 = args
+    let name = workload_name(&spec_path);
+    let port: u16 = inv
         .get("port")
         .unwrap_or("5000")
         .parse()
@@ -360,23 +198,33 @@ fn cmd_primary(args: &Args) -> Result<(), String> {
         &options,
         options.secondaries,
     )?;
-    emit(&report, args)
+    Ok(emit(&report, inv)?)
 }
 
-fn cmd_secondary(args: &Args) -> Result<(), String> {
-    let addr = args.get("primary").ok_or("missing --primary=<addr>")?;
-    let tag = args.get("tag").unwrap_or("untagged");
-    let stats = run_secondary(addr, tag)?;
+fn cmd_secondary(inv: &Invocation) -> Result<(), Failure> {
+    let addr = inv.get("primary").ok_or("missing --primary=<addr>")?;
+    let tag = inv.get("tag").unwrap_or("untagged");
+    // The connect-retry policy shares the chaos `--retry` grammar.
+    let retry = inv.overlay()?.faults.retry_policy();
+    let stats = run_secondary_with_retry(addr, tag, &retry).map_err(|e| Failure {
+        // A bad address is not retried and must not look like a flaky
+        // network: it gets its own exit code (documented in README).
+        code: match &e {
+            SecondaryError::Connect(c) if !c.is_transient() => EXIT_NON_TRANSIENT,
+            _ => 1,
+        },
+        message: e.to_string(),
+    })?;
     println!("{stats}");
     Ok(())
 }
 
-fn cmd_compare(args: &Args) -> Result<(), String> {
-    let a_path = args
+fn cmd_compare(inv: &Invocation) -> Result<(), Failure> {
+    let a_path = inv
         .positional
         .get(1)
         .ok_or("compare needs two results.json files")?;
-    let b_path = args
+    let b_path = inv
         .positional
         .get(2)
         .ok_or("compare needs two results.json files")?;
@@ -425,42 +273,72 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_trace_diff(args: &Args) -> Result<(), String> {
-    let a_path = args
+fn cmd_trace_diff(inv: &Invocation) -> Result<(), Failure> {
+    let a_path = inv
         .positional
         .get(1)
         .ok_or("trace-diff needs two trace.json files")?;
-    let b_path = args
+    let b_path = inv
         .positional
         .get(2)
         .ok_or("trace-diff needs two trace.json files")?;
-    let read = |p: &str| -> Result<String, String> {
-        std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))
-    };
+    let read =
+        |p: &str| -> Result<String, String> { std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}")) };
     let d = diablo::core::tracediff::diff_texts(&read(a_path)?, &read(b_path)?)?;
     print!("{}", diablo::core::tracediff::render(&d));
     Ok(())
 }
 
+fn cmd_live_diff(inv: &Invocation) -> Result<(), Failure> {
+    let live_path = inv
+        .positional
+        .get(1)
+        .ok_or("live-diff needs a live and a sim results.json file")?;
+    let sim_path = inv
+        .positional
+        .get(2)
+        .ok_or("live-diff needs a live and a sim results.json file")?;
+    let read =
+        |p: &str| -> Result<String, String> { std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}")) };
+    let d = diablo::core::livediff::diff_texts(&read(live_path)?, &read(sim_path)?)?;
+    print!("{}", diablo::core::livediff::render(&d));
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let args = Args::parse(&argv);
-    let Some(command) = args.positional.first().map(String::as_str) else {
-        return usage();
+    let inv = match Invocation::parse(&argv) {
+        Ok(inv) => inv,
+        Err(e) => {
+            eprintln!("diablo: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if inv.has("help") {
+        print!("{}", usage_text());
+        return ExitCode::SUCCESS;
+    }
+    let Some(command) = inv.positional.first().map(String::as_str) else {
+        eprint!("{}", usage_text());
+        return ExitCode::FAILURE;
     };
     let result = match command {
-        "run" => cmd_run(&args),
-        "primary" => cmd_primary(&args),
-        "secondary" => cmd_secondary(&args),
-        "compare" => cmd_compare(&args),
-        "trace-diff" => cmd_trace_diff(&args),
-        _ => return usage(),
+        "run" => cmd_run(&inv),
+        "primary" => cmd_primary(&inv),
+        "secondary" => cmd_secondary(&inv),
+        "compare" => cmd_compare(&inv),
+        "trace-diff" => cmd_trace_diff(&inv),
+        "live-diff" => cmd_live_diff(&inv),
+        _ => {
+            eprint!("{}", usage_text());
+            return ExitCode::FAILURE;
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("diablo {command}: {e}");
-            ExitCode::FAILURE
+        Err(failure) => {
+            eprintln!("diablo {command}: {failure}", failure = failure.message);
+            ExitCode::from(failure.code)
         }
     }
 }

@@ -14,6 +14,8 @@
 //! - [`core`] — the Diablo framework: primary/secondary roles, workload
 //!   specification language, blockchain abstraction and metrics.
 
+pub mod cli;
+
 pub use diablo_chains as chains;
 pub use diablo_contracts as contracts;
 pub use diablo_core as core;

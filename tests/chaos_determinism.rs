@@ -58,12 +58,14 @@ fn chaos() -> FaultPlan {
 
 fn run(secondaries: usize) -> String {
     let options = BenchmarkOptions {
-        seed: 11,
-        exec_mode: ExecMode::Exact,
-        concurrency: Concurrency::Serial,
+        run: diablo::chains::RunOverlay {
+            seed: Some(11),
+            exec_mode: Some(ExecMode::Exact),
+            concurrency: Some(Concurrency::Serial),
+            faults: chaos(),
+            ..diablo::chains::RunOverlay::none()
+        },
         secondaries,
-        faults: chaos(),
-        ..BenchmarkOptions::default()
     };
     let report = run_local(
         Chain::Quorum,

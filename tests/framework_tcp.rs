@@ -156,9 +156,12 @@ fn killed_secondary_truncates_its_share() {
         })
         .collect();
     let options = BenchmarkOptions {
-        faults: diablo::chains::FaultPlan::builder()
-            .kill_secondary(1, SimTime::from_secs(5))
-            .build(),
+        run: diablo::chains::RunOverlay {
+            faults: diablo::chains::FaultPlan::builder()
+                .kill_secondary(1, SimTime::from_secs(5))
+                .build(),
+            ..diablo::chains::RunOverlay::none()
+        },
         ..BenchmarkOptions::default()
     };
     let report = serve_primary(

@@ -49,9 +49,12 @@ workloads:
 
 fn run(concurrency: Concurrency) -> (String, diablo::telemetry::TelemetrySnapshot) {
     let options = BenchmarkOptions {
-        seed: 7,
-        exec_mode: ExecMode::Exact,
-        concurrency,
+        run: diablo::chains::RunOverlay {
+            seed: Some(7),
+            exec_mode: Some(ExecMode::Exact),
+            concurrency: Some(concurrency),
+            ..diablo::chains::RunOverlay::none()
+        },
         ..BenchmarkOptions::default()
     };
     let report = run_local(

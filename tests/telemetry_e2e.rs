@@ -39,9 +39,12 @@ workloads:
 #[test]
 fn json_and_stat_outputs_carry_the_telemetry_pipeline() {
     let options = BenchmarkOptions {
-        seed: 11,
-        exec_mode: ExecMode::Exact,
-        concurrency: Concurrency::Parallel(4),
+        run: diablo::chains::RunOverlay {
+            seed: Some(11),
+            exec_mode: Some(ExecMode::Exact),
+            concurrency: Some(Concurrency::Parallel(4)),
+            ..diablo::chains::RunOverlay::none()
+        },
         ..BenchmarkOptions::default()
     };
     // Clique models a distinct execution stage, so all four phases of
